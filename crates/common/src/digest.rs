@@ -1,0 +1,98 @@
+//! A fixed-size digest value.
+//!
+//! The digest *type* lives in `rcc-common` so that messages, batches, and the
+//! ledger can reference digests without depending on the cryptography crate;
+//! the hashing *functions* that produce digests live in `rcc-crypto`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte digest (the output of SHA-256 in `rcc-crypto`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the genesis parent in the ledger and as a
+    /// placeholder for "no value".
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Builds a digest from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 32]) -> Self {
+        Digest(bytes)
+    }
+
+    /// Returns the raw bytes of the digest.
+    pub const fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Interprets the first eight bytes of the digest as a big-endian `u64`.
+    ///
+    /// RCC uses this to derive the unpredictable permutation index `h` for
+    /// the ordering-attack mitigation of Section IV of the paper.
+    pub fn as_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("digest has at least 8 bytes"))
+    }
+
+    /// Interprets the full digest as a 128-bit value (first 16 bytes,
+    /// big-endian). Used when a larger modulus is required for permutation
+    /// selection over long sequences.
+    pub fn as_u128(&self) -> u128 {
+        u128::from_be_bytes(self.0[..16].try_into().expect("digest has at least 16 bytes"))
+    }
+
+    /// Short hexadecimal prefix, convenient for logging.
+    pub fn short_hex(&self) -> String {
+        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_digest_is_all_zero() {
+        assert!(Digest::ZERO.as_bytes().iter().all(|&b| b == 0));
+        assert_eq!(Digest::ZERO.as_u64(), 0);
+    }
+
+    #[test]
+    fn as_u64_reads_big_endian_prefix() {
+        let mut bytes = [0u8; 32];
+        bytes[7] = 1;
+        assert_eq!(Digest::from_bytes(bytes).as_u64(), 1);
+        bytes[0] = 1;
+        assert_eq!(Digest::from_bytes(bytes).as_u64(), (1 << 56) + 1);
+    }
+
+    #[test]
+    fn display_is_64_hex_chars() {
+        let d = Digest::from_bytes([0xab; 32]);
+        let s = d.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.chars().all(|c| c == 'a' || c == 'b'));
+        assert_eq!(d.short_hex(), "abababab");
+    }
+}

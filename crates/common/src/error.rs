@@ -1,0 +1,89 @@
+//! The shared error type of the RCC workspace.
+
+use crate::ids::{InstanceId, ReplicaId, Round, View};
+use std::fmt;
+
+/// Convenience alias for results produced throughout the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the consensus substrate, protocols, storage, and the
+/// simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A message failed authentication (bad MAC, signature, or certificate).
+    Authentication(String),
+    /// A message was structurally invalid or inconsistent with protocol state.
+    InvalidMessage(String),
+    /// A message referred to an unknown or out-of-window sequence number.
+    OutOfWindow {
+        /// The round the message referred to.
+        round: Round,
+        /// Low end of the currently accepted window.
+        low: Round,
+        /// High end of the currently accepted window.
+        high: Round,
+    },
+    /// A message arrived for a view this replica is not in.
+    WrongView {
+        /// View carried by the message.
+        got: View,
+        /// View the replica is currently in.
+        expected: View,
+    },
+    /// A request was routed to a replica that is not the responsible primary.
+    NotPrimary {
+        /// The replica that received the request.
+        replica: ReplicaId,
+    },
+    /// A consensus instance is stopped and cannot accept proposals.
+    InstanceStopped(InstanceId),
+    /// A storage lookup failed.
+    KeyNotFound(String),
+    /// The configuration is invalid (e.g. `n <= 3f`).
+    InvalidConfig(String),
+    /// The ledger rejected an append because the parent digest did not match.
+    LedgerMismatch(String),
+    /// An operation required state that has already been garbage-collected.
+    Pruned(String),
+    /// Any other error.
+    Other(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Authentication(s) => write!(f, "authentication failure: {s}"),
+            Error::InvalidMessage(s) => write!(f, "invalid message: {s}"),
+            Error::OutOfWindow { round, low, high } => {
+                write!(f, "round {round} outside accepted window [{low}, {high}]")
+            }
+            Error::WrongView { got, expected } => {
+                write!(f, "message for view {got}, replica is in view {expected}")
+            }
+            Error::NotPrimary { replica } => write!(f, "replica {replica} is not the primary"),
+            Error::InstanceStopped(i) => write!(f, "instance {i} is stopped"),
+            Error::KeyNotFound(k) => write!(f, "key not found: {k}"),
+            Error::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            Error::LedgerMismatch(s) => write!(f, "ledger mismatch: {s}"),
+            Error::Pruned(s) => write!(f, "state already pruned: {s}"),
+            Error::Other(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = Error::OutOfWindow { round: 12, low: 0, high: 10 };
+        assert_eq!(e.to_string(), "round 12 outside accepted window [0, 10]");
+        let e = Error::NotPrimary { replica: ReplicaId(3) };
+        assert!(e.to_string().contains("R3"));
+        let e = Error::InstanceStopped(InstanceId(2));
+        assert!(e.to_string().contains("I2"));
+    }
+}

@@ -1,0 +1,158 @@
+//! Identifiers for replicas, clients, consensus instances, rounds and views.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a replica participating in consensus.
+///
+/// Replicas are numbered `0..n`. In RCC, replica `i` is also the primary of
+/// consensus instance `i` (see [`InstanceId`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ReplicaId(pub u32);
+
+impl ReplicaId {
+    /// Returns the numeric index of the replica.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all replica identifiers of a system with `n` replicas.
+    pub fn all(n: usize) -> impl Iterator<Item = ReplicaId> {
+        (0..n as u32).map(ReplicaId)
+    }
+}
+
+impl fmt::Debug for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u32> for ReplicaId {
+    fn from(v: u32) -> Self {
+        ReplicaId(v)
+    }
+}
+
+/// Identifier of a client issuing transactions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct ClientId(pub u64);
+
+impl ClientId {
+    /// Returns the numeric index of the client.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Display for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl From<u64> for ClientId {
+    fn from(v: u64) -> Self {
+        ClientId(v)
+    }
+}
+
+/// Identifier of a concurrent consensus instance in RCC.
+///
+/// RCC runs `m` instances of the underlying Byzantine commit algorithm; the
+/// `i`-th instance is coordinated by replica `i` as primary.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct InstanceId(pub u32);
+
+impl InstanceId {
+    /// Returns the numeric index of the instance.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The replica acting as the (initial) primary of this instance.
+    pub fn primary(self) -> ReplicaId {
+        ReplicaId(self.0)
+    }
+
+    /// Iterator over all instance identifiers of a deployment with `m` instances.
+    pub fn all(m: usize) -> impl Iterator<Item = InstanceId> {
+        (0..m as u32).map(InstanceId)
+    }
+}
+
+impl fmt::Debug for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}", self.0)
+    }
+}
+
+impl From<u32> for InstanceId {
+    fn from(v: u32) -> Self {
+        InstanceId(v)
+    }
+}
+
+/// A consensus round (the paper's `ρ`), also used as the sequence number of a
+/// proposal within a single Byzantine commit instance.
+pub type Round = u64;
+
+/// A view number of a primary-backup protocol. Within a view a fixed replica
+/// acts as primary; view-changes increment the view.
+pub type View = u64;
+
+/// Returns the primary of view `v` in a system of `n` replicas using the
+/// classical round-robin rule of PBFT (`primary = v mod n`).
+pub fn primary_of_view(view: View, n: usize) -> ReplicaId {
+    ReplicaId((view % n as u64) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_ids_enumerate_in_order() {
+        let ids: Vec<_> = ReplicaId::all(4).collect();
+        assert_eq!(ids, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]);
+    }
+
+    #[test]
+    fn instance_primary_is_same_index_replica() {
+        assert_eq!(InstanceId(3).primary(), ReplicaId(3));
+        assert_eq!(InstanceId(0).primary(), ReplicaId(0));
+    }
+
+    #[test]
+    fn view_primary_rotates_round_robin() {
+        assert_eq!(primary_of_view(0, 4), ReplicaId(0));
+        assert_eq!(primary_of_view(1, 4), ReplicaId(1));
+        assert_eq!(primary_of_view(4, 4), ReplicaId(0));
+        assert_eq!(primary_of_view(7, 4), ReplicaId(3));
+    }
+
+    #[test]
+    fn display_formats_are_compact() {
+        assert_eq!(ReplicaId(7).to_string(), "R7");
+        assert_eq!(ClientId(12).to_string(), "C12");
+        assert_eq!(InstanceId(2).to_string(), "I2");
+    }
+}

@@ -1,0 +1,350 @@
+//! Measurement primitives used by the benchmark harness and the simulator.
+//!
+//! The paper reports two quantities per experiment: *throughput* (client
+//! transactions executed per second) and *latency* (time from a client
+//! sending a transaction to receiving the reply). Figure 10 additionally
+//! shows a throughput *time series* during failures. This module provides
+//! collectors for all three, plus a small streaming histogram for latency
+//! percentiles.
+
+use crate::time::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Counts transactions executed over time and reports average throughput and
+/// a bucketed time series.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ThroughputMeter {
+    bucket_width: Duration,
+    buckets: Vec<u64>,
+    total: u64,
+    first_event: Option<Time>,
+    last_event: Option<Time>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter that aggregates events into buckets of `bucket_width`.
+    pub fn new(bucket_width: Duration) -> Self {
+        ThroughputMeter {
+            bucket_width,
+            buckets: Vec::new(),
+            total: 0,
+            first_event: None,
+            last_event: None,
+        }
+    }
+
+    /// Records `count` executed transactions at time `now`.
+    pub fn record(&mut self, now: Time, count: u64) {
+        if count == 0 {
+            return;
+        }
+        self.total += count;
+        if self.first_event.is_none() {
+            self.first_event = Some(now);
+        }
+        self.last_event = Some(now);
+        let bucket = (now.as_nanos() / self.bucket_width.as_nanos().max(1)) as usize;
+        if bucket >= self.buckets.len() {
+            self.buckets.resize(bucket + 1, 0);
+        }
+        self.buckets[bucket] += count;
+    }
+
+    /// Total transactions recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Average throughput in transactions per second over the window between
+    /// `start` and `end`.
+    pub fn throughput_over(&self, start: Time, end: Time) -> f64 {
+        let window = end.saturating_since(start).as_secs_f64();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let s = (start.as_nanos() / self.bucket_width.as_nanos().max(1)) as usize;
+        let e = (end.as_nanos() / self.bucket_width.as_nanos().max(1)) as usize;
+        let count: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i >= s && *i < e.max(s + 1))
+            .map(|(_, c)| *c)
+            .sum();
+        count as f64 / window
+    }
+
+    /// Average throughput in transactions per second from the first to the
+    /// last recorded event.
+    pub fn average_throughput(&self) -> f64 {
+        match (self.first_event, self.last_event) {
+            (Some(first), Some(last)) if last > first => {
+                self.total as f64 / (last - first).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+
+    /// The throughput time series: one `(bucket start time, txn/s)` point per
+    /// bucket, suitable for plotting Fig. 10-style timelines.
+    pub fn time_series(&self) -> Vec<(Time, f64)> {
+        let width_s = self.bucket_width.as_secs_f64();
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| {
+                let t = Time::from_nanos(i as u64 * self.bucket_width.as_nanos());
+                (t, count as f64 / width_s)
+            })
+            .collect()
+    }
+}
+
+/// A streaming latency histogram with fixed logarithmic-ish resolution.
+///
+/// Latencies are recorded in microseconds in buckets of exponentially growing
+/// width, which keeps memory bounded while giving ~2 % relative error on the
+/// percentiles reported in the paper's figures.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum_micros: u128,
+    max_micros: u64,
+    min_micros: u64,
+}
+
+const LATENCY_BUCKETS: usize = 640;
+
+fn bucket_for_micros(micros: u64) -> usize {
+    // 32 linear buckets per power of two; bucket 0 holds [0, 1) µs.
+    if micros == 0 {
+        return 0;
+    }
+    let log = 63 - micros.leading_zeros() as u64;
+    let base = log * 32;
+    let frac = ((micros - (1 << log)) * 32) >> log;
+    ((base + frac) as usize).min(LATENCY_BUCKETS - 1)
+}
+
+fn bucket_upper_bound_micros(bucket: usize) -> u64 {
+    let log = (bucket / 32) as u64;
+    let frac = (bucket % 32) as u64;
+    (1u64 << log) + (((frac + 1) << log) / 32)
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram {
+            counts: vec![0; LATENCY_BUCKETS],
+            total: 0,
+            sum_micros: 0,
+            max_micros: 0,
+            min_micros: u64::MAX,
+        }
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: Duration) {
+        let micros = latency.as_micros();
+        self.counts[bucket_for_micros(micros)] += 1;
+        self.total += 1;
+        self.sum_micros += micros as u128;
+        self.max_micros = self.max_micros.max(micros);
+        self.min_micros = self.min_micros.min(micros);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean latency over all samples.
+    pub fn mean(&self) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_micros((self.sum_micros / self.total as u128) as u64)
+    }
+
+    /// Largest recorded latency.
+    pub fn max(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.max_micros)
+        }
+    }
+
+    /// Smallest recorded latency.
+    pub fn min(&self) -> Duration {
+        if self.total == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.min_micros)
+        }
+    }
+
+    /// The latency at percentile `p` (0.0–1.0), approximated by the bucket
+    /// upper bound.
+    pub fn percentile(&self, p: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((self.total as f64) * p.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0;
+        for (bucket, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= target.max(1) {
+                return Duration::from_micros(bucket_upper_bound_micros(bucket));
+            }
+        }
+        self.max()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+        self.max_micros = self.max_micros.max(other.max_micros);
+        self.min_micros = self.min_micros.min(other.min_micros);
+    }
+}
+
+/// A single measured data point of an experiment: one protocol at one
+/// parameter setting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MeasurementPoint {
+    /// Name of the protocol or system variant.
+    pub protocol: String,
+    /// The swept parameter (number of replicas, batch size, …).
+    pub parameter: u64,
+    /// Average throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Average client latency in seconds.
+    pub latency_s: f64,
+    /// Optional additional labels (e.g. "no-failures", "single-failure").
+    pub scenario: String,
+}
+
+/// Counters a replica keeps about its own resource usage; the simulator and
+/// the in-process runtime both populate these so tests can assert on
+/// bandwidth/CPU asymmetry between primaries and backups.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct ReplicaCounters {
+    /// Messages sent by this replica.
+    pub messages_sent: u64,
+    /// Messages received by this replica.
+    pub messages_received: u64,
+    /// Bytes sent by this replica.
+    pub bytes_sent: u64,
+    /// Bytes received by this replica.
+    pub bytes_received: u64,
+    /// Client transactions executed by this replica.
+    pub transactions_executed: u64,
+    /// Batches this replica proposed as a primary.
+    pub batches_proposed: u64,
+    /// Consensus slots this replica accepted (committed).
+    pub slots_accepted: u64,
+    /// Cryptographic operations (MAC/signature create or verify) performed.
+    pub crypto_operations: u64,
+}
+
+impl ReplicaCounters {
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &ReplicaCounters) {
+        self.messages_sent += other.messages_sent;
+        self.messages_received += other.messages_received;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.transactions_executed += other.transactions_executed;
+        self.batches_proposed += other.batches_proposed;
+        self.slots_accepted += other.slots_accepted;
+        self.crypto_operations += other.crypto_operations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter_averages_over_active_window() {
+        let mut m = ThroughputMeter::new(Duration::from_secs(1));
+        m.record(Time::from_secs(1), 100);
+        m.record(Time::from_secs(2), 100);
+        m.record(Time::from_secs(3), 100);
+        assert_eq!(m.total(), 300);
+        let avg = m.average_throughput();
+        assert!((avg - 150.0).abs() < 1.0, "expected ~150 txn/s, got {avg}");
+        let windowed = m.throughput_over(Time::from_secs(0), Time::from_secs(4));
+        assert!((windowed - 75.0).abs() < 1.0, "expected 75 txn/s over 4 s, got {windowed}");
+    }
+
+    #[test]
+    fn throughput_time_series_has_one_point_per_bucket() {
+        let mut m = ThroughputMeter::new(Duration::from_secs(1));
+        m.record(Time::from_millis(500), 10);
+        m.record(Time::from_millis(2500), 30);
+        let series = m.time_series();
+        assert_eq!(series.len(), 3);
+        assert!((series[0].1 - 10.0).abs() < 1e-9);
+        assert!((series[1].1 - 0.0).abs() < 1e-9);
+        assert!((series[2].1 - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_histogram_percentiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_micros(i * 10));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.percentile(0.5);
+        let p99 = h.percentile(0.99);
+        assert!(p50 < p99);
+        assert!(p50 >= Duration::from_micros(4_000) && p50 <= Duration::from_micros(6_000));
+        assert!(h.mean() >= Duration::from_micros(4_500) && h.mean() <= Duration::from_micros(5_500));
+        assert_eq!(h.max(), Duration::from_micros(10_000));
+        assert_eq!(h.min(), Duration::from_micros(10));
+    }
+
+    #[test]
+    fn latency_histogram_merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_millis(1));
+        b.record(Duration::from_millis(100));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn replica_counters_merge() {
+        let mut a = ReplicaCounters { messages_sent: 1, bytes_sent: 100, ..Default::default() };
+        let b = ReplicaCounters { messages_sent: 2, bytes_sent: 50, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.messages_sent, 3);
+        assert_eq!(a.bytes_sent, 150);
+    }
+
+    #[test]
+    fn empty_collectors_report_zero() {
+        let m = ThroughputMeter::new(Duration::from_secs(1));
+        assert_eq!(m.average_throughput(), 0.0);
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.percentile(0.99), Duration::ZERO);
+    }
+}

@@ -1,0 +1,249 @@
+//! Logical time used by the simulator and by the sans-io protocol state
+//! machines.
+//!
+//! All protocols in this workspace are written against this logical clock so
+//! that the same code can be driven by the discrete-event simulator (where
+//! time is virtual) and by the in-process channel deployment (where the clock
+//! is derived from [`std::time::Instant`]).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in logical time, measured in nanoseconds since the start of the
+/// run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Time(u64);
+
+/// A span of logical time in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+pub struct Duration(u64);
+
+impl Time {
+    /// Time zero: the start of a run.
+    pub const ZERO: Time = Time(0);
+
+    /// The maximum representable time; used as an "infinitely far away"
+    /// sentinel for disabled timers.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Time(nanos)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Creates a time from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds since time zero.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since time zero as a floating-point value.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration, saturating at [`Time::MAX`].
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        Duration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        Duration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        Duration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from floating-point seconds (rounds to nanoseconds).
+    pub fn from_secs_f64(s: f64) -> Self {
+        Duration((s.max(0.0) * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Seconds as a floating-point value.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Multiplies the duration by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> Duration {
+        Duration(self.0.saturating_mul(factor))
+    }
+
+    /// Multiplies the duration by a floating-point factor.
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        Duration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// Checked subtraction, saturating at zero.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// The larger of two durations.
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+
+    /// The smaller of two durations.
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<Duration> for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(Duration::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Duration::from_micros(7).as_nanos(), 7_000);
+    }
+
+    #[test]
+    fn arithmetic_behaves() {
+        let t = Time::from_millis(10) + Duration::from_millis(5);
+        assert_eq!(t, Time::from_millis(15));
+        assert_eq!(t - Time::from_millis(10), Duration::from_millis(5));
+        // Subtraction saturates rather than wrapping.
+        assert_eq!(Time::from_millis(1) - Time::from_millis(10), Duration::ZERO);
+    }
+
+    #[test]
+    fn saturating_add_does_not_overflow() {
+        let t = Time::MAX.saturating_add(Duration::from_secs(1));
+        assert_eq!(t, Time::MAX);
+    }
+
+    #[test]
+    fn float_second_conversion() {
+        let d = Duration::from_secs_f64(0.25);
+        assert_eq!(d.as_millis(), 250);
+        assert!((d.as_secs_f64() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_scaling() {
+        assert_eq!(Duration::from_millis(10).saturating_mul(3), Duration::from_millis(30));
+        assert_eq!(Duration::from_millis(10).mul_f64(2.5), Duration::from_millis(25));
+    }
+}

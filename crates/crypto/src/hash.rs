@@ -1,0 +1,85 @@
+//! SHA-256 digests over the workspace's canonical byte encodings.
+
+use rcc_common::{Batch, ClientRequest, Digest};
+use sha2::{Digest as _, Sha256};
+
+/// Hashes arbitrary bytes into a [`Digest`].
+pub fn digest_bytes(bytes: &[u8]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(bytes);
+    Digest::from_bytes(hasher.finalize().into())
+}
+
+/// Hashes a client request.
+pub fn digest_request(request: &ClientRequest) -> Digest {
+    digest_bytes(&request.canonical_bytes())
+}
+
+/// Hashes a batch of client requests (the digest carried by proposals and
+/// certified by commit quorums).
+pub fn digest_batch(batch: &Batch) -> Digest {
+    digest_bytes(&batch.canonical_bytes())
+}
+
+/// Hashes the concatenation of a parent digest and a payload digest; used for
+/// the hash-chained ledger and for deriving round-set digests in the
+/// ordering-attack mitigation.
+pub fn digest_chain(parent: &Digest, payload: &Digest) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update(parent.as_bytes());
+    hasher.update(payload.as_bytes());
+    Digest::from_bytes(hasher.finalize().into())
+}
+
+/// Hashes a sequence of digests into one digest. RCC uses this to derive the
+/// unpredictable permutation seed `h = digest(S) mod (k! − 1)` over the set
+/// of batches accepted in a round (Section IV).
+pub fn digest_sequence(digests: &[Digest]) -> Digest {
+    let mut hasher = Sha256::new();
+    hasher.update((digests.len() as u64).to_be_bytes());
+    for d in digests {
+        hasher.update(d.as_bytes());
+    }
+    Digest::from_bytes(hasher.finalize().into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::{ClientId, Transaction};
+
+    #[test]
+    fn digests_are_deterministic_and_distinct() {
+        let a = digest_bytes(b"hello");
+        let b = digest_bytes(b"hello");
+        let c = digest_bytes(b"world");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, Digest::ZERO);
+    }
+
+    #[test]
+    fn batch_digest_depends_on_request_order() {
+        let r1 = ClientRequest::new(ClientId(1), 0, Transaction::transfer(0, 1, 10, 5));
+        let r2 = ClientRequest::new(ClientId(2), 0, Transaction::transfer(1, 2, 10, 5));
+        let b1 = Batch::new(vec![r1.clone(), r2.clone()]);
+        let b2 = Batch::new(vec![r2, r1]);
+        assert_ne!(digest_batch(&b1), digest_batch(&b2));
+    }
+
+    #[test]
+    fn chained_digest_depends_on_both_inputs() {
+        let p = digest_bytes(b"parent");
+        let x = digest_bytes(b"x");
+        let y = digest_bytes(b"y");
+        assert_ne!(digest_chain(&p, &x), digest_chain(&p, &y));
+        assert_ne!(digest_chain(&x, &p), digest_chain(&p, &x));
+    }
+
+    #[test]
+    fn sequence_digest_is_length_prefixed() {
+        let d = digest_bytes(b"d");
+        assert_ne!(digest_sequence(&[d]), digest_sequence(&[d, d]));
+        assert_ne!(digest_sequence(&[]), digest_sequence(&[d]));
+    }
+}

@@ -1,0 +1,263 @@
+//! Deterministic key-material generation for a whole deployment.
+//!
+//! A trusted dealer derives, from the deployment seed: one signing key pair
+//! per replica and per client, one pairwise MAC key per unordered pair of
+//! parties, and the threshold authenticator shared by all replicas. This is
+//! the standard setup assumption of PBFT-style systems ("keys are
+//! distributed out of band").
+
+use crate::mac::MacKey;
+use crate::signature::{KeyPair, PublicKey};
+use crate::threshold::ThresholdAuthenticator;
+use rcc_common::{ClientId, ReplicaId, SystemConfig};
+use sha2::{Digest as _, Sha256};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies a party in the key hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Party {
+    /// A consensus replica.
+    Replica(ReplicaId),
+    /// A client.
+    Client(ClientId),
+}
+
+fn derive(seed: u64, label: &str, a: u64, b: u64) -> [u8; 32] {
+    let mut hasher = Sha256::new();
+    hasher.update(seed.to_be_bytes());
+    hasher.update(label.as_bytes());
+    hasher.update(a.to_be_bytes());
+    hasher.update(b.to_be_bytes());
+    hasher.finalize().into()
+}
+
+fn party_index(party: Party) -> u64 {
+    match party {
+        Party::Replica(r) => r.0 as u64,
+        // Offset clients far away from replica indices so pairwise key
+        // derivation never collides.
+        Party::Client(c) => 1_000_000_000 + c.0,
+    }
+}
+
+/// The dealer's view of all key material of a deployment.
+#[derive(Clone)]
+pub struct DeploymentKeys {
+    seed: u64,
+    n: usize,
+    replica_signing: Vec<Arc<KeyPair>>,
+    replica_public: Vec<PublicKey>,
+    threshold: Arc<ThresholdAuthenticator>,
+    client_public: HashMap<ClientId, PublicKey>,
+}
+
+impl DeploymentKeys {
+    /// Generates all key material for `config`.
+    pub fn generate(config: &SystemConfig) -> Self {
+        let seed = config.seed;
+        let replica_signing: Vec<Arc<KeyPair>> = (0..config.n)
+            .map(|i| Arc::new(KeyPair::from_seed(derive(seed, "replica-sign", i as u64, 0))))
+            .collect();
+        let replica_public = replica_signing.iter().map(|kp| kp.public_key()).collect();
+        let threshold =
+            Arc::new(ThresholdAuthenticator::new(config.n, config.quorum(), seed ^ 0x7474));
+        DeploymentKeys {
+            seed,
+            n: config.n,
+            replica_signing,
+            replica_public,
+            threshold,
+            client_public: HashMap::new(),
+        }
+    }
+
+    /// Number of replicas covered by this key material.
+    pub fn replica_count(&self) -> usize {
+        self.n
+    }
+
+    /// The pairwise MAC key shared by `a` and `b` (symmetric in its
+    /// arguments).
+    pub fn pairwise_mac(&self, a: Party, b: Party) -> MacKey {
+        let (x, y) = {
+            let (ia, ib) = (party_index(a), party_index(b));
+            if ia <= ib {
+                (ia, ib)
+            } else {
+                (ib, ia)
+            }
+        };
+        MacKey::from_bytes(derive(self.seed, "pairwise-mac", x, y))
+    }
+
+    /// The signing key pair of a client, derived on demand.
+    pub fn client_keypair(&self, client: ClientId) -> KeyPair {
+        KeyPair::from_seed(derive(self.seed, "client-sign", client.0, 0))
+    }
+
+    /// Registers (and returns) the public key of a client.
+    pub fn client_public(&mut self, client: ClientId) -> PublicKey {
+        if let Some(pk) = self.client_public.get(&client) {
+            return *pk;
+        }
+        let pk = self.client_keypair(client).public_key();
+        self.client_public.insert(client, pk);
+        pk
+    }
+
+    /// Produces the key bundle handed to one replica.
+    pub fn replica_keys(&self, replica: ReplicaId) -> ReplicaKeys {
+        let mut mac_with_replicas = Vec::with_capacity(self.n);
+        for other in ReplicaId::all(self.n) {
+            mac_with_replicas.push(self.pairwise_mac(Party::Replica(replica), Party::Replica(other)));
+        }
+        ReplicaKeys {
+            replica,
+            seed: self.seed,
+            signing: Arc::clone(&self.replica_signing[replica.index()]),
+            replica_public: self.replica_public.clone(),
+            mac_with_replicas,
+            threshold: Arc::clone(&self.threshold),
+        }
+    }
+
+    /// Produces the key bundle handed to one client.
+    pub fn client_keys(&self, client: ClientId) -> ClientKeys {
+        let mac_with_replicas = ReplicaId::all(self.n)
+            .map(|r| self.pairwise_mac(Party::Client(client), Party::Replica(r)))
+            .collect();
+        ClientKeys {
+            client,
+            signing: Arc::new(self.client_keypair(client)),
+            replica_public: self.replica_public.clone(),
+            mac_with_replicas,
+        }
+    }
+
+    /// The shared threshold authenticator.
+    pub fn threshold(&self) -> Arc<ThresholdAuthenticator> {
+        Arc::clone(&self.threshold)
+    }
+}
+
+/// Key material held by a single replica.
+#[derive(Clone)]
+pub struct ReplicaKeys {
+    /// The replica owning this bundle.
+    pub replica: ReplicaId,
+    seed: u64,
+    /// This replica's signing key.
+    pub signing: Arc<KeyPair>,
+    /// Public keys of all replicas, indexed by replica index.
+    pub replica_public: Vec<PublicKey>,
+    /// Pairwise MAC keys with every replica, indexed by replica index.
+    pub mac_with_replicas: Vec<MacKey>,
+    /// Shared threshold authenticator.
+    pub threshold: Arc<ThresholdAuthenticator>,
+}
+
+impl ReplicaKeys {
+    /// The pairwise MAC key shared with `other`.
+    pub fn mac_with(&self, other: ReplicaId) -> &MacKey {
+        &self.mac_with_replicas[other.index()]
+    }
+
+    /// The pairwise MAC key shared with a client (derived on demand).
+    pub fn mac_with_client(&self, client: ClientId) -> MacKey {
+        let (a, b) = {
+            let ia = self.replica.0 as u64;
+            let ib = 1_000_000_000 + client.0;
+            if ia <= ib {
+                (ia, ib)
+            } else {
+                (ib, ia)
+            }
+        };
+        MacKey::from_bytes(derive(self.seed, "pairwise-mac", a, b))
+    }
+
+    /// The public key of another replica.
+    pub fn public_of(&self, other: ReplicaId) -> Option<&PublicKey> {
+        self.replica_public.get(other.index())
+    }
+}
+
+/// Key material held by a single client.
+#[derive(Clone)]
+pub struct ClientKeys {
+    /// The client owning this bundle.
+    pub client: ClientId,
+    /// The client's signing key.
+    pub signing: Arc<KeyPair>,
+    /// Public keys of all replicas.
+    pub replica_public: Vec<PublicKey>,
+    /// Pairwise MAC keys with every replica, indexed by replica index.
+    pub mac_with_replicas: Vec<MacKey>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys() -> DeploymentKeys {
+        DeploymentKeys::generate(&SystemConfig::new(4).with_seed(123))
+    }
+
+    #[test]
+    fn pairwise_keys_are_symmetric_and_distinct() {
+        let d = keys();
+        let a = Party::Replica(ReplicaId(0));
+        let b = Party::Replica(ReplicaId(1));
+        let c = Party::Replica(ReplicaId(2));
+        assert_eq!(d.pairwise_mac(a, b), d.pairwise_mac(b, a));
+        assert_ne!(d.pairwise_mac(a, b), d.pairwise_mac(a, c));
+    }
+
+    #[test]
+    fn replica_bundles_share_pairwise_keys() {
+        let d = keys();
+        let r0 = d.replica_keys(ReplicaId(0));
+        let r1 = d.replica_keys(ReplicaId(1));
+        let tag = r0.mac_with(ReplicaId(1)).tag(b"hello");
+        assert!(r1.mac_with(ReplicaId(0)).verify(b"hello", &tag));
+    }
+
+    #[test]
+    fn client_and_replica_share_a_mac_key() {
+        let d = keys();
+        let c = d.client_keys(ClientId(9));
+        let r = d.replica_keys(ReplicaId(2));
+        let tag = c.mac_with_replicas[2].tag(b"request");
+        assert!(r.mac_with_client(ClientId(9)).verify(b"request", &tag));
+    }
+
+    #[test]
+    fn replica_signatures_verify_against_registry() {
+        let d = keys();
+        let r3 = d.replica_keys(ReplicaId(3));
+        let sig = r3.signing.sign(b"vote");
+        let r0 = d.replica_keys(ReplicaId(0));
+        assert!(r0.public_of(ReplicaId(3)).unwrap().verify(b"vote", &sig));
+        assert!(!r0.public_of(ReplicaId(2)).unwrap().verify(b"vote", &sig));
+    }
+
+    #[test]
+    fn different_seeds_produce_different_keys() {
+        let a = DeploymentKeys::generate(&SystemConfig::new(4).with_seed(1));
+        let b = DeploymentKeys::generate(&SystemConfig::new(4).with_seed(2));
+        let ka = a.replica_keys(ReplicaId(0));
+        let kb = b.replica_keys(ReplicaId(0));
+        assert_ne!(ka.signing.public_key(), kb.signing.public_key());
+    }
+
+    #[test]
+    fn client_public_keys_are_cached_and_stable() {
+        let mut d = keys();
+        let p1 = d.client_public(ClientId(5));
+        let p2 = d.client_public(ClientId(5));
+        assert_eq!(p1, p2);
+        let kp = d.client_keypair(ClientId(5));
+        assert_eq!(kp.public_key(), p1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Cryptographic substrate for the RCC reproduction.
+//!
+//! ResilientDB authenticates all communication: client transactions carry
+//! digital signatures, replica-to-replica messages carry either CMAC-AES
+//! message authentication codes or ED25519 signatures (Fig. 7 right), and
+//! SBFT/HotStuff additionally rely on threshold signatures to build
+//! constant-size commit certificates. This crate provides functional
+//! equivalents of each primitive:
+//!
+//! * [`hash`] — SHA-256 digests over requests, batches, messages, and ledger
+//!   blocks.
+//! * [`mac`] — HMAC-SHA256 message authentication codes with pairwise shared
+//!   keys (stand-in for ResilientDB's CMAC-AES; same abstraction and
+//!   comparable cost).
+//! * [`signature`] — ED25519 digital signatures (via `ed25519-dalek`).
+//! * [`threshold`] — a trusted-dealer `k`-of-`n` threshold authenticator
+//!   producing constant-size combined certificates (stand-in for BLS
+//!   threshold signatures; see DESIGN.md substitution #3).
+//! * [`authenticator`] — a unified per-replica authenticator that applies the
+//!   configured [`rcc_common::CryptoMode`].
+//! * [`keys`] — deterministic key-material generation for whole deployments.
+//! * [`cost`] — a calibrated CPU-cost model of every primitive, used by the
+//!   discrete-event simulator instead of executing real cryptography for
+//!   millions of simulated messages.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod authenticator;
+pub mod cost;
+pub mod hash;
+pub mod keys;
+pub mod mac;
+pub mod signature;
+pub mod threshold;
+
+pub use authenticator::{AuthTag, Authenticator};
+pub use cost::{CryptoCostModel, CryptoOp};
+pub use hash::{digest_batch, digest_bytes, digest_chain, digest_request};
+pub use keys::{ClientKeys, DeploymentKeys, ReplicaKeys};
+pub use mac::{MacKey, MacTag};
+pub use signature::{KeyPair, PublicKey, Signature};
+pub use threshold::{ThresholdAuthenticator, ThresholdCertificate, ThresholdShare};

@@ -1,0 +1,213 @@
+//! A `k`-of-`n` threshold authenticator with constant-size certificates.
+//!
+//! SBFT and HotStuff use threshold signatures (typically BLS) so that a
+//! collector can combine `k` votes into a single certificate whose size and
+//! verification cost are independent of `n`. A pairing-based implementation
+//! is outside the pre-approved dependency set, so this module provides a
+//! *trusted-dealer threshold MAC*: the dealer hands every replica a share key
+//! and every verifier the combiner key; a certificate is the XOR-fold of the
+//! `k` partial HMAC tags together with the bitmap of contributing replicas,
+//! and verification recomputes the expected fold. The properties the
+//! protocols rely on are preserved:
+//!
+//! * a certificate has constant size (32-byte tag + `n`-bit bitmap);
+//! * a certificate can only be produced with `k` distinct valid shares;
+//! * producing and verifying shares is noticeably more expensive than a
+//!   plain MAC (and the simulator charges it accordingly via
+//!   [`crate::cost::CryptoCostModel`]).
+//!
+//! This is a *simulation stand-in*, not a cryptographically non-interactive
+//! threshold signature: verifiers must hold the combiner key (a symmetric
+//! trust assumption). DESIGN.md records the substitution.
+
+use crate::mac::{MacKey, MacTag};
+use rcc_common::ReplicaId;
+use serde::{Deserialize, Serialize};
+
+/// A partial share produced by one replica over a message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ThresholdShare {
+    /// The replica that produced the share.
+    pub signer: ReplicaId,
+    /// The share tag.
+    pub tag: MacTag,
+}
+
+/// A combined certificate proving that `threshold` distinct replicas
+/// authenticated the same message.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ThresholdCertificate {
+    /// Replicas whose shares were combined.
+    pub signers: Vec<ReplicaId>,
+    /// XOR-fold of the share tags.
+    pub combined: [u8; 32],
+}
+
+/// Per-replica threshold authenticator handed out by the trusted dealer.
+#[derive(Clone, Debug)]
+pub struct ThresholdAuthenticator {
+    /// Total number of replicas.
+    n: usize,
+    /// Shares required to form a certificate.
+    threshold: usize,
+    /// Share keys of all replicas (the dealer's view); replica `i` only ever
+    /// uses entry `i` for signing, and verification uses all entries.
+    share_keys: Vec<MacKey>,
+}
+
+impl ThresholdAuthenticator {
+    /// Creates the authenticator for a deployment of `n` replicas requiring
+    /// `threshold` shares per certificate, deriving all share keys from
+    /// `seed`.
+    pub fn new(n: usize, threshold: usize, seed: u64) -> Self {
+        assert!(threshold >= 1 && threshold <= n, "threshold must satisfy 1 <= k <= n");
+        let share_keys = (0..n)
+            .map(|i| {
+                let mut key = [0u8; 32];
+                key[..8].copy_from_slice(&seed.to_be_bytes());
+                key[8..16].copy_from_slice(&(i as u64).to_be_bytes());
+                key[16] = THRESHOLD_DOMAIN;
+                MacKey::from_bytes(key)
+            })
+            .collect();
+        ThresholdAuthenticator { n, threshold, share_keys }
+    }
+
+    /// The number of shares required to combine a certificate.
+    pub fn threshold(&self) -> usize {
+        self.threshold
+    }
+
+    /// Produces replica `signer`'s share over `message`.
+    pub fn sign_share(&self, signer: ReplicaId, message: &[u8]) -> ThresholdShare {
+        let key = &self.share_keys[signer.index() % self.n];
+        ThresholdShare { signer, tag: key.tag(message) }
+    }
+
+    /// Verifies a single share over `message`.
+    pub fn verify_share(&self, message: &[u8], share: &ThresholdShare) -> bool {
+        if share.signer.index() >= self.n {
+            return false;
+        }
+        self.share_keys[share.signer.index()].verify(message, &share.tag)
+    }
+
+    /// Combines `threshold` (or more) valid shares from distinct replicas
+    /// into a certificate. Returns `None` when there are not enough distinct
+    /// valid shares.
+    pub fn combine(&self, message: &[u8], shares: &[ThresholdShare]) -> Option<ThresholdCertificate> {
+        let mut seen = vec![false; self.n];
+        let mut signers = Vec::new();
+        let mut combined = [0u8; 32];
+        for share in shares {
+            let idx = share.signer.index();
+            if idx >= self.n || seen[idx] {
+                continue;
+            }
+            if !self.verify_share(message, share) {
+                continue;
+            }
+            seen[idx] = true;
+            signers.push(share.signer);
+            for (c, t) in combined.iter_mut().zip(share.tag.0.iter()) {
+                *c ^= t;
+            }
+            if signers.len() == self.threshold {
+                break;
+            }
+        }
+        if signers.len() < self.threshold {
+            return None;
+        }
+        signers.sort();
+        Some(ThresholdCertificate { signers, combined })
+    }
+
+    /// Verifies a combined certificate over `message`.
+    pub fn verify_certificate(&self, message: &[u8], cert: &ThresholdCertificate) -> bool {
+        if cert.signers.len() < self.threshold {
+            return false;
+        }
+        let mut unique = cert.signers.clone();
+        unique.sort();
+        unique.dedup();
+        if unique.len() != cert.signers.len() {
+            return false;
+        }
+        let mut expected = [0u8; 32];
+        for signer in &cert.signers {
+            if signer.index() >= self.n {
+                return false;
+            }
+            let tag = self.share_keys[signer.index()].tag(message);
+            for (e, t) in expected.iter_mut().zip(tag.0.iter()) {
+                *e ^= t;
+            }
+        }
+        expected == cert.combined
+    }
+}
+
+/// Domain-separation byte mixed into threshold share keys so they never
+/// collide with pairwise MAC keys derived from the same deployment seed.
+const THRESHOLD_DOMAIN: u8 = 0x07;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn auth() -> ThresholdAuthenticator {
+        ThresholdAuthenticator::new(7, 5, 42)
+    }
+
+    #[test]
+    fn combine_and_verify_round_trip() {
+        let a = auth();
+        let shares: Vec<_> = (0..5).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        let cert = a.combine(b"block", &shares).expect("5 valid shares combine");
+        assert_eq!(cert.signers.len(), 5);
+        assert!(a.verify_certificate(b"block", &cert));
+        assert!(!a.verify_certificate(b"other", &cert));
+    }
+
+    #[test]
+    fn too_few_shares_do_not_combine() {
+        let a = auth();
+        let shares: Vec<_> = (0..4).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        assert!(a.combine(b"block", &shares).is_none());
+    }
+
+    #[test]
+    fn duplicate_shares_do_not_count_twice() {
+        let a = auth();
+        let one = a.sign_share(ReplicaId(0), b"block");
+        let shares = vec![one; 6];
+        assert!(a.combine(b"block", &shares).is_none());
+    }
+
+    #[test]
+    fn invalid_shares_are_ignored() {
+        let a = auth();
+        let mut shares: Vec<_> = (0..5).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        // Corrupt one share; combining should fail because only 4 remain valid.
+        shares[0].tag.0[0] ^= 0xff;
+        assert!(a.combine(b"block", &shares).is_none());
+    }
+
+    #[test]
+    fn forged_certificate_is_rejected() {
+        let a = auth();
+        let shares: Vec<_> = (0..5).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        let mut cert = a.combine(b"block", &shares).unwrap();
+        cert.combined[0] ^= 1;
+        assert!(!a.verify_certificate(b"block", &cert));
+    }
+
+    #[test]
+    fn share_verification_rejects_wrong_signer_index() {
+        let a = auth();
+        let mut share = a.sign_share(ReplicaId(0), b"block");
+        share.signer = ReplicaId(99);
+        assert!(!a.verify_share(b"block", &share));
+    }
+}

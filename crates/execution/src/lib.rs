@@ -1,0 +1,18 @@
+//! Deterministic execution engine.
+//!
+//! Consensus only orders transactions; this crate executes them. Execution
+//! must be deterministic ("on identical inputs, execution of a transaction
+//! must always produce identical outcomes", Section III-A) so that all
+//! non-faulty replicas converge on the same state and produce identical
+//! client replies. The engine executes ordered batches against the storage
+//! substrate (`rcc-storage`), appends the resulting block to the ledger, and
+//! produces the per-client replies that replicas send back.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod reply;
+
+pub use engine::{ExecutionEngine, ExecutionSummary};
+pub use reply::{ClientReply, ExecutionOutcome};

@@ -1,0 +1,120 @@
+//! Execution outcomes and client replies.
+
+use rcc_common::{Digest, ReplicaId, RequestId, Round};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of executing a single transaction.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ExecutionOutcome {
+    /// A read returned the given number of payload bytes (0 when the record
+    /// was missing).
+    ReadResult {
+        /// Bytes read.
+        bytes: usize,
+        /// Whether the record existed.
+        found: bool,
+    },
+    /// A write or read-modify-write succeeded; the record now has the given
+    /// version.
+    WriteApplied {
+        /// New version of the record.
+        version: u64,
+    },
+    /// A scan touched the given number of records.
+    ScanResult {
+        /// Number of records returned.
+        records: usize,
+    },
+    /// A transfer either happened or was skipped because the balance
+    /// condition did not hold.
+    TransferResult {
+        /// Whether the conditional transfer was applied.
+        applied: bool,
+        /// The balance of the source account after execution.
+        from_balance: i64,
+        /// The balance of the destination account after execution.
+        to_balance: i64,
+    },
+    /// A balance query returned the balance.
+    Balance {
+        /// The queried balance.
+        balance: i64,
+    },
+    /// A no-op executed (no effect).
+    NoOp,
+}
+
+/// The reply a replica sends to a client after executing its transaction.
+///
+/// A client accepts an outcome once it receives `f + 1` identical replies
+/// from distinct replicas.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct ClientReply {
+    /// The request this reply answers.
+    pub request: RequestId,
+    /// The replica sending the reply.
+    pub replica: ReplicaId,
+    /// The RCC round (or baseline sequence number) in which the transaction
+    /// executed.
+    pub executed_in_round: Round,
+    /// Position of the transaction within the round's execution order.
+    pub position_in_round: u32,
+    /// The execution outcome.
+    pub outcome: ExecutionOutcome,
+    /// Digest of the ledger block that recorded the execution, allowing the
+    /// client to later audit provenance.
+    pub block_digest: Digest,
+}
+
+impl ClientReply {
+    /// Two replies *match* when they report the same outcome for the same
+    /// request at the same position — the comparison clients use when
+    /// collecting `f + 1` matching replies. The sending replica is
+    /// deliberately excluded.
+    pub fn matches(&self, other: &ClientReply) -> bool {
+        self.request == other.request
+            && self.executed_in_round == other.executed_in_round
+            && self.position_in_round == other.position_in_round
+            && self.outcome == other.outcome
+            && self.block_digest == other.block_digest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcc_common::ClientId;
+
+    fn reply(replica: u32, outcome: ExecutionOutcome) -> ClientReply {
+        ClientReply {
+            request: RequestId { client: ClientId(1), sequence: 4 },
+            replica: ReplicaId(replica),
+            executed_in_round: 9,
+            position_in_round: 2,
+            outcome,
+            block_digest: Digest::ZERO,
+        }
+    }
+
+    #[test]
+    fn replies_from_different_replicas_match_when_outcomes_agree() {
+        let a = reply(0, ExecutionOutcome::NoOp);
+        let b = reply(1, ExecutionOutcome::NoOp);
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn differing_outcomes_do_not_match() {
+        let a = reply(0, ExecutionOutcome::Balance { balance: 10 });
+        let b = reply(1, ExecutionOutcome::Balance { balance: 11 });
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn differing_positions_do_not_match() {
+        let a = reply(0, ExecutionOutcome::NoOp);
+        let mut b = reply(1, ExecutionOutcome::NoOp);
+        b.position_in_round = 3;
+        assert!(!a.matches(&b));
+    }
+}

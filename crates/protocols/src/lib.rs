@@ -1,0 +1,34 @@
+//! Primary-backup Byzantine commit algorithms (BCAs).
+//!
+//! RCC is a *paradigm*: it turns any primary-backup consensus protocol into a
+//! concurrent consensus protocol (design goal D3 of the paper). This crate
+//! provides the protocols the paper builds on and compares against, all
+//! implemented as deterministic, I/O-free state machines:
+//!
+//! * [`pbft`] — PBFT's preprepare-prepare-commit algorithm with view changes
+//!   and checkpoints (Example III.1; the default BCA of RCC and the
+//!   strongest out-of-order baseline).
+//! * [`zyzzyva`] — Zyzzyva's speculative single-round fast path with the
+//!   client-driven commit-certificate slow path that makes it fragile under
+//!   failures.
+//! * [`sbft`] — SBFT's collector-based linear state exchange built on
+//!   threshold certificates.
+//! * [`hotstuff`] — the event-based, chained HotStuff with rotating leaders
+//!   and no out-of-order processing.
+//!
+//! The [`bca`] module defines the [`bca::ByzantineCommitAlgorithm`] trait all
+//! of them implement, the [`bca::Action`] vocabulary they emit, and the
+//! assumptions (A1–A4 in Section III-B of the paper) the RCC layer relies
+//! on. The [`any`] module provides a runtime-selectable wrapper so that the
+//! simulator and benchmark harness can pick a protocol by name.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bca;
+pub mod harness;
+pub mod pbft;
+pub mod quorum;
+
+pub use bca::{Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId};
+pub use quorum::QuorumTracker;

@@ -1,0 +1,793 @@
+//! PBFT: the preprepare-prepare-commit Byzantine commit algorithm.
+//!
+//! This is the protocol of Example III.1 of the paper. The primary proposes a
+//! batch via a `PrePrepare`; replicas exchange `Prepare` and `Commit`
+//! messages (two all-to-all rounds); a slot is accepted once `nf = n − f`
+//! matching `Commit` messages arrive. Replicas detect a faulty primary via a
+//! progress timeout and replace it with a view change. The implementation
+//! supports out-of-order processing: the primary may have up to
+//! `out_of_order_window` slots in flight simultaneously, which is what lets
+//! it saturate its outgoing bandwidth in ResilientDB.
+
+use crate::bca::{
+    Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId, WireMessage,
+};
+use crate::quorum::QuorumTracker;
+use rcc_common::{Batch, Digest, ReplicaId, Round, SystemConfig, Time, View};
+use rcc_common::ids::primary_of_view;
+use rcc_crypto::hash::digest_batch;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Messages exchanged by PBFT replicas.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum PbftMessage {
+    /// The primary's proposal of `batch` as the `round`-th slot of `view`.
+    PrePrepare {
+        /// View in which the proposal is made.
+        view: View,
+        /// Slot (sequence number) of the proposal.
+        round: Round,
+        /// Digest of the batch.
+        digest: Digest,
+        /// The proposed batch.
+        batch: Batch,
+    },
+    /// A replica's announcement that it received the proposal for `round`.
+    Prepare {
+        /// View of the proposal.
+        view: View,
+        /// Slot being prepared.
+        round: Round,
+        /// Digest being prepared.
+        digest: Digest,
+    },
+    /// A replica's announcement that `round` is prepared (recoverable from
+    /// any quorum) and can be committed.
+    Commit {
+        /// View of the proposal.
+        view: View,
+        /// Slot being committed.
+        round: Round,
+        /// Digest being committed.
+        digest: Digest,
+    },
+    /// A replica's vote to abandon the current view and move to `new_view`.
+    ViewChange {
+        /// The proposed new view.
+        new_view: View,
+        /// Rounds committed contiguously by the sender.
+        committed_prefix: Round,
+        /// Slots the sender has *prepared* but not yet committed, with their
+        /// batches so the next primary can re-propose them.
+        prepared: Vec<(Round, Digest, Batch)>,
+    },
+    /// The new primary's announcement of `view`, carrying the proposals that
+    /// must be re-issued.
+    NewView {
+        /// The new view.
+        view: View,
+        /// Slots re-proposed in the new view.
+        preprepares: Vec<(Round, Digest, Batch)>,
+    },
+}
+
+impl WireMessage for PbftMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            PbftMessage::PrePrepare { batch, .. } => 200 + batch.wire_size(),
+            PbftMessage::Prepare { .. } | PbftMessage::Commit { .. } => 250,
+            PbftMessage::ViewChange { prepared, .. } => {
+                250 + prepared.iter().map(|(_, _, b)| b.wire_size() + 48).sum::<usize>()
+            }
+            PbftMessage::NewView { preprepares, .. } => {
+                250 + preprepares.iter().map(|(_, _, b)| b.wire_size() + 48).sum::<usize>()
+            }
+        }
+    }
+
+    fn is_proposal(&self) -> bool {
+        matches!(self, PbftMessage::PrePrepare { .. } | PbftMessage::NewView { .. })
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    digest: Option<Digest>,
+    batch: Option<Batch>,
+    prepares: QuorumTracker,
+    commits: QuorumTracker,
+    sent_prepare: bool,
+    sent_commit: bool,
+    committed: bool,
+    view: View,
+}
+
+/// The PBFT state machine for one replica of one consensus instance.
+#[derive(Clone, Debug)]
+pub struct Pbft {
+    config: SystemConfig,
+    replica: ReplicaId,
+    /// The replica that acts as primary in view 0. For standalone PBFT this
+    /// is replica 0; inside RCC, instance `i` fixes replica `i` as its
+    /// coordinator.
+    base_primary: ReplicaId,
+    view: View,
+    next_proposal_round: Round,
+    committed_prefix: Round,
+    slots: BTreeMap<Round, Slot>,
+    in_view_change: bool,
+    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, (Round, Vec<(Round, Digest, Batch)>)>>,
+    entered_new_view: BTreeMap<View, bool>,
+    next_timer: u64,
+    progress_timer: Option<(TimerId, Round)>,
+    /// When `true`, the replica does not rotate primaries on failure (RCC
+    /// mode): it only reports `SuspectPrimary` and lets the RCC recovery
+    /// protocol handle the failure (design goals D4/D5).
+    suppress_view_changes: bool,
+}
+
+impl Pbft {
+    /// Creates the PBFT state machine for `replica`, with `base_primary`
+    /// acting as the view-0 primary.
+    pub fn new(config: SystemConfig, replica: ReplicaId, base_primary: ReplicaId) -> Self {
+        Pbft {
+            config,
+            replica,
+            base_primary,
+            view: 0,
+            next_proposal_round: 0,
+            committed_prefix: 0,
+            slots: BTreeMap::new(),
+            in_view_change: false,
+            view_change_votes: BTreeMap::new(),
+            entered_new_view: BTreeMap::new(),
+            next_timer: 0,
+            progress_timer: None,
+            suppress_view_changes: false,
+        }
+    }
+
+    /// Standalone PBFT with replica 0 as the initial primary.
+    pub fn standalone(config: SystemConfig, replica: ReplicaId) -> Self {
+        Pbft::new(config, replica, ReplicaId(0))
+    }
+
+    /// Configures the state machine for use inside RCC: primary failures are
+    /// reported to the embedding instance manager instead of triggering a
+    /// view change (the paper's wait-free design goals D4/D5).
+    pub fn with_suppressed_view_changes(mut self) -> Self {
+        self.suppress_view_changes = true;
+        self
+    }
+
+    fn quorum(&self) -> usize {
+        self.config.quorum()
+    }
+
+    fn primary_of(&self, view: View) -> ReplicaId {
+        if self.suppress_view_changes {
+            // Inside RCC the coordinator of an instance never rotates.
+            self.base_primary
+        } else {
+            // Rotate starting from the base primary.
+            let offset = (self.base_primary.0 as u64 + view) % self.config.n as u64;
+            primary_of_view(offset, self.config.n)
+        }
+    }
+
+    fn alloc_timer(&mut self) -> TimerId {
+        self.next_timer += 1;
+        TimerId(self.next_timer)
+    }
+
+    fn slot(&mut self, round: Round) -> &mut Slot {
+        self.slots.entry(round).or_default()
+    }
+
+    fn advance_committed_prefix(&mut self) {
+        while self
+            .slots
+            .get(&self.committed_prefix)
+            .map(|s| s.committed)
+            .unwrap_or(false)
+        {
+            self.committed_prefix += 1;
+        }
+    }
+
+    /// Re-arm the progress timer to watch the oldest uncommitted slot.
+    fn rearm_progress_timer(&mut self, now: Time, actions: &mut Vec<Action<PbftMessage>>) {
+        if let Some((timer, _)) = self.progress_timer.take() {
+            actions.push(Action::CancelTimer { timer });
+        }
+        let has_outstanding = self.next_proposal_round > self.committed_prefix
+            || self.slots.range(self.committed_prefix..).any(|(_, s)| !s.committed);
+        if has_outstanding {
+            let timer = self.alloc_timer();
+            self.progress_timer = Some((timer, self.committed_prefix));
+            actions.push(Action::SetTimer {
+                timer,
+                fires_at: now + self.config.failure_detection_timeout,
+            });
+        }
+    }
+
+    fn try_prepare_and_commit(
+        &mut self,
+        now: Time,
+        round: Round,
+        actions: &mut Vec<Action<PbftMessage>>,
+    ) {
+        let view = self.view;
+        let quorum = self.quorum();
+        let replica = self.replica;
+        let Some(slot) = self.slots.get_mut(&round) else { return };
+        let Some(digest) = slot.digest else { return };
+
+        // Phase 2: once the proposal is known, announce a PREPARE (every
+        // replica, including the primary, votes exactly once).
+        if !slot.sent_prepare {
+            slot.sent_prepare = true;
+            slot.prepares.vote(replica, digest);
+            actions.push(Action::Broadcast {
+                message: PbftMessage::Prepare { view, round, digest },
+            });
+        }
+
+        // Phase 3: prepared once nf distinct replicas announced PREPARE.
+        if !slot.sent_commit && slot.prepares.has_quorum(&digest, quorum) {
+            slot.sent_commit = true;
+            slot.commits.vote(replica, digest);
+            actions.push(Action::Broadcast {
+                message: PbftMessage::Commit { view, round, digest },
+            });
+        }
+
+        // Accept once nf distinct replicas announced COMMIT.
+        if !slot.committed && slot.sent_commit && slot.commits.has_quorum(&digest, quorum) {
+            slot.committed = true;
+            let batch = slot.batch.clone().unwrap_or_else(|| Batch::new(vec![]));
+            actions.push(Action::Commit(CommittedSlot {
+                round,
+                digest,
+                batch,
+                speculative: false,
+                view,
+            }));
+            self.advance_committed_prefix();
+            self.rearm_progress_timer(now, actions);
+        }
+    }
+
+    fn start_view_change(&mut self, now: Time, actions: &mut Vec<Action<PbftMessage>>) {
+        let new_view = self.view + 1;
+        self.in_view_change = true;
+        let prepared: Vec<(Round, Digest, Batch)> = self
+            .slots
+            .iter()
+            .filter(|(round, slot)| {
+                **round >= self.committed_prefix
+                    && !slot.committed
+                    && slot
+                        .digest
+                        .map(|d| slot.prepares.has_quorum(&d, self.quorum()))
+                        .unwrap_or(false)
+                    && slot.batch.is_some()
+            })
+            .map(|(round, slot)| (*round, slot.digest.unwrap(), slot.batch.clone().unwrap()))
+            .collect();
+        let message = PbftMessage::ViewChange {
+            new_view,
+            committed_prefix: self.committed_prefix,
+            prepared: prepared.clone(),
+        };
+        // Record our own vote.
+        self.view_change_votes
+            .entry(new_view)
+            .or_default()
+            .insert(self.replica, (self.committed_prefix, prepared));
+        actions.push(Action::Broadcast { message });
+        let _ = now;
+    }
+
+    fn maybe_enter_new_view(&mut self, now: Time, actions: &mut Vec<Action<PbftMessage>>) {
+        let candidate_view = self.view + 1;
+        let votes = match self.view_change_votes.get(&candidate_view) {
+            Some(v) => v,
+            None => return,
+        };
+        if votes.len() < self.quorum() {
+            return;
+        }
+        if self.primary_of(candidate_view) != self.replica {
+            return;
+        }
+        if *self.entered_new_view.get(&candidate_view).unwrap_or(&false) {
+            return;
+        }
+        self.entered_new_view.insert(candidate_view, true);
+        // Collect the union of prepared-but-uncommitted slots reported by the
+        // view-change quorum and re-propose them in the new view.
+        let mut to_repropose: BTreeMap<Round, (Digest, Batch)> = BTreeMap::new();
+        for (_, (_, prepared)) in votes.iter() {
+            for (round, digest, batch) in prepared {
+                to_repropose.entry(*round).or_insert((*digest, batch.clone()));
+            }
+        }
+        let preprepares: Vec<(Round, Digest, Batch)> =
+            to_repropose.into_iter().map(|(round, (digest, batch))| (round, digest, batch)).collect();
+        let message = PbftMessage::NewView { view: candidate_view, preprepares: preprepares.clone() };
+        actions.push(Action::Broadcast { message });
+        // Enter the view locally as the new primary.
+        self.enter_view(now, candidate_view, preprepares, actions);
+    }
+
+    fn enter_view(
+        &mut self,
+        now: Time,
+        view: View,
+        preprepares: Vec<(Round, Digest, Batch)>,
+        actions: &mut Vec<Action<PbftMessage>>,
+    ) {
+        self.view = view;
+        self.in_view_change = false;
+        actions.push(Action::ViewChanged { view, new_primary: self.primary_of(view) });
+        // Reset per-slot phase flags for uncommitted slots: votes from the
+        // old view do not carry over.
+        let committed_prefix = self.committed_prefix;
+        for (_, slot) in self.slots.range_mut(committed_prefix..) {
+            if !slot.committed {
+                *slot = Slot::default();
+            }
+        }
+        // Apply the re-proposals.
+        let reproposals: Vec<Round> = preprepares.iter().map(|(r, _, _)| *r).collect();
+        for (round, digest, batch) in preprepares {
+            let slot = self.slot(round);
+            slot.view = view;
+            slot.digest = Some(digest);
+            slot.batch = Some(batch);
+        }
+        for round in reproposals {
+            self.try_prepare_and_commit(now, round, actions);
+        }
+        // The new primary resumes proposing after the highest slot seen.
+        if self.is_primary() {
+            let max_known = self.slots.keys().next_back().copied().map(|r| r + 1).unwrap_or(0);
+            self.next_proposal_round = self.next_proposal_round.max(max_known);
+        }
+        self.rearm_progress_timer(now, actions);
+    }
+}
+
+impl ByzantineCommitAlgorithm for Pbft {
+    type Message = PbftMessage;
+
+    fn name(&self) -> &'static str {
+        "PBFT"
+    }
+
+    fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    fn primary(&self) -> ReplicaId {
+        self.primary_of(self.view)
+    }
+
+    fn view(&self) -> View {
+        self.view
+    }
+
+    fn proposal_capacity(&self) -> usize {
+        if !self.is_primary() || self.in_view_change {
+            return 0;
+        }
+        let in_flight = (self.next_proposal_round - self.committed_prefix) as usize;
+        self.config.out_of_order_window.saturating_sub(in_flight)
+    }
+
+    fn committed_prefix(&self) -> Round {
+        self.committed_prefix
+    }
+
+    fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<PbftMessage>> {
+        let mut actions = Vec::new();
+        if self.proposal_capacity() == 0 {
+            return actions;
+        }
+        let round = self.next_proposal_round;
+        self.next_proposal_round += 1;
+        let digest = digest_batch(&batch);
+        let view = self.view;
+        {
+            let slot = self.slot(round);
+            slot.view = view;
+            slot.digest = Some(digest);
+            slot.batch = Some(batch.clone());
+        }
+        actions.push(Action::Broadcast {
+            message: PbftMessage::PrePrepare { view, round, digest, batch },
+        });
+        self.try_prepare_and_commit(now, round, &mut actions);
+        if self.progress_timer.is_none() {
+            self.rearm_progress_timer(now, &mut actions);
+        }
+        actions
+    }
+
+    fn on_message(
+        &mut self,
+        now: Time,
+        from: ReplicaId,
+        message: PbftMessage,
+    ) -> Vec<Action<PbftMessage>> {
+        let mut actions = Vec::new();
+        match message {
+            PbftMessage::PrePrepare { view, round, digest, batch } => {
+                if view != self.view || self.in_view_change {
+                    return actions;
+                }
+                if from != self.primary() {
+                    // Only the primary may propose.
+                    return actions;
+                }
+                let existing = self.slots.get(&round).and_then(|s| s.digest);
+                if let Some(existing) = existing {
+                    if existing != digest {
+                        actions.push(Action::SuspectPrimary {
+                            primary: self.primary(),
+                            reason: FailureReason::Equivocation {
+                                round,
+                                first: existing,
+                                second: digest,
+                            },
+                        });
+                        if !self.suppress_view_changes {
+                            self.start_view_change(now, &mut actions);
+                        }
+                        return actions;
+                    }
+                } else {
+                    if digest_batch(&batch) != digest {
+                        actions.push(Action::SuspectPrimary {
+                            primary: self.primary(),
+                            reason: FailureReason::InvalidProposal {
+                                round,
+                                description: "digest does not match batch".into(),
+                            },
+                        });
+                        return actions;
+                    }
+                    let slot = self.slot(round);
+                    slot.view = view;
+                    slot.digest = Some(digest);
+                    slot.batch = Some(batch);
+                }
+                if self.next_proposal_round <= round {
+                    self.next_proposal_round = round + 1;
+                }
+                if self.progress_timer.is_none() {
+                    self.rearm_progress_timer(now, &mut actions);
+                }
+                self.try_prepare_and_commit(now, round, &mut actions);
+            }
+            PbftMessage::Prepare { view, round, digest } => {
+                if view != self.view || self.in_view_change {
+                    return actions;
+                }
+                self.slot(round).prepares.vote(from, digest);
+                self.try_prepare_and_commit(now, round, &mut actions);
+            }
+            PbftMessage::Commit { view, round, digest } => {
+                if view != self.view || self.in_view_change {
+                    return actions;
+                }
+                self.slot(round).commits.vote(from, digest);
+                self.try_prepare_and_commit(now, round, &mut actions);
+            }
+            PbftMessage::ViewChange { new_view, committed_prefix, prepared } => {
+                if self.suppress_view_changes || new_view <= self.view {
+                    return actions;
+                }
+                self.view_change_votes
+                    .entry(new_view)
+                    .or_default()
+                    .insert(from, (committed_prefix, prepared));
+                let votes = self.view_change_votes.get(&new_view).map(|v| v.len()).unwrap_or(0);
+                // f + 1 view-change votes prove at least one non-faulty replica
+                // timed out: join the view change.
+                if votes >= self.config.weak_quorum() && !self.in_view_change && new_view == self.view + 1
+                {
+                    actions.push(Action::SuspectPrimary {
+                        primary: self.primary(),
+                        reason: FailureReason::LeaderTimeout { view: self.view },
+                    });
+                    self.start_view_change(now, &mut actions);
+                }
+                self.maybe_enter_new_view(now, &mut actions);
+            }
+            PbftMessage::NewView { view, preprepares } => {
+                if self.suppress_view_changes || view <= self.view {
+                    return actions;
+                }
+                if from != self.primary_of(view) {
+                    return actions;
+                }
+                self.enter_view(now, view, preprepares, &mut actions);
+            }
+        }
+        actions
+    }
+
+    fn on_timeout(&mut self, now: Time, timer: TimerId) -> Vec<Action<PbftMessage>> {
+        let mut actions = Vec::new();
+        let Some((armed, watched_prefix)) = self.progress_timer else {
+            return actions;
+        };
+        if armed != timer {
+            return actions;
+        }
+        self.progress_timer = None;
+        // Progress was made since the timer was armed: just re-arm.
+        if self.committed_prefix > watched_prefix {
+            self.rearm_progress_timer(now, &mut actions);
+            return actions;
+        }
+        // No progress: the primary is suspected.
+        actions.push(Action::SuspectPrimary {
+            primary: self.primary(),
+            reason: FailureReason::ProgressTimeout { round: self.committed_prefix },
+        });
+        if !self.suppress_view_changes && !self.in_view_change {
+            self.start_view_change(now, &mut actions);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Cluster;
+
+    fn config(n: usize) -> SystemConfig {
+        SystemConfig::new(n)
+    }
+
+    fn cluster(n: usize) -> Cluster<Pbft> {
+        Cluster::new((0..n).map(|i| Pbft::standalone(config(n), ReplicaId(i as u32))).collect())
+    }
+
+    fn batch(tag: u8) -> Batch {
+        use rcc_common::{ClientId, ClientRequest, Transaction};
+        Batch::new(vec![ClientRequest::new(
+            ClientId(tag as u64),
+            0,
+            Transaction::transfer(0, 1, 10, 1),
+        )])
+    }
+
+    #[test]
+    fn all_replicas_commit_a_proposal_from_a_correct_primary() {
+        let mut cluster = cluster(4);
+        cluster.propose(ReplicaId(0), batch(1));
+        cluster.run_to_quiescence();
+        // Assumption A4: with a correct primary, every replica accepts.
+        for r in 0..4 {
+            let commits = cluster.committed(ReplicaId(r));
+            assert_eq!(commits.len(), 1, "replica {r} committed");
+            assert_eq!(commits[0].round, 0);
+        }
+        // Assumption A2: all replicas accepted the same digest.
+        let d0 = cluster.committed(ReplicaId(0))[0].digest;
+        for r in 1..4 {
+            assert_eq!(cluster.committed(ReplicaId(r))[0].digest, d0);
+        }
+    }
+
+    #[test]
+    fn out_of_order_slots_commit_and_prefix_advances() {
+        let mut cluster = cluster(4);
+        for i in 0..5 {
+            cluster.propose(ReplicaId(0), batch(i));
+        }
+        cluster.run_to_quiescence();
+        for r in 0..4 {
+            assert_eq!(cluster.committed(ReplicaId(r)).len(), 5);
+            assert_eq!(cluster.node(ReplicaId(r)).committed_prefix(), 5);
+        }
+    }
+
+    #[test]
+    fn non_primary_cannot_propose() {
+        let mut cluster = cluster(4);
+        let actions = cluster.propose(ReplicaId(1), batch(1));
+        assert!(actions.is_empty());
+        cluster.run_to_quiescence();
+        assert!(cluster.committed(ReplicaId(0)).is_empty());
+    }
+
+    #[test]
+    fn proposal_capacity_respects_window() {
+        let cfg = config(4).with_out_of_order_window(2);
+        let mut primary = Pbft::standalone(cfg, ReplicaId(0));
+        assert_eq!(primary.proposal_capacity(), 2);
+        primary.propose(Time::ZERO, batch(0));
+        assert_eq!(primary.proposal_capacity(), 1);
+        primary.propose(Time::ZERO, batch(1));
+        assert_eq!(primary.proposal_capacity(), 0);
+        assert!(primary.propose(Time::ZERO, batch(2)).is_empty());
+    }
+
+    #[test]
+    fn commit_requires_a_full_quorum() {
+        // Drive a single replica manually: with messages from only f
+        // other replicas the slot must not commit.
+        let cfg = config(4);
+        let mut replica = Pbft::standalone(cfg, ReplicaId(1));
+        let b = batch(1);
+        let digest = digest_batch(&b);
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare { view: 0, round: 0, digest, batch: b },
+        );
+        assert!(actions.iter().all(|a| a.as_commit().is_none()));
+        // Prepares from primary + self are implicit; add only one more (total 3 = nf).
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(2),
+            PbftMessage::Prepare { view: 0, round: 0, digest },
+        );
+        // Now prepared (self + R0 implicit? R0 did not send Prepare here), so
+        // count: self(R1) + R2 = 2 < 3: not yet prepared, no commit broadcast.
+        assert!(actions.iter().all(|a| !matches!(a, Action::Broadcast { message: PbftMessage::Commit { .. } })));
+        let _ = replica.on_message(
+            Time::ZERO,
+            ReplicaId(3),
+            PbftMessage::Prepare { view: 0, round: 0, digest },
+        );
+        // Commits: self only. Two more needed.
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(2),
+            PbftMessage::Commit { view: 0, round: 0, digest },
+        );
+        assert!(actions.iter().all(|a| a.as_commit().is_none()));
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(3),
+            PbftMessage::Commit { view: 0, round: 0, digest },
+        );
+        assert_eq!(actions.iter().filter_map(|a| a.as_commit()).count(), 1);
+    }
+
+    #[test]
+    fn equivocation_is_detected() {
+        let cfg = config(4);
+        let mut replica = Pbft::standalone(cfg, ReplicaId(1));
+        let b1 = batch(1);
+        let b2 = batch(2);
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare { view: 0, round: 0, digest: digest_batch(&b1), batch: b1 },
+        );
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare { view: 0, round: 0, digest: digest_batch(&b2), batch: b2 },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SuspectPrimary { reason: FailureReason::Equivocation { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn mismatched_digest_is_rejected_as_invalid_proposal() {
+        let cfg = config(4);
+        let mut replica = Pbft::standalone(cfg, ReplicaId(1));
+        let b = batch(1);
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare { view: 0, round: 0, digest: Digest::ZERO, batch: b },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SuspectPrimary { reason: FailureReason::InvalidProposal { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn progress_timeout_triggers_view_change_and_new_primary_reproposes() {
+        let n = 4;
+        let mut cluster = cluster(n);
+        // The primary's proposal reaches only replica 1: with f + 1 = 2
+        // replicas (R2, R3) in the dark, no quorum of 3 prepares can form and
+        // the slot cannot commit anywhere.
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(2), true);
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(3), true);
+        cluster.propose(ReplicaId(0), batch(1));
+        cluster.run_to_quiescence();
+        for r in 0..n {
+            assert!(cluster.committed(ReplicaId(r as u32)).is_empty(), "replica {r}");
+        }
+        // Fire the progress timers (armed at R0 and R1): they suspect the
+        // primary and broadcast VIEW-CHANGE votes; once R2/R3 see f + 1 such
+        // votes they join, the quorum forms, and R1 becomes primary of view 1.
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(2), false);
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(3), false);
+        cluster.fire_all_timers();
+        for r in 1..n {
+            assert_eq!(cluster.node(ReplicaId(r as u32)).view(), 1, "replica {r} moved to view 1");
+            assert_eq!(cluster.node(ReplicaId(r as u32)).primary(), ReplicaId(1));
+        }
+        // The new primary can now propose and commit.
+        cluster.propose(ReplicaId(1), batch(9));
+        cluster.run_to_quiescence();
+        for r in 1..n {
+            assert!(
+                !cluster.committed(ReplicaId(r as u32)).is_empty(),
+                "replica {r} commits in the new view"
+            );
+        }
+    }
+
+    #[test]
+    fn rcc_mode_reports_failure_without_view_change() {
+        let cfg = config(4);
+        let mut replica =
+            Pbft::new(cfg, ReplicaId(1), ReplicaId(0)).with_suppressed_view_changes();
+        // Receive a proposal so a progress timer is armed.
+        let b = batch(1);
+        let digest = digest_batch(&b);
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare { view: 0, round: 0, digest, batch: b },
+        );
+        let timer = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { timer, .. } => Some(*timer),
+                _ => None,
+            })
+            .expect("progress timer armed");
+        let actions = replica.on_timeout(Time::from_secs(10), timer);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SuspectPrimary { primary, .. } if *primary == ReplicaId(0))));
+        // No view change machinery in RCC mode.
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::Broadcast { message: PbftMessage::ViewChange { .. } })));
+        assert_eq!(replica.primary(), ReplicaId(0), "coordinator never rotates inside RCC");
+    }
+
+    #[test]
+    fn prepare_before_preprepare_is_buffered() {
+        let cfg = config(4);
+        let mut replica = Pbft::standalone(cfg, ReplicaId(1));
+        let b = batch(1);
+        let digest = digest_batch(&b);
+        // Prepares and commits arrive before the proposal.
+        replica.on_message(Time::ZERO, ReplicaId(2), PbftMessage::Prepare { view: 0, round: 0, digest });
+        replica.on_message(Time::ZERO, ReplicaId(3), PbftMessage::Prepare { view: 0, round: 0, digest });
+        replica.on_message(Time::ZERO, ReplicaId(2), PbftMessage::Commit { view: 0, round: 0, digest });
+        replica.on_message(Time::ZERO, ReplicaId(3), PbftMessage::Commit { view: 0, round: 0, digest });
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare { view: 0, round: 0, digest, batch: b },
+        );
+        assert_eq!(
+            actions.iter().filter_map(|a| a.as_commit()).count(),
+            1,
+            "buffered votes complete the slot as soon as the proposal arrives"
+        );
+    }
+}

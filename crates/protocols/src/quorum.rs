@@ -1,0 +1,90 @@
+//! Vote collection utilities shared by all protocols.
+
+use rcc_common::{Digest, ReplicaId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tracks votes (messages of one kind, for one slot) keyed by the digest the
+/// vote endorses, counting at most one vote per replica per digest.
+#[derive(Clone, Debug, Default)]
+pub struct QuorumTracker {
+    votes: BTreeMap<Digest, BTreeSet<ReplicaId>>,
+}
+
+impl QuorumTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        QuorumTracker::default()
+    }
+
+    /// Records a vote by `replica` for `digest`; returns the number of
+    /// distinct voters for that digest after insertion.
+    pub fn vote(&mut self, replica: ReplicaId, digest: Digest) -> usize {
+        let set = self.votes.entry(digest).or_default();
+        set.insert(replica);
+        set.len()
+    }
+
+    /// Number of distinct voters for `digest`.
+    pub fn count(&self, digest: &Digest) -> usize {
+        self.votes.get(digest).map(BTreeSet::len).unwrap_or(0)
+    }
+
+    /// `true` once `digest` has at least `quorum` distinct voters.
+    pub fn has_quorum(&self, digest: &Digest, quorum: usize) -> bool {
+        self.count(digest) >= quorum
+    }
+
+    /// The set of replicas that voted for `digest`.
+    pub fn voters(&self, digest: &Digest) -> Vec<ReplicaId> {
+        self.votes.get(digest).map(|s| s.iter().copied().collect()).unwrap_or_default()
+    }
+
+    /// Whether `replica` has voted for any digest in this tracker.
+    pub fn has_voted(&self, replica: ReplicaId) -> bool {
+        self.votes.values().any(|set| set.contains(&replica))
+    }
+
+    /// Total number of distinct (replica, digest) votes recorded.
+    pub fn total_votes(&self) -> usize {
+        self.votes.values().map(BTreeSet::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn digest(b: u8) -> Digest {
+        Digest::from_bytes([b; 32])
+    }
+
+    #[test]
+    fn duplicate_votes_count_once() {
+        let mut q = QuorumTracker::new();
+        assert_eq!(q.vote(ReplicaId(0), digest(1)), 1);
+        assert_eq!(q.vote(ReplicaId(0), digest(1)), 1);
+        assert_eq!(q.vote(ReplicaId(1), digest(1)), 2);
+        assert!(q.has_quorum(&digest(1), 2));
+        assert!(!q.has_quorum(&digest(1), 3));
+    }
+
+    #[test]
+    fn votes_for_different_digests_are_tracked_separately() {
+        let mut q = QuorumTracker::new();
+        q.vote(ReplicaId(0), digest(1));
+        q.vote(ReplicaId(1), digest(2));
+        assert_eq!(q.count(&digest(1)), 1);
+        assert_eq!(q.count(&digest(2)), 1);
+        assert_eq!(q.total_votes(), 2);
+        assert!(q.has_voted(ReplicaId(0)));
+        assert!(!q.has_voted(ReplicaId(5)));
+    }
+
+    #[test]
+    fn voters_are_reported_in_order() {
+        let mut q = QuorumTracker::new();
+        q.vote(ReplicaId(3), digest(1));
+        q.vote(ReplicaId(1), digest(1));
+        assert_eq!(q.voters(&digest(1)), vec![ReplicaId(1), ReplicaId(3)]);
+    }
+}

@@ -1,0 +1,596 @@
+//! Zyzzyva: speculative Byzantine commit.
+//!
+//! Zyzzyva optimizes the failure-free case: the primary orders a batch with a
+//! single `OrderRequest` broadcast and replicas *speculatively* execute it
+//! immediately, replying to the client without any replica-to-replica state
+//! exchange. When the client receives matching speculative replies from all
+//! `n` replicas the request is complete; when it receives only between
+//! `2f + 1` and `3f` matching replies (e.g. one replica has failed) the
+//! client must assemble a *commit certificate* and run a second phase, which
+//! is what makes Zyzzyva's performance collapse under even a single failure
+//! (Fig. 8 (c)/(d) of the RCC paper).
+//!
+//! In this sans-io implementation the speculative acceptance surfaces as an
+//! [`Action::Commit`] with `speculative = true`; the embedding driver (replica
+//! node or simulator client model) performs the client-side aggregation and
+//! feeds back a [`ZyzzyvaMessage::CommitCertificate`] when the slow path is
+//! needed, upon which the slot commits stably.
+
+use crate::bca::{
+    Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId, WireMessage,
+};
+use crate::quorum::QuorumTracker;
+use rcc_common::{Batch, Digest, ReplicaId, Round, SystemConfig, Time, View};
+use rcc_crypto::hash::{digest_batch, digest_chain};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Messages exchanged in Zyzzyva.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum ZyzzyvaMessage {
+    /// The primary's ordering of `batch` as slot `round`, including the
+    /// history digest chaining all previous orderings (what replicas embed in
+    /// their speculative replies so clients can detect divergence).
+    OrderRequest {
+        /// View of the ordering.
+        view: View,
+        /// Slot ordered.
+        round: Round,
+        /// Digest of the batch.
+        digest: Digest,
+        /// Hash chain over all orderings up to and including this one.
+        history: Digest,
+        /// The ordered batch.
+        batch: Batch,
+    },
+    /// The slow-path commit certificate assembled by a client (relayed by the
+    /// driver): proof that `2f + 1` replicas speculatively accepted `digest`
+    /// at `round`.
+    CommitCertificate {
+        /// View of the ordering.
+        view: View,
+        /// Slot being committed.
+        round: Round,
+        /// Digest being committed.
+        digest: Digest,
+        /// The replicas whose speculative replies back the certificate.
+        backers: Vec<ReplicaId>,
+    },
+    /// Acknowledgement of a commit certificate (the "local-commit" reply).
+    LocalCommit {
+        /// View of the ordering.
+        view: View,
+        /// Slot acknowledged.
+        round: Round,
+        /// Digest acknowledged.
+        digest: Digest,
+    },
+}
+
+impl WireMessage for ZyzzyvaMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            ZyzzyvaMessage::OrderRequest { batch, .. } => 232 + batch.wire_size(),
+            ZyzzyvaMessage::CommitCertificate { backers, .. } => 250 + backers.len() * 48,
+            ZyzzyvaMessage::LocalCommit { .. } => 250,
+        }
+    }
+
+    fn is_proposal(&self) -> bool {
+        matches!(self, ZyzzyvaMessage::OrderRequest { .. })
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct Slot {
+    digest: Option<Digest>,
+    batch: Option<Batch>,
+    speculated: bool,
+    committed: bool,
+    local_commits: QuorumTracker,
+}
+
+/// The Zyzzyva state machine for one replica.
+#[derive(Clone, Debug)]
+pub struct Zyzzyva {
+    config: SystemConfig,
+    replica: ReplicaId,
+    base_primary: ReplicaId,
+    view: View,
+    next_proposal_round: Round,
+    /// Highest round + 1 such that all lower rounds have been speculatively
+    /// accepted (Zyzzyva replicas only speculate on contiguous histories).
+    speculative_prefix: Round,
+    committed_prefix: Round,
+    history: Digest,
+    slots: BTreeMap<Round, Slot>,
+    next_timer: u64,
+    progress_timer: Option<(TimerId, Round)>,
+    suppress_view_changes: bool,
+}
+
+impl Zyzzyva {
+    /// Creates the Zyzzyva state machine for `replica` with `base_primary` as
+    /// the fixed view-0 primary.
+    pub fn new(config: SystemConfig, replica: ReplicaId, base_primary: ReplicaId) -> Self {
+        Zyzzyva {
+            config,
+            replica,
+            base_primary,
+            view: 0,
+            next_proposal_round: 0,
+            speculative_prefix: 0,
+            committed_prefix: 0,
+            history: Digest::ZERO,
+            slots: BTreeMap::new(),
+            next_timer: 0,
+            progress_timer: None,
+            suppress_view_changes: false,
+        }
+    }
+
+    /// Standalone Zyzzyva with replica 0 as primary.
+    pub fn standalone(config: SystemConfig, replica: ReplicaId) -> Self {
+        Zyzzyva::new(config, replica, ReplicaId(0))
+    }
+
+    /// Configures the state machine for use inside RCC: failures are only
+    /// reported, never handled by a primary rotation.
+    pub fn with_suppressed_view_changes(mut self) -> Self {
+        self.suppress_view_changes = true;
+        self
+    }
+
+    fn slot(&mut self, round: Round) -> &mut Slot {
+        self.slots.entry(round).or_default()
+    }
+
+    fn alloc_timer(&mut self) -> TimerId {
+        self.next_timer += 1;
+        TimerId(self.next_timer)
+    }
+
+    fn rearm_progress_timer(&mut self, now: Time, actions: &mut Vec<Action<ZyzzyvaMessage>>) {
+        if let Some((timer, _)) = self.progress_timer.take() {
+            actions.push(Action::CancelTimer { timer });
+        }
+        let outstanding = self.next_proposal_round > self.speculative_prefix
+            || self.slots.range(self.speculative_prefix..).any(|(_, s)| !s.speculated);
+        if outstanding {
+            let timer = self.alloc_timer();
+            self.progress_timer = Some((timer, self.speculative_prefix));
+            actions.push(Action::SetTimer {
+                timer,
+                fires_at: now + self.config.failure_detection_timeout,
+            });
+        }
+    }
+
+    /// Speculatively accept contiguous slots starting at the speculative
+    /// prefix, chaining the history digest.
+    fn speculate_ready_slots(&mut self, now: Time, actions: &mut Vec<Action<ZyzzyvaMessage>>) {
+        loop {
+            let round = self.speculative_prefix;
+            let Some(slot) = self.slots.get_mut(&round) else { break };
+            let (Some(digest), Some(batch)) = (slot.digest, slot.batch.clone()) else { break };
+            if slot.speculated {
+                break;
+            }
+            slot.speculated = true;
+            self.history = digest_chain(&self.history, &digest);
+            self.speculative_prefix += 1;
+            actions.push(Action::Commit(CommittedSlot {
+                round,
+                digest,
+                batch,
+                speculative: true,
+                view: self.view,
+            }));
+        }
+        self.rearm_progress_timer(now, actions);
+    }
+
+    fn try_stable_commit(&mut self, round: Round, actions: &mut Vec<Action<ZyzzyvaMessage>>) {
+        let quorum = self.config.quorum();
+        let view = self.view;
+        let Some(slot) = self.slots.get_mut(&round) else { return };
+        let Some(digest) = slot.digest else { return };
+        if slot.committed || !slot.local_commits.has_quorum(&digest, quorum) {
+            return;
+        }
+        slot.committed = true;
+        let batch = slot.batch.clone().unwrap_or_else(|| Batch::new(vec![]));
+        actions.push(Action::Commit(CommittedSlot {
+            round,
+            digest,
+            batch,
+            speculative: false,
+            view,
+        }));
+        while self
+            .slots
+            .get(&self.committed_prefix)
+            .map(|s| s.committed)
+            .unwrap_or(false)
+        {
+            self.committed_prefix += 1;
+        }
+    }
+}
+
+impl ByzantineCommitAlgorithm for Zyzzyva {
+    type Message = ZyzzyvaMessage;
+
+    fn name(&self) -> &'static str {
+        "Zyzzyva"
+    }
+
+    fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    fn primary(&self) -> ReplicaId {
+        // Zyzzyva rotates primaries only through its (expensive) view change;
+        // within this reproduction the primary is fixed per view and view
+        // changes are left to the embedding layer.
+        self.base_primary
+    }
+
+    fn view(&self) -> View {
+        self.view
+    }
+
+    fn proposal_capacity(&self) -> usize {
+        if !self.is_primary() {
+            return 0;
+        }
+        let in_flight = (self.next_proposal_round - self.speculative_prefix) as usize;
+        self.config.out_of_order_window.saturating_sub(in_flight)
+    }
+
+    fn committed_prefix(&self) -> Round {
+        // Speculative acceptance is what drives execution and client replies
+        // in Zyzzyva; stable commits only matter on the slow path.
+        self.speculative_prefix
+    }
+
+    fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<ZyzzyvaMessage>> {
+        let mut actions = Vec::new();
+        if self.proposal_capacity() == 0 {
+            return actions;
+        }
+        let round = self.next_proposal_round;
+        self.next_proposal_round += 1;
+        let digest = digest_batch(&batch);
+        let view = self.view;
+        let history = digest_chain(&self.history, &digest);
+        {
+            let slot = self.slot(round);
+            slot.digest = Some(digest);
+            slot.batch = Some(batch.clone());
+        }
+        actions.push(Action::Broadcast {
+            message: ZyzzyvaMessage::OrderRequest { view, round, digest, history, batch },
+        });
+        self.speculate_ready_slots(now, &mut actions);
+        actions
+    }
+
+    fn on_message(
+        &mut self,
+        now: Time,
+        from: ReplicaId,
+        message: ZyzzyvaMessage,
+    ) -> Vec<Action<ZyzzyvaMessage>> {
+        let mut actions = Vec::new();
+        match message {
+            ZyzzyvaMessage::OrderRequest { view, round, digest, history, batch } => {
+                if view != self.view || from != self.primary() {
+                    return actions;
+                }
+                if digest_batch(&batch) != digest {
+                    actions.push(Action::SuspectPrimary {
+                        primary: self.primary(),
+                        reason: FailureReason::InvalidProposal {
+                            round,
+                            description: "digest does not match batch".into(),
+                        },
+                    });
+                    return actions;
+                }
+                if let Some(existing) = self.slots.get(&round).and_then(|s| s.digest) {
+                    if existing != digest {
+                        actions.push(Action::SuspectPrimary {
+                            primary: self.primary(),
+                            reason: FailureReason::Equivocation { round, first: existing, second: digest },
+                        });
+                        return actions;
+                    }
+                }
+                {
+                    let slot = self.slot(round);
+                    slot.digest = Some(digest);
+                    slot.batch = Some(batch);
+                }
+                if self.next_proposal_round <= round {
+                    self.next_proposal_round = round + 1;
+                }
+                self.speculate_ready_slots(now, &mut actions);
+                // Detect a primary whose history diverged from ours (it sent
+                // us an ordering that does not extend what we speculated).
+                if round + 1 == self.speculative_prefix && self.history != history {
+                    actions.push(Action::SuspectPrimary {
+                        primary: self.primary(),
+                        reason: FailureReason::InvalidProposal {
+                            round,
+                            description: "history digest diverged".into(),
+                        },
+                    });
+                }
+            }
+            ZyzzyvaMessage::CommitCertificate { view, round, digest, backers } => {
+                if view != self.view {
+                    return actions;
+                }
+                // A valid certificate carries 2f + 1 distinct backers.
+                let mut distinct = backers.clone();
+                distinct.sort();
+                distinct.dedup();
+                if distinct.len() < self.config.quorum() {
+                    return actions;
+                }
+                // Record the certificate as local-commit votes and acknowledge.
+                {
+                    let slot = self.slot(round);
+                    if slot.digest.is_none() {
+                        slot.digest = Some(digest);
+                    }
+                    for backer in distinct {
+                        slot.local_commits.vote(backer, digest);
+                    }
+                }
+                actions.push(Action::Send {
+                    to: from,
+                    message: ZyzzyvaMessage::LocalCommit { view, round, digest },
+                });
+                self.try_stable_commit(round, &mut actions);
+            }
+            ZyzzyvaMessage::LocalCommit { view, round, digest } => {
+                if view != self.view {
+                    return actions;
+                }
+                self.slot(round).local_commits.vote(from, digest);
+                self.try_stable_commit(round, &mut actions);
+            }
+        }
+        actions
+    }
+
+    fn on_timeout(&mut self, now: Time, timer: TimerId) -> Vec<Action<ZyzzyvaMessage>> {
+        let mut actions = Vec::new();
+        let Some((armed, watched)) = self.progress_timer else { return actions };
+        if armed != timer {
+            return actions;
+        }
+        self.progress_timer = None;
+        if self.speculative_prefix > watched {
+            self.rearm_progress_timer(now, &mut actions);
+            return actions;
+        }
+        actions.push(Action::SuspectPrimary {
+            primary: self.primary(),
+            reason: FailureReason::ProgressTimeout { round: self.speculative_prefix },
+        });
+        if !self.suppress_view_changes {
+            // Zyzzyva's full view change is notoriously heavy; the embedding
+            // layer decides what to do with the suspicion (the baselines stop
+            // making progress, which reproduces the collapse the paper
+            // reports under failures).
+            self.rearm_progress_timer(now, &mut actions);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Cluster;
+    use rcc_common::{ClientId, ClientRequest, Transaction};
+
+    fn config(n: usize) -> SystemConfig {
+        SystemConfig::new(n)
+    }
+
+    fn batch(tag: u8) -> Batch {
+        Batch::new(vec![ClientRequest::new(ClientId(tag as u64), 0, Transaction::noop())])
+    }
+
+    fn cluster(n: usize) -> Cluster<Zyzzyva> {
+        Cluster::new((0..n).map(|i| Zyzzyva::standalone(config(n), ReplicaId(i as u32))).collect())
+    }
+
+    #[test]
+    fn speculative_commit_happens_after_a_single_broadcast() {
+        let mut cluster = cluster(4);
+        cluster.propose(ReplicaId(0), batch(1));
+        let delivered = cluster.run_to_quiescence();
+        // One OrderRequest to each of the 3 backups and nothing else.
+        assert_eq!(delivered, 3, "Zyzzyva's failure-free path is a single broadcast");
+        for r in 0..4 {
+            let commits = cluster.committed(ReplicaId(r));
+            assert_eq!(commits.len(), 1);
+            assert!(commits[0].speculative);
+        }
+    }
+
+    #[test]
+    fn speculation_requires_contiguous_history() {
+        let cfg = config(4);
+        let mut replica = Zyzzyva::standalone(cfg, ReplicaId(1));
+        let b0 = batch(0);
+        let b1 = batch(1);
+        // Round 1 arrives before round 0: nothing speculates yet.
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::OrderRequest {
+                view: 0,
+                round: 1,
+                digest: digest_batch(&b1),
+                history: Digest::ZERO,
+                batch: b1.clone(),
+            },
+        );
+        assert!(actions.iter().all(|a| a.as_commit().is_none()));
+        // Round 0 arrives: both speculate, in order.
+        let history0 = digest_chain(&Digest::ZERO, &digest_batch(&b0));
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::OrderRequest {
+                view: 0,
+                round: 0,
+                digest: digest_batch(&b0),
+                history: history0,
+                batch: b0,
+            },
+        );
+        let commits: Vec<_> = actions.iter().filter_map(|a| a.as_commit()).collect();
+        assert_eq!(commits.len(), 2);
+        assert_eq!(commits[0].round, 0);
+        assert_eq!(commits[1].round, 1);
+    }
+
+    #[test]
+    fn commit_certificate_produces_stable_commit() {
+        let cfg = config(4);
+        let mut replica = Zyzzyva::standalone(cfg, ReplicaId(1));
+        let b = batch(3);
+        let digest = digest_batch(&b);
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::OrderRequest {
+                view: 0,
+                round: 0,
+                digest,
+                history: digest_chain(&Digest::ZERO, &digest),
+                batch: b,
+            },
+        );
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::CommitCertificate {
+                view: 0,
+                round: 0,
+                digest,
+                backers: vec![ReplicaId(0), ReplicaId(2), ReplicaId(3)],
+            },
+        );
+        // It acknowledges with a LocalCommit and commits stably.
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Send { message: ZyzzyvaMessage::LocalCommit { .. }, .. })));
+        let commits: Vec<_> = actions.iter().filter_map(|a| a.as_commit()).collect();
+        assert_eq!(commits.len(), 1);
+        assert!(!commits[0].speculative);
+    }
+
+    #[test]
+    fn undersized_certificates_are_ignored() {
+        let cfg = config(4);
+        let mut replica = Zyzzyva::standalone(cfg, ReplicaId(1));
+        let digest = Digest::from_bytes([9; 32]);
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::CommitCertificate {
+                view: 0,
+                round: 0,
+                digest,
+                backers: vec![ReplicaId(0), ReplicaId(0), ReplicaId(2)],
+            },
+        );
+        assert!(actions.is_empty(), "duplicate backers must not reach the quorum");
+    }
+
+    #[test]
+    fn equivocation_is_detected() {
+        let cfg = config(4);
+        let mut replica = Zyzzyva::standalone(cfg, ReplicaId(1));
+        let b1 = batch(1);
+        let b2 = batch(2);
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::OrderRequest {
+                view: 0,
+                round: 0,
+                digest: digest_batch(&b1),
+                history: Digest::ZERO,
+                batch: b1,
+            },
+        );
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::OrderRequest {
+                view: 0,
+                round: 0,
+                digest: digest_batch(&b2),
+                history: Digest::ZERO,
+                batch: b2,
+            },
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SuspectPrimary { reason: FailureReason::Equivocation { .. }, .. }
+        )));
+    }
+
+    #[test]
+    fn progress_timeout_raises_suspicion() {
+        let mut cluster = cluster(4);
+        // The proposal never reaches replicas 2 and 3.
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(2), true);
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(3), true);
+        cluster.propose(ReplicaId(0), batch(1));
+        cluster.run_to_quiescence();
+        cluster.fire_all_timers();
+        // The primary itself had outstanding work? No: it speculated its own
+        // slot. Replicas 2/3 never learned about the round, so they armed no
+        // timer; replica 1 speculated fine. Only the primary's timer could
+        // exist, and it made progress. Hence no suspicion from this scenario —
+        // now break the primary for an already-known round instead.
+        let mut replica = Zyzzyva::standalone(config(4), ReplicaId(1));
+        let b0 = batch(0);
+        let b2 = batch(2);
+        // Round 2 known but rounds 0..1 missing: a timer is armed.
+        let actions = replica.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            ZyzzyvaMessage::OrderRequest {
+                view: 0,
+                round: 2,
+                digest: digest_batch(&b2),
+                history: Digest::ZERO,
+                batch: b2,
+            },
+        );
+        let timer = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { timer, .. } => Some(*timer),
+                _ => None,
+            })
+            .expect("timer armed for the hole");
+        let _ = b0;
+        let actions = replica.on_timeout(Time::from_secs(5), timer);
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SuspectPrimary { reason: FailureReason::ProgressTimeout { .. }, .. }
+        )));
+    }
+}

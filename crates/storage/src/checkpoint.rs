@@ -1,0 +1,187 @@
+//! Checkpoint snapshots.
+//!
+//! Checkpoints serve two purposes in the paper: (1) the classical PBFT-style
+//! periodic checkpoint lets baselines garbage-collect their logs and brings
+//! in-the-dark replicas up to date, and (2) RCC performs *dynamic per-need*
+//! checkpoints when `nf − f` failure claims arrive for a round that the local
+//! replica has already finished (Section III-D). A checkpoint captures the
+//! executed round, the ledger head, and the state fingerprints; a checkpoint
+//! becomes *stable* once `f + 1` matching digests from distinct replicas are
+//! collected.
+
+use rcc_common::{Digest, ReplicaId, Round};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A snapshot of a replica's executed state after some round.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The last executed round covered by the snapshot.
+    pub round: Round,
+    /// Ledger head digest after executing that round.
+    pub ledger_head: Digest,
+    /// Fingerprint of the record table.
+    pub table_fingerprint: u64,
+    /// Fingerprint of the account store.
+    pub accounts_fingerprint: u64,
+}
+
+impl Checkpoint {
+    /// A digest summarizing the checkpoint, which is what replicas exchange
+    /// and vote on.
+    pub fn digest(&self) -> Digest {
+        let mut bytes = [0u8; 32];
+        bytes[..8].copy_from_slice(&self.round.to_be_bytes());
+        bytes[8..16].copy_from_slice(&self.table_fingerprint.to_be_bytes());
+        bytes[16..24].copy_from_slice(&self.accounts_fingerprint.to_be_bytes());
+        bytes[24..32].copy_from_slice(&self.ledger_head.as_bytes()[..8]);
+        Digest::from_bytes(bytes)
+    }
+}
+
+/// Collects checkpoint votes and tracks the latest stable checkpoint.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStore {
+    /// Votes per (round, checkpoint digest).
+    votes: BTreeMap<(Round, Digest), BTreeSet<ReplicaId>>,
+    /// Local checkpoints by round.
+    local: BTreeMap<Round, Checkpoint>,
+    /// Highest stable (quorum-certified) checkpoint.
+    stable: Option<(Checkpoint, usize)>,
+}
+
+impl CheckpointStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        CheckpointStore::default()
+    }
+
+    /// Records the local checkpoint for its round.
+    pub fn record_local(&mut self, checkpoint: Checkpoint) {
+        self.local.insert(checkpoint.round, checkpoint);
+    }
+
+    /// The local checkpoint taken at `round`, if any.
+    pub fn local(&self, round: Round) -> Option<&Checkpoint> {
+        self.local.get(&round)
+    }
+
+    /// Registers a vote from `replica` for a checkpoint digest at `round`.
+    /// Returns the number of distinct votes for that digest.
+    pub fn add_vote(&mut self, replica: ReplicaId, round: Round, digest: Digest) -> usize {
+        let entry = self.votes.entry((round, digest)).or_default();
+        entry.insert(replica);
+        entry.len()
+    }
+
+    /// Marks a checkpoint stable once it has gathered `quorum` votes; returns
+    /// `true` when this call made it stable (i.e. it was not already stable
+    /// at an equal or higher round).
+    pub fn try_stabilize(&mut self, checkpoint: &Checkpoint, quorum: usize) -> bool {
+        let votes = self
+            .votes
+            .get(&(checkpoint.round, checkpoint.digest()))
+            .map(|v| v.len())
+            .unwrap_or(0);
+        if votes < quorum {
+            return false;
+        }
+        match &self.stable {
+            Some((existing, _)) if existing.round >= checkpoint.round => false,
+            _ => {
+                self.stable = Some((checkpoint.clone(), votes));
+                // Garbage-collect votes and local checkpoints at or below the
+                // stable round.
+                let stable_round = checkpoint.round;
+                self.votes.retain(|(round, _), _| *round > stable_round);
+                self.local.retain(|round, _| *round > stable_round);
+                true
+            }
+        }
+    }
+
+    /// The highest stable checkpoint, if any.
+    pub fn stable(&self) -> Option<&Checkpoint> {
+        self.stable.as_ref().map(|(c, _)| c)
+    }
+
+    /// The round of the highest stable checkpoint (0 when none).
+    pub fn stable_round(&self) -> Round {
+        self.stable.as_ref().map(|(c, _)| c.round).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkpoint(round: Round, fp: u64) -> Checkpoint {
+        Checkpoint {
+            round,
+            ledger_head: Digest::ZERO,
+            table_fingerprint: fp,
+            accounts_fingerprint: 0,
+        }
+    }
+
+    #[test]
+    fn checkpoint_digest_reflects_contents() {
+        assert_ne!(checkpoint(1, 5).digest(), checkpoint(2, 5).digest());
+        assert_ne!(checkpoint(1, 5).digest(), checkpoint(1, 6).digest());
+        assert_eq!(checkpoint(1, 5).digest(), checkpoint(1, 5).digest());
+    }
+
+    #[test]
+    fn stabilization_requires_a_quorum_of_distinct_votes() {
+        let mut store = CheckpointStore::new();
+        let cp = checkpoint(10, 42);
+        store.record_local(cp.clone());
+        assert_eq!(store.add_vote(ReplicaId(0), 10, cp.digest()), 1);
+        assert_eq!(store.add_vote(ReplicaId(0), 10, cp.digest()), 1, "duplicate vote ignored");
+        assert!(!store.try_stabilize(&cp, 3));
+        store.add_vote(ReplicaId(1), 10, cp.digest());
+        store.add_vote(ReplicaId(2), 10, cp.digest());
+        assert!(store.try_stabilize(&cp, 3));
+        assert_eq!(store.stable_round(), 10);
+    }
+
+    #[test]
+    fn stale_checkpoints_do_not_replace_newer_stable_ones() {
+        let mut store = CheckpointStore::new();
+        let newer = checkpoint(20, 1);
+        let older = checkpoint(10, 2);
+        for r in 0..3 {
+            store.add_vote(ReplicaId(r), 20, newer.digest());
+            store.add_vote(ReplicaId(r), 10, older.digest());
+        }
+        assert!(store.try_stabilize(&newer, 3));
+        assert!(!store.try_stabilize(&older, 3));
+        assert_eq!(store.stable_round(), 20);
+    }
+
+    #[test]
+    fn stabilization_garbage_collects_old_votes_and_locals() {
+        let mut store = CheckpointStore::new();
+        store.record_local(checkpoint(5, 9));
+        store.record_local(checkpoint(10, 10));
+        let cp = checkpoint(10, 10);
+        for r in 0..3 {
+            store.add_vote(ReplicaId(r), 10, cp.digest());
+        }
+        assert!(store.try_stabilize(&cp, 3));
+        assert!(store.local(5).is_none());
+        assert!(store.local(10).is_none());
+    }
+
+    #[test]
+    fn votes_for_different_digests_do_not_mix() {
+        let mut store = CheckpointStore::new();
+        let a = checkpoint(10, 1);
+        let b = checkpoint(10, 2);
+        store.add_vote(ReplicaId(0), 10, a.digest());
+        store.add_vote(ReplicaId(1), 10, b.digest());
+        store.add_vote(ReplicaId(2), 10, b.digest());
+        assert!(!store.try_stabilize(&a, 2));
+        assert!(store.try_stabilize(&b, 2));
+    }
+}
