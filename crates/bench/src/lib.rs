@@ -1,1 +1,17 @@
-//! placeholder (implementation pending)
+//! Benchmark harness — **placeholder, not yet implemented**.
+//!
+//! Intended scope: reproducible experiment campaigns over the simulator (and
+//! later the real transport), mirroring the paper's evaluation (Section V):
+//!
+//! * experiment matrices: protocol × deployment size × batch size ×
+//!   authentication mode × fault scenario, each a
+//!   [`rcc_common::SystemConfig`] plus a fault script;
+//! * warm-up/measure/cool-down phasing with throughput and latency
+//!   percentiles collected via [`rcc_common::metrics`];
+//! * CSV/Markdown result emission suitable for regenerating the paper's
+//!   figures (Fig. 7 and Fig. 8);
+//! * regression gates so CI can flag performance changes in the protocol
+//!   hot paths.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -50,7 +50,9 @@ impl Batch {
     /// Creates a batch containing a single no-op request for `instance` in
     /// `round`.
     pub fn noop(instance: InstanceId, round: Round) -> Self {
-        Batch { requests: vec![ClientRequest::noop(instance, round)] }
+        Batch {
+            requests: vec![ClientRequest::noop(instance, round)],
+        }
     }
 
     /// Number of requests in the batch.
@@ -79,7 +81,11 @@ impl Batch {
     /// in the same ballpark as ResilientDB's 5400 B proposals once the
     /// workload generator sizes the record payloads.
     pub fn wire_size(&self) -> usize {
-        32 + self.requests.iter().map(ClientRequest::wire_size).sum::<usize>()
+        32 + self
+            .requests
+            .iter()
+            .map(ClientRequest::wire_size)
+            .sum::<usize>()
     }
 
     /// The canonical bytes hashed when computing the batch digest.
@@ -151,7 +157,10 @@ mod tests {
 
     #[test]
     fn batch_id_display_is_compact() {
-        let id = BatchId { instance: InstanceId(3), round: 17 };
+        let id = BatchId {
+            instance: InstanceId(3),
+            round: 17,
+        };
         assert_eq!(id.to_string(), "I3@17");
     }
 }

@@ -163,7 +163,9 @@ impl SystemConfig {
             return Err(Error::InvalidConfig("batch_size must be positive".into()));
         }
         if self.out_of_order_window == 0 {
-            return Err(Error::InvalidConfig("out_of_order_window must be at least 1".into()));
+            return Err(Error::InvalidConfig(
+                "out_of_order_window must be at least 1".into(),
+            ));
         }
         if self.sigma == 0 {
             return Err(Error::InvalidConfig("sigma must be at least 1".into()));
@@ -305,6 +307,9 @@ mod tests {
     fn proposal_wire_size_scales_with_batch() {
         let w = WireCosts::default();
         assert!(w.proposal_bytes(400) > w.proposal_bytes(100));
-        assert_eq!(w.proposal_bytes(100), w.proposal_overhead_bytes + 100 * w.transaction_bytes);
+        assert_eq!(
+            w.proposal_bytes(100),
+            w.proposal_overhead_bytes + 100 * w.transaction_bytes
+        );
     }
 }

@@ -38,7 +38,11 @@ impl Digest {
     /// big-endian). Used when a larger modulus is required for permutation
     /// selection over long sequences.
     pub fn as_u128(&self) -> u128 {
-        u128::from_be_bytes(self.0[..16].try_into().expect("digest has at least 16 bytes"))
+        u128::from_be_bytes(
+            self.0[..16]
+                .try_into()
+                .expect("digest has at least 16 bytes"),
+        )
     }
 
     /// Short hexadecimal prefix, convenient for logging.

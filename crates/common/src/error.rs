@@ -79,9 +79,15 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = Error::OutOfWindow { round: 12, low: 0, high: 10 };
+        let e = Error::OutOfWindow {
+            round: 12,
+            low: 0,
+            high: 10,
+        };
         assert_eq!(e.to_string(), "round 12 outside accepted window [0, 10]");
-        let e = Error::NotPrimary { replica: ReplicaId(3) };
+        let e = Error::NotPrimary {
+            replica: ReplicaId(3),
+        };
         assert!(e.to_string().contains("R3"));
         let e = Error::InstanceStopped(InstanceId(2));
         assert!(e.to_string().contains("I2"));

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn replica_ids_enumerate_in_order() {
         let ids: Vec<_> = ReplicaId::all(4).collect();
-        assert_eq!(ids, vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]);
+        assert_eq!(
+            ids,
+            vec![ReplicaId(0), ReplicaId(1), ReplicaId(2), ReplicaId(3)]
+        );
     }
 
     #[test]

@@ -288,7 +288,10 @@ mod tests {
         let avg = m.average_throughput();
         assert!((avg - 150.0).abs() < 1.0, "expected ~150 txn/s, got {avg}");
         let windowed = m.throughput_over(Time::from_secs(0), Time::from_secs(4));
-        assert!((windowed - 75.0).abs() < 1.0, "expected 75 txn/s over 4 s, got {windowed}");
+        assert!(
+            (windowed - 75.0).abs() < 1.0,
+            "expected 75 txn/s over 4 s, got {windowed}"
+        );
     }
 
     #[test]
@@ -314,7 +317,9 @@ mod tests {
         let p99 = h.percentile(0.99);
         assert!(p50 < p99);
         assert!(p50 >= Duration::from_micros(4_000) && p50 <= Duration::from_micros(6_000));
-        assert!(h.mean() >= Duration::from_micros(4_500) && h.mean() <= Duration::from_micros(5_500));
+        assert!(
+            h.mean() >= Duration::from_micros(4_500) && h.mean() <= Duration::from_micros(5_500)
+        );
         assert_eq!(h.max(), Duration::from_micros(10_000));
         assert_eq!(h.min(), Duration::from_micros(10));
     }
@@ -332,8 +337,16 @@ mod tests {
 
     #[test]
     fn replica_counters_merge() {
-        let mut a = ReplicaCounters { messages_sent: 1, bytes_sent: 100, ..Default::default() };
-        let b = ReplicaCounters { messages_sent: 2, bytes_sent: 50, ..Default::default() };
+        let mut a = ReplicaCounters {
+            messages_sent: 1,
+            bytes_sent: 100,
+            ..Default::default()
+        };
+        let b = ReplicaCounters {
+            messages_sent: 2,
+            bytes_sent: 50,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.messages_sent, 3);
         assert_eq!(a.bytes_sent, 150);

@@ -243,7 +243,13 @@ mod tests {
 
     #[test]
     fn duration_scaling() {
-        assert_eq!(Duration::from_millis(10).saturating_mul(3), Duration::from_millis(30));
-        assert_eq!(Duration::from_millis(10).mul_f64(2.5), Duration::from_millis(25));
+        assert_eq!(
+            Duration::from_millis(10).saturating_mul(3),
+            Duration::from_millis(30)
+        );
+        assert_eq!(
+            Duration::from_millis(10).mul_f64(2.5),
+            Duration::from_millis(25)
+        );
     }
 }

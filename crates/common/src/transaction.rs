@@ -128,12 +128,21 @@ impl Transaction {
 
     /// Convenience constructor for the no-op request.
     pub fn noop() -> Self {
-        Transaction { kind: TransactionKind::NoOp }
+        Transaction {
+            kind: TransactionKind::NoOp,
+        }
     }
 
     /// Convenience constructor for the conditional transfer of Example IV.1.
     pub fn transfer(from: AccountId, to: AccountId, min_balance: i64, amount: i64) -> Self {
-        Transaction { kind: TransactionKind::Transfer { from, to, min_balance, amount } }
+        Transaction {
+            kind: TransactionKind::Transfer {
+                from,
+                to,
+                min_balance,
+                amount,
+            },
+        }
     }
 
     /// Estimated serialized size of the transaction in bytes.
@@ -195,7 +204,10 @@ impl ClientRequest {
     /// transactions available but must participate in a round.
     pub fn noop(instance: InstanceId, round: u64) -> Self {
         ClientRequest {
-            id: RequestId { client: ClientId(u64::MAX - instance.0 as u64), sequence: round },
+            id: RequestId {
+                client: ClientId(u64::MAX - instance.0 as u64),
+                sequence: round,
+            },
             transaction: Transaction::noop(),
             assigned_instance: Some(instance),
         }
@@ -237,7 +249,12 @@ impl ClientRequest {
                 out.extend_from_slice(&start.to_be_bytes());
                 out.extend_from_slice(&count.to_be_bytes());
             }
-            TransactionKind::Transfer { from, to, min_balance, amount } => {
+            TransactionKind::Transfer {
+                from,
+                to,
+                min_balance,
+                amount,
+            } => {
                 out.push(5);
                 out.extend_from_slice(&from.to_be_bytes());
                 out.extend_from_slice(&to.to_be_bytes());
@@ -265,8 +282,18 @@ mod tests {
 
     #[test]
     fn write_classification() {
-        assert!(TransactionKind::YcsbWrite { key: 1, value: vec![0; 8] }.is_write());
-        assert!(TransactionKind::Transfer { from: 0, to: 1, min_balance: 5, amount: 3 }.is_write());
+        assert!(TransactionKind::YcsbWrite {
+            key: 1,
+            value: vec![0; 8]
+        }
+        .is_write());
+        assert!(TransactionKind::Transfer {
+            from: 0,
+            to: 1,
+            min_balance: 5,
+            amount: 3
+        }
+        .is_write());
         assert!(!TransactionKind::YcsbRead { key: 1 }.is_write());
         assert!(!TransactionKind::NoOp.is_write());
         assert!(TransactionKind::NoOp.is_noop());
@@ -274,8 +301,14 @@ mod tests {
 
     #[test]
     fn payload_size_tracks_value_length() {
-        let small = TransactionKind::YcsbWrite { key: 1, value: vec![0; 10] };
-        let large = TransactionKind::YcsbWrite { key: 1, value: vec![0; 500] };
+        let small = TransactionKind::YcsbWrite {
+            key: 1,
+            value: vec![0; 10],
+        };
+        let large = TransactionKind::YcsbWrite {
+            key: 1,
+            value: vec![0; 500],
+        };
         assert!(large.payload_size() > small.payload_size());
         assert_eq!(large.payload_size() - small.payload_size(), 490);
     }
@@ -300,9 +333,18 @@ mod tests {
 
     #[test]
     fn request_ids_order_by_client_then_sequence() {
-        let a = RequestId { client: ClientId(1), sequence: 5 };
-        let b = RequestId { client: ClientId(1), sequence: 6 };
-        let c = RequestId { client: ClientId(2), sequence: 0 };
+        let a = RequestId {
+            client: ClientId(1),
+            sequence: 5,
+        };
+        let b = RequestId {
+            client: ClientId(1),
+            sequence: 6,
+        };
+        let c = RequestId {
+            client: ClientId(2),
+            sequence: 0,
+        };
         assert!(a < b && b < c);
         assert_eq!(a.to_string(), "C1#5");
     }

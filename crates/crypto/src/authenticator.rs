@@ -67,7 +67,12 @@ impl Authenticator {
     }
 
     /// Verifies a message received from another replica.
-    pub fn verify_from_replica(&self, sender: ReplicaId, message: &[u8], tag: &AuthTag) -> Result<()> {
+    pub fn verify_from_replica(
+        &self,
+        sender: ReplicaId,
+        message: &[u8],
+        tag: &AuthTag,
+    ) -> Result<()> {
         match (self.mode, tag) {
             (CryptoMode::None, _) => Ok(()),
             (CryptoMode::Mac, AuthTag::Mac(mac)) => {
@@ -85,7 +90,9 @@ impl Authenticator {
                 if key.verify(message, sig) {
                     Ok(())
                 } else {
-                    Err(Error::Authentication(format!("bad signature from {sender}")))
+                    Err(Error::Authentication(format!(
+                        "bad signature from {sender}"
+                    )))
                 }
             }
             (mode, tag) => Err(Error::Authentication(format!(
@@ -95,7 +102,12 @@ impl Authenticator {
     }
 
     /// Verifies a message received from a client.
-    pub fn verify_from_client(&self, client: ClientId, message: &[u8], tag: &AuthTag) -> Result<()> {
+    pub fn verify_from_client(
+        &self,
+        client: ClientId,
+        message: &[u8],
+        tag: &AuthTag,
+    ) -> Result<()> {
         match (self.mode, tag) {
             (CryptoMode::None, _) => Ok(()),
             (CryptoMode::Mac, AuthTag::Mac(mac)) | (CryptoMode::PublicKey, AuthTag::Mac(mac)) => {
@@ -105,7 +117,9 @@ impl Authenticator {
                 if self.keys.mac_with_client(client).verify(message, mac) {
                     Ok(())
                 } else {
-                    Err(Error::Authentication(format!("bad client MAC from {client}")))
+                    Err(Error::Authentication(format!(
+                        "bad client MAC from {client}"
+                    )))
                 }
             }
             (_, AuthTag::Signature(_)) => {
@@ -141,17 +155,25 @@ mod tests {
     fn mac_mode_round_trips_and_rejects_tampering() {
         let (a, b) = authenticators(CryptoMode::Mac);
         let tag = a.tag_for_replica(ReplicaId(1), b"prepare");
-        assert!(b.verify_from_replica(ReplicaId(0), b"prepare", &tag).is_ok());
-        assert!(b.verify_from_replica(ReplicaId(0), b"commit", &tag).is_err());
+        assert!(b
+            .verify_from_replica(ReplicaId(0), b"prepare", &tag)
+            .is_ok());
+        assert!(b
+            .verify_from_replica(ReplicaId(0), b"commit", &tag)
+            .is_err());
     }
 
     #[test]
     fn signature_mode_round_trips_and_rejects_wrong_sender() {
         let (a, b) = authenticators(CryptoMode::PublicKey);
         let tag = a.tag_for_replica(ReplicaId(1), b"prepare");
-        assert!(b.verify_from_replica(ReplicaId(0), b"prepare", &tag).is_ok());
+        assert!(b
+            .verify_from_replica(ReplicaId(0), b"prepare", &tag)
+            .is_ok());
         // Claiming the message came from replica 2 must fail.
-        assert!(b.verify_from_replica(ReplicaId(2), b"prepare", &tag).is_err());
+        assert!(b
+            .verify_from_replica(ReplicaId(2), b"prepare", &tag)
+            .is_err());
     }
 
     #[test]
@@ -159,7 +181,9 @@ mod tests {
         let (a, b) = authenticators(CryptoMode::None);
         let tag = a.tag_for_replica(ReplicaId(1), b"prepare");
         assert_eq!(tag, AuthTag::None);
-        assert!(b.verify_from_replica(ReplicaId(0), b"anything", &tag).is_ok());
+        assert!(b
+            .verify_from_replica(ReplicaId(0), b"anything", &tag)
+            .is_ok());
     }
 
     #[test]
@@ -167,7 +191,9 @@ mod tests {
         let (a, _) = authenticators(CryptoMode::Mac);
         let (_, b_pk) = authenticators(CryptoMode::PublicKey);
         let tag = a.tag_for_replica(ReplicaId(1), b"prepare");
-        assert!(b_pk.verify_from_replica(ReplicaId(0), b"prepare", &tag).is_err());
+        assert!(b_pk
+            .verify_from_replica(ReplicaId(0), b"prepare", &tag)
+            .is_err());
     }
 
     #[test]
@@ -176,7 +202,11 @@ mod tests {
         let client_keys = deployment.client_keys(ClientId(3));
         let replica = Authenticator::new(CryptoMode::Mac, deployment.replica_keys(ReplicaId(2)));
         let tag = AuthTag::Mac(client_keys.mac_with_replicas[2].tag(b"request"));
-        assert!(replica.verify_from_client(ClientId(3), b"request", &tag).is_ok());
-        assert!(replica.verify_from_client(ClientId(4), b"request", &tag).is_err());
+        assert!(replica
+            .verify_from_client(ClientId(3), b"request", &tag)
+            .is_ok());
+        assert!(replica
+            .verify_from_client(ClientId(4), b"request", &tag)
+            .is_err());
     }
 }

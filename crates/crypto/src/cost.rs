@@ -147,13 +147,19 @@ mod tests {
     #[test]
     fn outgoing_cost_reflects_mode() {
         let m = CryptoCostModel::default();
-        assert_eq!(m.outgoing_message_cost(CryptoMode::None, 10), Duration::ZERO);
+        assert_eq!(
+            m.outgoing_message_cost(CryptoMode::None, 10),
+            Duration::ZERO
+        );
         assert_eq!(
             m.outgoing_message_cost(CryptoMode::Mac, 10),
             m.mac_create.saturating_mul(10)
         );
         // A signature amortizes over all recipients.
-        assert_eq!(m.outgoing_message_cost(CryptoMode::PublicKey, 10), m.signature_create);
+        assert_eq!(
+            m.outgoing_message_cost(CryptoMode::PublicKey, 10),
+            m.signature_create
+        );
         assert!(
             m.outgoing_message_cost(CryptoMode::PublicKey, 90)
                 > m.outgoing_message_cost(CryptoMode::Mac, 1)
@@ -178,6 +184,9 @@ mod tests {
         let m = CryptoCostModel::default();
         assert_eq!(m.cost(CryptoOp::MacVerify), m.mac_verify);
         assert_eq!(m.cost(CryptoOp::SignatureCreate), m.signature_create);
-        assert_eq!(m.cost(CryptoOp::ThresholdCertificateVerify), m.threshold_certificate_verify);
+        assert_eq!(
+            m.cost(CryptoOp::ThresholdCertificateVerify),
+            m.threshold_certificate_verify
+        );
     }
 }

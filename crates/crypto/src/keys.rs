@@ -57,11 +57,21 @@ impl DeploymentKeys {
     pub fn generate(config: &SystemConfig) -> Self {
         let seed = config.seed;
         let replica_signing: Vec<Arc<KeyPair>> = (0..config.n)
-            .map(|i| Arc::new(KeyPair::from_seed(derive(seed, "replica-sign", i as u64, 0))))
+            .map(|i| {
+                Arc::new(KeyPair::from_seed(derive(
+                    seed,
+                    "replica-sign",
+                    i as u64,
+                    0,
+                )))
+            })
             .collect();
         let replica_public = replica_signing.iter().map(|kp| kp.public_key()).collect();
-        let threshold =
-            Arc::new(ThresholdAuthenticator::new(config.n, config.quorum(), seed ^ 0x7474));
+        let threshold = Arc::new(ThresholdAuthenticator::new(
+            config.n,
+            config.quorum(),
+            seed ^ 0x7474,
+        ));
         DeploymentKeys {
             seed,
             n: config.n,
@@ -110,7 +120,8 @@ impl DeploymentKeys {
     pub fn replica_keys(&self, replica: ReplicaId) -> ReplicaKeys {
         let mut mac_with_replicas = Vec::with_capacity(self.n);
         for other in ReplicaId::all(self.n) {
-            mac_with_replicas.push(self.pairwise_mac(Party::Replica(replica), Party::Replica(other)));
+            mac_with_replicas
+                .push(self.pairwise_mac(Party::Replica(replica), Party::Replica(other)));
         }
         ReplicaKeys {
             replica,

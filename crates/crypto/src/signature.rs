@@ -27,6 +27,11 @@ pub struct Signature {
 }
 
 /// Serde helper for 64-byte arrays (serde only derives up to 32 elements).
+///
+/// Dead-code allowance: the offline no-op `serde` stand-in never references
+/// `with`-helpers; the real derive does. Remove the allow when the real serde
+/// is restored (see `third_party/README.md`).
+#[allow(dead_code)]
 mod serde_sig_bytes {
     use serde::{Deserialize, Deserializer, Serializer};
 
@@ -36,7 +41,8 @@ mod serde_sig_bytes {
 
     pub fn deserialize<'de, D: Deserializer<'de>>(deserializer: D) -> Result<[u8; 64], D::Error> {
         let v = Vec::<u8>::deserialize(deserializer)?;
-        v.try_into().map_err(|_| serde::de::Error::custom("expected 64 bytes"))
+        v.try_into()
+            .map_err(|_| serde::de::Error::custom("expected 64 bytes"))
     }
 }
 
@@ -45,17 +51,23 @@ impl KeyPair {
     /// dealer in [`crate::keys`] derives per-party seeds from the deployment
     /// seed.
     pub fn from_seed(seed: [u8; 32]) -> Self {
-        KeyPair { signing: ed25519_dalek::SigningKey::from_bytes(&seed) }
+        KeyPair {
+            signing: ed25519_dalek::SigningKey::from_bytes(&seed),
+        }
     }
 
     /// The corresponding public key.
     pub fn public_key(&self) -> PublicKey {
-        PublicKey { bytes: self.signing.verifying_key().to_bytes() }
+        PublicKey {
+            bytes: self.signing.verifying_key().to_bytes(),
+        }
     }
 
     /// Signs `message`.
     pub fn sign(&self, message: &[u8]) -> Signature {
-        Signature { bytes: self.signing.sign(message).to_bytes() }
+        Signature {
+            bytes: self.signing.sign(message).to_bytes(),
+        }
     }
 }
 

@@ -60,7 +60,10 @@ impl ThresholdAuthenticator {
     /// `threshold` shares per certificate, deriving all share keys from
     /// `seed`.
     pub fn new(n: usize, threshold: usize, seed: u64) -> Self {
-        assert!(threshold >= 1 && threshold <= n, "threshold must satisfy 1 <= k <= n");
+        assert!(
+            threshold >= 1 && threshold <= n,
+            "threshold must satisfy 1 <= k <= n"
+        );
         let share_keys = (0..n)
             .map(|i| {
                 let mut key = [0u8; 32];
@@ -70,7 +73,11 @@ impl ThresholdAuthenticator {
                 MacKey::from_bytes(key)
             })
             .collect();
-        ThresholdAuthenticator { n, threshold, share_keys }
+        ThresholdAuthenticator {
+            n,
+            threshold,
+            share_keys,
+        }
     }
 
     /// The number of shares required to combine a certificate.
@@ -81,7 +88,10 @@ impl ThresholdAuthenticator {
     /// Produces replica `signer`'s share over `message`.
     pub fn sign_share(&self, signer: ReplicaId, message: &[u8]) -> ThresholdShare {
         let key = &self.share_keys[signer.index() % self.n];
-        ThresholdShare { signer, tag: key.tag(message) }
+        ThresholdShare {
+            signer,
+            tag: key.tag(message),
+        }
     }
 
     /// Verifies a single share over `message`.
@@ -95,7 +105,11 @@ impl ThresholdAuthenticator {
     /// Combines `threshold` (or more) valid shares from distinct replicas
     /// into a certificate. Returns `None` when there are not enough distinct
     /// valid shares.
-    pub fn combine(&self, message: &[u8], shares: &[ThresholdShare]) -> Option<ThresholdCertificate> {
+    pub fn combine(
+        &self,
+        message: &[u8],
+        shares: &[ThresholdShare],
+    ) -> Option<ThresholdCertificate> {
         let mut seen = vec![false; self.n];
         let mut signers = Vec::new();
         let mut combined = [0u8; 32];
@@ -163,8 +177,12 @@ mod tests {
     #[test]
     fn combine_and_verify_round_trip() {
         let a = auth();
-        let shares: Vec<_> = (0..5).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
-        let cert = a.combine(b"block", &shares).expect("5 valid shares combine");
+        let shares: Vec<_> = (0..5)
+            .map(|i| a.sign_share(ReplicaId(i), b"block"))
+            .collect();
+        let cert = a
+            .combine(b"block", &shares)
+            .expect("5 valid shares combine");
         assert_eq!(cert.signers.len(), 5);
         assert!(a.verify_certificate(b"block", &cert));
         assert!(!a.verify_certificate(b"other", &cert));
@@ -173,7 +191,9 @@ mod tests {
     #[test]
     fn too_few_shares_do_not_combine() {
         let a = auth();
-        let shares: Vec<_> = (0..4).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        let shares: Vec<_> = (0..4)
+            .map(|i| a.sign_share(ReplicaId(i), b"block"))
+            .collect();
         assert!(a.combine(b"block", &shares).is_none());
     }
 
@@ -188,7 +208,9 @@ mod tests {
     #[test]
     fn invalid_shares_are_ignored() {
         let a = auth();
-        let mut shares: Vec<_> = (0..5).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        let mut shares: Vec<_> = (0..5)
+            .map(|i| a.sign_share(ReplicaId(i), b"block"))
+            .collect();
         // Corrupt one share; combining should fail because only 4 remain valid.
         shares[0].tag.0[0] ^= 0xff;
         assert!(a.combine(b"block", &shares).is_none());
@@ -197,7 +219,9 @@ mod tests {
     #[test]
     fn forged_certificate_is_rejected() {
         let a = auth();
-        let shares: Vec<_> = (0..5).map(|i| a.sign_share(ReplicaId(i), b"block")).collect();
+        let shares: Vec<_> = (0..5)
+            .map(|i| a.sign_share(ReplicaId(i), b"block"))
+            .collect();
         let mut cert = a.combine(b"block", &shares).unwrap();
         cert.combined[0] ^= 1;
         assert!(!a.verify_certificate(b"block", &cert));

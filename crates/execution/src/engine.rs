@@ -1,11 +1,11 @@
 //! The deterministic execution engine.
 
 use crate::reply::{ClientReply, ExecutionOutcome};
-use rcc_common::{Batch, Digest, ReplicaId, Round, TransactionKind};
-use rcc_storage::{AccountStore, Checkpoint, Ledger, RecordTable};
-use rcc_storage::ledger::BlockEntry;
-use rcc_crypto::hash::digest_batch;
 use rcc_common::BatchId;
+use rcc_common::{Batch, Digest, ReplicaId, Round, TransactionKind};
+use rcc_crypto::hash::digest_batch;
+use rcc_storage::ledger::BlockEntry;
+use rcc_storage::{AccountStore, Checkpoint, Ledger, RecordTable};
 
 /// Summary statistics of everything the engine has executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -111,10 +111,14 @@ impl ExecutionEngine {
     fn execute_kind(&mut self, kind: &TransactionKind) -> ExecutionOutcome {
         match kind {
             TransactionKind::YcsbRead { key } => match self.table.read(*key) {
-                Some(record) => {
-                    ExecutionOutcome::ReadResult { bytes: record.payload.len(), found: true }
-                }
-                None => ExecutionOutcome::ReadResult { bytes: 0, found: false },
+                Some(record) => ExecutionOutcome::ReadResult {
+                    bytes: record.payload.len(),
+                    found: true,
+                },
+                None => ExecutionOutcome::ReadResult {
+                    bytes: 0,
+                    found: false,
+                },
             },
             TransactionKind::YcsbWrite { key, value } => {
                 self.table.write(*key, value.clone());
@@ -130,7 +134,12 @@ impl ExecutionEngine {
                 let records = self.table.scan(*start, *count);
                 ExecutionOutcome::ScanResult { records }
             }
-            TransactionKind::Transfer { from, to, min_balance, amount } => {
+            TransactionKind::Transfer {
+                from,
+                to,
+                min_balance,
+                amount,
+            } => {
                 let applied = self.accounts.transfer(*from, *to, *min_balance, *amount);
                 ExecutionOutcome::TransferResult {
                     applied,
@@ -140,11 +149,13 @@ impl ExecutionEngine {
             }
             TransactionKind::Deposit { account, amount } => {
                 self.accounts.deposit(*account, *amount);
-                ExecutionOutcome::Balance { balance: self.accounts.balance(*account) }
+                ExecutionOutcome::Balance {
+                    balance: self.accounts.balance(*account),
+                }
             }
-            TransactionKind::BalanceQuery { account } => {
-                ExecutionOutcome::Balance { balance: self.accounts.balance(*account) }
-            }
+            TransactionKind::BalanceQuery { account } => ExecutionOutcome::Balance {
+                balance: self.accounts.balance(*account),
+            },
             TransactionKind::NoOp => ExecutionOutcome::NoOp,
         }
     }
@@ -156,7 +167,11 @@ impl ExecutionEngine {
     /// The `round` is the RCC round (or the baseline's sequence number); the
     /// caller is responsible for having agreed on the order (Section III-B
     /// step 2 / the Section IV permutation).
-    pub fn execute_round(&mut self, round: Round, ordered: &[(BatchId, Batch)]) -> Vec<ClientReply> {
+    pub fn execute_round(
+        &mut self,
+        round: Round,
+        ordered: &[(BatchId, Batch)],
+    ) -> Vec<ClientReply> {
         let entries: Vec<BlockEntry> = ordered
             .iter()
             .map(|(id, batch)| BlockEntry {
@@ -206,18 +221,27 @@ mod tests {
         ClientRequest::new(
             ClientId(client),
             seq,
-            Transaction::new(TransactionKind::YcsbWrite { key, value: vec![(client + seq) as u8; 16] }),
+            Transaction::new(TransactionKind::YcsbWrite {
+                key,
+                value: vec![(client + seq) as u8; 16],
+            }),
         )
     }
 
     fn batch_id(instance: u32, round: Round) -> BatchId {
-        BatchId { instance: InstanceId(instance), round }
+        BatchId {
+            instance: InstanceId(instance),
+            round,
+        }
     }
 
     #[test]
     fn identical_ordered_input_produces_identical_state_and_replies() {
         let ordered = vec![
-            (batch_id(0, 0), Batch::new(vec![write_request(1, 0, 10), write_request(2, 0, 11)])),
+            (
+                batch_id(0, 0),
+                Batch::new(vec![write_request(1, 0, 10), write_request(2, 0, 11)]),
+            ),
             (batch_id(1, 0), Batch::new(vec![write_request(3, 0, 10)])),
         ];
         let mut a = ExecutionEngine::with_ycsb_table(ReplicaId(0), 100, 8);
@@ -240,7 +264,10 @@ mod tests {
         let b1 = Batch::new(vec![write_request(2, 0, 5)]);
         let mut x = ExecutionEngine::new(ReplicaId(0));
         let mut y = ExecutionEngine::new(ReplicaId(1));
-        x.execute_round(0, &[(batch_id(0, 0), b0.clone()), (batch_id(1, 0), b1.clone())]);
+        x.execute_round(
+            0,
+            &[(batch_id(0, 0), b0.clone()), (batch_id(1, 0), b1.clone())],
+        );
         y.execute_round(0, &[(batch_id(1, 0), b1), (batch_id(0, 0), b0)]);
         assert_ne!(
             x.table().peek(5).unwrap().payload,
@@ -266,7 +293,11 @@ mod tests {
             ],
         );
         assert_eq!(
-            (first.accounts().balance(0), first.accounts().balance(1), first.accounts().balance(2)),
+            (
+                first.accounts().balance(0),
+                first.accounts().balance(1),
+                first.accounts().balance(2)
+            ),
             (600, 200, 400),
             "T1 then T2 column of Fig. 6"
         );
@@ -274,7 +305,10 @@ mod tests {
         let mut second = ExecutionEngine::with_accounts(ReplicaId(0), &balances);
         second.execute_round(
             0,
-            &[(batch_id(1, 0), Batch::new(vec![t2])), (batch_id(0, 0), Batch::new(vec![t1]))],
+            &[
+                (batch_id(1, 0), Batch::new(vec![t2])),
+                (batch_id(0, 0), Batch::new(vec![t1])),
+            ],
         );
         assert_eq!(
             (
@@ -325,13 +359,31 @@ mod tests {
         let scan = ClientRequest::new(
             ClientId(1),
             2,
-            Transaction::new(TransactionKind::YcsbScan { start: 45, count: 10 }),
+            Transaction::new(TransactionKind::YcsbScan {
+                start: 45,
+                count: 10,
+            }),
         );
         let replies =
             engine.execute_round(0, &[(batch_id(0, 0), Batch::new(vec![read, miss, scan]))]);
         assert_eq!(replies.len(), 3);
-        assert_eq!(replies[0].outcome, ExecutionOutcome::ReadResult { bytes: 16, found: true });
-        assert_eq!(replies[1].outcome, ExecutionOutcome::ReadResult { bytes: 0, found: false });
-        assert_eq!(replies[2].outcome, ExecutionOutcome::ScanResult { records: 5 });
+        assert_eq!(
+            replies[0].outcome,
+            ExecutionOutcome::ReadResult {
+                bytes: 16,
+                found: true
+            }
+        );
+        assert_eq!(
+            replies[1].outcome,
+            ExecutionOutcome::ReadResult {
+                bytes: 0,
+                found: false
+            }
+        );
+        assert_eq!(
+            replies[2].outcome,
+            ExecutionOutcome::ScanResult { records: 5 }
+        );
     }
 }

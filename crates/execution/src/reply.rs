@@ -87,7 +87,10 @@ mod tests {
 
     fn reply(replica: u32, outcome: ExecutionOutcome) -> ClientReply {
         ClientReply {
-            request: RequestId { client: ClientId(1), sequence: 4 },
+            request: RequestId {
+                client: ClientId(1),
+                sequence: 4,
+            },
             replica: ReplicaId(replica),
             executed_in_round: 9,
             position_in_round: 2,

@@ -1,1 +1,20 @@
-//! placeholder (implementation pending)
+//! MirBFT-style baseline — **placeholder, not yet implemented**.
+//!
+//! Intended scope: the closest related concurrent-consensus system the paper
+//! compares against in design (Section VI): MirBFT also runs multiple PBFT
+//! instances, but couples them through a shared epoch/leader-set
+//! reconfiguration — when an instance's primary fails, the whole leader set
+//! is rotated via a global epoch change, stalling all instances; RCC instead
+//! recovers instances independently (design goals D4/D5). Reproducing that
+//! coupling here lets the benchmark harness show the difference under
+//! failures:
+//!
+//! * epoch-based leader sets with a shared, stop-the-world epoch change;
+//! * request-space partitioning across instances (MirBFT's duplicate
+//!   suppression);
+//! * the same [`rcc_protocols::ByzantineCommitAlgorithm`] driver interface,
+//!   so the harness and simulator can run it unchanged next to
+//!   [`rcc_core::RccReplica`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -1,1 +1,20 @@
-//! placeholder (implementation pending)
+//! Analytical performance model — **placeholder, not yet implemented**.
+//!
+//! Intended scope: the closed-form throughput model of Section II (Fig. 1)
+//! and its RCC extension (Section III-F):
+//!
+//! * single-primary consensus is bounded by the primary's outgoing
+//!   bandwidth: `T_p = B / (n · st)` for batch wire-size `st` — the
+//!   "primaries are the bottleneck" observation that motivates RCC;
+//! * concurrent consensus with `m` instances raises the bound toward
+//!   `T = B / st` at `m = n`, because every replica's outgoing link carries
+//!   proposals;
+//! * predicted curves for the paper's deployment sizes
+//!   (`n ∈ {4, 16, 32, 64, 91}`) against which simulator results can be
+//!   validated.
+//!
+//! The [`rcc_common::WireCosts`] constants used by these formulas already
+//! live in `rcc-common`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

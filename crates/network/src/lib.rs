@@ -1,1 +1,25 @@
-//! placeholder (implementation pending)
+//! Transport layer for deployed RCC clusters — **placeholder, not yet
+//! implemented**.
+//!
+//! Intended scope (so future PRs have a target): the I/O boundary that the
+//! sans-io state machines of `rcc-protocols` and `rcc-core` are driven by in
+//! a real deployment, mirroring the role ResilientDB's network layer plays
+//! in the paper's experiments (Section V):
+//!
+//! * per-replica-pair ordered channels carrying `RccMessage` envelopes, with
+//!   the authentication mode of [`rcc_common::CryptoMode`] applied at the
+//!   boundary (MACs between replicas, signatures on client requests);
+//! * an in-process channel transport first (deterministic multi-threaded
+//!   runs), then TCP with length-prefixed frames for multi-machine clusters;
+//! * batching and out-of-order dispatch so a primary can keep
+//!   `out_of_order_window` proposals in flight, which is what lets RCC
+//!   saturate outgoing bandwidth;
+//! * client request ingress and reply egress (`f + 1` matching replies per
+//!   client, Section III-A).
+//!
+//! Until this lands, deployments are driven by the deterministic
+//! `rcc_protocols::harness::Cluster` and (eventually) the discrete-event
+//! simulator in `rcc-sim`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -131,17 +131,20 @@ impl<M> Action<M> {
     /// Maps the message type of the action, leaving control actions intact.
     pub fn map_message<N>(self, f: impl FnOnce(M) -> N) -> Action<N> {
         match self {
-            Action::Send { to, message } => Action::Send { to, message: f(message) },
-            Action::Broadcast { message } => Action::Broadcast { message: f(message) },
+            Action::Send { to, message } => Action::Send {
+                to,
+                message: f(message),
+            },
+            Action::Broadcast { message } => Action::Broadcast {
+                message: f(message),
+            },
             Action::SetTimer { timer, fires_at } => Action::SetTimer { timer, fires_at },
             Action::CancelTimer { timer } => Action::CancelTimer { timer },
             Action::Commit(slot) => Action::Commit(slot),
             Action::SuspectPrimary { primary, reason } => {
                 Action::SuspectPrimary { primary, reason }
             }
-            Action::ViewChanged { view, new_primary } => {
-                Action::ViewChanged { view, new_primary }
-            }
+            Action::ViewChanged { view, new_primary } => Action::ViewChanged { view, new_primary },
         }
     }
 
@@ -196,6 +199,31 @@ pub trait ByzantineCommitAlgorithm {
     /// `< committed_prefix()` have committed locally).
     fn committed_prefix(&self) -> Round;
 
+    /// One past the highest round this replica has observed a proposal for
+    /// (equivalently: the round the primary would propose in next). The RCC
+    /// instance manager uses this to decide how many catch-up no-ops a
+    /// lagging instance's primary must still propose.
+    fn next_proposal_round(&self) -> Round;
+
+    /// Notification from the embedding layer that this instance has fallen
+    /// more than the lag bound `σ` behind the other instances of an RCC
+    /// deployment (the throttling/lagging detection of Sections III-E and IV
+    /// of the paper). Only called on replicas that are *not* the instance's
+    /// current primary — a lagging primary catches up by proposing no-ops
+    /// instead.
+    ///
+    /// The default reports a progress-timeout suspicion against the current
+    /// primary; protocols with a view-change mechanism additionally start
+    /// one.
+    fn on_lag_detected(&mut self, _now: Time) -> Vec<Action<Self::Message>> {
+        vec![Action::SuspectPrimary {
+            primary: self.primary(),
+            reason: FailureReason::ProgressTimeout {
+                round: self.committed_prefix(),
+            },
+        }]
+    }
+
     /// As the primary, propose `batch` in the next round. Returns the
     /// actions to perform; on a non-primary replica or with no capacity this
     /// is a no-op returning an empty vector.
@@ -225,12 +253,18 @@ mod tests {
 
     #[test]
     fn map_message_preserves_control_actions() {
-        let action: Action<u32> = Action::SetTimer { timer: TimerId(1), fires_at: Time::ZERO };
+        let action: Action<u32> = Action::SetTimer {
+            timer: TimerId(1),
+            fires_at: Time::ZERO,
+        };
         match action.map_message(|m| m.to_string()) {
             Action::SetTimer { timer, .. } => assert_eq!(timer, TimerId(1)),
             other => panic!("unexpected action {other:?}"),
         }
-        let action: Action<u32> = Action::Send { to: ReplicaId(2), message: 7 };
+        let action: Action<u32> = Action::Send {
+            to: ReplicaId(2),
+            message: 7,
+        };
         match action.map_message(|m| m * 2) {
             Action::Send { to, message } => {
                 assert_eq!(to, ReplicaId(2));

@@ -129,7 +129,11 @@ impl<P: ByzantineCommitAlgorithm> Cluster<P> {
             match action {
                 Action::Send { to, message } => {
                     if self.link_up(replica, to) && to.index() < self.nodes.len() && to != replica {
-                        self.queue.push_back(Envelope { from: replica, to, message });
+                        self.queue.push_back(Envelope {
+                            from: replica,
+                            to,
+                            message,
+                        });
                     }
                 }
                 Action::Broadcast { message } => {
@@ -190,7 +194,10 @@ impl<P: ByzantineCommitAlgorithm> Cluster<P> {
         let bound = 1_000_000;
         while let Some(envelope) = self.queue.pop_front() {
             delivered += 1;
-            assert!(delivered < bound, "message storm: protocol does not quiesce");
+            assert!(
+                delivered < bound,
+                "message storm: protocol does not quiesce"
+            );
             if self.crashed.contains(&envelope.to) {
                 continue;
             }
@@ -232,7 +239,10 @@ impl<P: ByzantineCommitAlgorithm> Cluster<P> {
 
     /// Timers currently armed at `replica`.
     pub fn armed_timers(&self, replica: ReplicaId) -> Vec<(TimerId, Time)> {
-        self.timers[replica.index()].iter().map(|(t, at)| (*t, *at)).collect()
+        self.timers[replica.index()]
+            .iter()
+            .map(|(t, at)| (*t, *at))
+            .collect()
     }
 }
 
@@ -243,14 +253,19 @@ mod tests {
     use rcc_common::{ClientId, ClientRequest, SystemConfig, Transaction};
 
     fn batch(tag: u8) -> Batch {
-        Batch::new(vec![ClientRequest::new(ClientId(tag as u64), 0, Transaction::noop())])
+        Batch::new(vec![ClientRequest::new(
+            ClientId(tag as u64),
+            0,
+            Transaction::noop(),
+        )])
     }
 
     #[test]
     fn crashed_replicas_do_not_participate() {
         let n = 4;
-        let nodes =
-            (0..n).map(|i| Pbft::standalone(SystemConfig::new(n), ReplicaId(i as u32))).collect();
+        let nodes = (0..n)
+            .map(|i| Pbft::standalone(SystemConfig::new(n), ReplicaId(i as u32)))
+            .collect();
         let mut cluster: Cluster<Pbft> = Cluster::new(nodes);
         cluster.crash(ReplicaId(3));
         cluster.propose(ReplicaId(0), batch(1));
@@ -265,8 +280,9 @@ mod tests {
     #[test]
     fn message_counting_and_link_drops() {
         let n = 4;
-        let nodes =
-            (0..n).map(|i| Pbft::standalone(SystemConfig::new(n), ReplicaId(i as u32))).collect();
+        let nodes = (0..n)
+            .map(|i| Pbft::standalone(SystemConfig::new(n), ReplicaId(i as u32)))
+            .collect();
         let mut cluster: Cluster<Pbft> = Cluster::new(nodes);
         cluster.set_drop_link(ReplicaId(0), ReplicaId(3), true);
         cluster.propose(ReplicaId(0), batch(1));

@@ -11,16 +11,19 @@
 //! * [`zyzzyva`] — Zyzzyva's speculative single-round fast path with the
 //!   client-driven commit-certificate slow path that makes it fragile under
 //!   failures.
-//! * [`sbft`] — SBFT's collector-based linear state exchange built on
-//!   threshold certificates.
-//! * [`hotstuff`] — the event-based, chained HotStuff with rotating leaders
-//!   and no out-of-order processing.
+//!
+//! Planned (tracked in ROADMAP.md, not yet implemented): `sbft` (SBFT's
+//! collector-based linear state exchange built on threshold certificates),
+//! `hotstuff` (the event-based, chained HotStuff with rotating leaders and no
+//! out-of-order processing), and an `any` module providing a
+//! runtime-selectable wrapper so the simulator and benchmark harness can pick
+//! a protocol by name.
 //!
 //! The [`bca`] module defines the [`bca::ByzantineCommitAlgorithm`] trait all
 //! of them implement, the [`bca::Action`] vocabulary they emit, and the
 //! assumptions (A1–A4 in Section III-B of the paper) the RCC layer relies
-//! on. The [`any`] module provides a runtime-selectable wrapper so that the
-//! simulator and benchmark harness can pick a protocol by name.
+//! on. The [`harness`] module is a deterministic in-memory cluster driver
+//! shared by all protocol tests and by `rcc-core`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -29,6 +32,10 @@ pub mod bca;
 pub mod harness;
 pub mod pbft;
 pub mod quorum;
+pub mod zyzzyva;
 
 pub use bca::{Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId};
+pub use harness::Cluster;
+pub use pbft::Pbft;
 pub use quorum::QuorumTracker;
+pub use zyzzyva::Zyzzyva;

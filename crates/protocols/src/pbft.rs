@@ -13,8 +13,8 @@ use crate::bca::{
     Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId, WireMessage,
 };
 use crate::quorum::QuorumTracker;
-use rcc_common::{Batch, Digest, ReplicaId, Round, SystemConfig, Time, View};
 use rcc_common::ids::primary_of_view;
+use rcc_common::{Batch, Digest, InstanceId, ReplicaId, Round, SystemConfig, Time, View};
 use rcc_crypto::hash::digest_batch;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -78,16 +78,25 @@ impl WireMessage for PbftMessage {
             PbftMessage::PrePrepare { batch, .. } => 200 + batch.wire_size(),
             PbftMessage::Prepare { .. } | PbftMessage::Commit { .. } => 250,
             PbftMessage::ViewChange { prepared, .. } => {
-                250 + prepared.iter().map(|(_, _, b)| b.wire_size() + 48).sum::<usize>()
+                250 + prepared
+                    .iter()
+                    .map(|(_, _, b)| b.wire_size() + 48)
+                    .sum::<usize>()
             }
             PbftMessage::NewView { preprepares, .. } => {
-                250 + preprepares.iter().map(|(_, _, b)| b.wire_size() + 48).sum::<usize>()
+                250 + preprepares
+                    .iter()
+                    .map(|(_, _, b)| b.wire_size() + 48)
+                    .sum::<usize>()
             }
         }
     }
 
     fn is_proposal(&self) -> bool {
-        matches!(self, PbftMessage::PrePrepare { .. } | PbftMessage::NewView { .. })
+        matches!(
+            self,
+            PbftMessage::PrePrepare { .. } | PbftMessage::NewView { .. }
+        )
     }
 }
 
@@ -103,6 +112,14 @@ struct Slot {
     view: View,
 }
 
+/// A slot the sender had prepared but not committed when voting for a view
+/// change, carried so the next primary can re-propose it.
+type PreparedSlot = (Round, Digest, Batch);
+
+/// One replica's view-change vote: its committed prefix plus its prepared
+/// slots.
+type ViewChangeVote = (Round, Vec<PreparedSlot>);
+
 /// The PBFT state machine for one replica of one consensus instance.
 #[derive(Clone, Debug)]
 pub struct Pbft {
@@ -117,7 +134,7 @@ pub struct Pbft {
     committed_prefix: Round,
     slots: BTreeMap<Round, Slot>,
     in_view_change: bool,
-    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, (Round, Vec<(Round, Digest, Batch)>)>>,
+    view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, ViewChangeVote>>,
     entered_new_view: BTreeMap<View, bool>,
     next_timer: u64,
     progress_timer: Option<(TimerId, Round)>,
@@ -202,7 +219,10 @@ impl Pbft {
             actions.push(Action::CancelTimer { timer });
         }
         let has_outstanding = self.next_proposal_round > self.committed_prefix
-            || self.slots.range(self.committed_prefix..).any(|(_, s)| !s.committed);
+            || self
+                .slots
+                .range(self.committed_prefix..)
+                .any(|(_, s)| !s.committed);
         if has_outstanding {
             let timer = self.alloc_timer();
             self.progress_timer = Some((timer, self.committed_prefix));
@@ -222,7 +242,9 @@ impl Pbft {
         let view = self.view;
         let quorum = self.quorum();
         let replica = self.replica;
-        let Some(slot) = self.slots.get_mut(&round) else { return };
+        let Some(slot) = self.slots.get_mut(&round) else {
+            return;
+        };
         let Some(digest) = slot.digest else { return };
 
         // Phase 2: once the proposal is known, announce a PREPARE (every
@@ -231,7 +253,11 @@ impl Pbft {
             slot.sent_prepare = true;
             slot.prepares.vote(replica, digest);
             actions.push(Action::Broadcast {
-                message: PbftMessage::Prepare { view, round, digest },
+                message: PbftMessage::Prepare {
+                    view,
+                    round,
+                    digest,
+                },
             });
         }
 
@@ -240,7 +266,11 @@ impl Pbft {
             slot.sent_commit = true;
             slot.commits.vote(replica, digest);
             actions.push(Action::Broadcast {
-                message: PbftMessage::Commit { view, round, digest },
+                message: PbftMessage::Commit {
+                    view,
+                    round,
+                    digest,
+                },
             });
         }
 
@@ -312,12 +342,19 @@ impl Pbft {
         let mut to_repropose: BTreeMap<Round, (Digest, Batch)> = BTreeMap::new();
         for (_, (_, prepared)) in votes.iter() {
             for (round, digest, batch) in prepared {
-                to_repropose.entry(*round).or_insert((*digest, batch.clone()));
+                to_repropose
+                    .entry(*round)
+                    .or_insert((*digest, batch.clone()));
             }
         }
-        let preprepares: Vec<(Round, Digest, Batch)> =
-            to_repropose.into_iter().map(|(round, (digest, batch))| (round, digest, batch)).collect();
-        let message = PbftMessage::NewView { view: candidate_view, preprepares: preprepares.clone() };
+        let preprepares: Vec<(Round, Digest, Batch)> = to_repropose
+            .into_iter()
+            .map(|(round, (digest, batch))| (round, digest, batch))
+            .collect();
+        let message = PbftMessage::NewView {
+            view: candidate_view,
+            preprepares: preprepares.clone(),
+        };
         actions.push(Action::Broadcast { message });
         // Enter the view locally as the new primary.
         self.enter_view(now, candidate_view, preprepares, actions);
@@ -332,7 +369,10 @@ impl Pbft {
     ) {
         self.view = view;
         self.in_view_change = false;
-        actions.push(Action::ViewChanged { view, new_primary: self.primary_of(view) });
+        actions.push(Action::ViewChanged {
+            view,
+            new_primary: self.primary_of(view),
+        });
         // Reset per-slot phase flags for uncommitted slots: votes from the
         // old view do not carry over.
         let committed_prefix = self.committed_prefix;
@@ -352,10 +392,50 @@ impl Pbft {
         for round in reproposals {
             self.try_prepare_and_commit(now, round, actions);
         }
-        // The new primary resumes proposing after the highest slot seen.
+        // The new primary resumes proposing after the highest slot seen, and
+        // fills every round the old primary left without a recoverable
+        // proposal with a no-op batch. Without this, a round the faulty
+        // primary proposed to fewer than a prepare-quorum of replicas would
+        // never commit and would stall the contiguous prefix forever — and,
+        // inside RCC, stall the round-based execution order (the "orderer
+        // substitutes a no-op after the view change" behaviour of Section
+        // III-C is realised by committing these no-ops through the instance).
         if self.is_primary() {
-            let max_known = self.slots.keys().next_back().copied().map(|r| r + 1).unwrap_or(0);
+            let max_known = self
+                .slots
+                .keys()
+                .next_back()
+                .copied()
+                .map(|r| r + 1)
+                .unwrap_or(0);
             self.next_proposal_round = self.next_proposal_round.max(max_known);
+            let gaps: Vec<Round> = (self.committed_prefix..self.next_proposal_round)
+                .filter(|r| {
+                    self.slots
+                        .get(r)
+                        .map(|s| s.digest.is_none())
+                        .unwrap_or(true)
+                })
+                .collect();
+            for round in gaps {
+                let batch = Batch::noop(InstanceId(self.base_primary.0), round);
+                let digest = digest_batch(&batch);
+                {
+                    let slot = self.slot(round);
+                    slot.view = view;
+                    slot.digest = Some(digest);
+                    slot.batch = Some(batch.clone());
+                }
+                actions.push(Action::Broadcast {
+                    message: PbftMessage::PrePrepare {
+                        view,
+                        round,
+                        digest,
+                        batch,
+                    },
+                });
+                self.try_prepare_and_commit(now, round, actions);
+            }
         }
         self.rearm_progress_timer(now, actions);
     }
@@ -392,6 +472,23 @@ impl ByzantineCommitAlgorithm for Pbft {
         self.committed_prefix
     }
 
+    fn next_proposal_round(&self) -> Round {
+        self.next_proposal_round
+    }
+
+    fn on_lag_detected(&mut self, now: Time) -> Vec<Action<PbftMessage>> {
+        let mut actions = vec![Action::SuspectPrimary {
+            primary: self.primary(),
+            reason: FailureReason::ProgressTimeout {
+                round: self.committed_prefix,
+            },
+        }];
+        if !self.suppress_view_changes && !self.in_view_change {
+            self.start_view_change(now, &mut actions);
+        }
+        actions
+    }
+
     fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<PbftMessage>> {
         let mut actions = Vec::new();
         if self.proposal_capacity() == 0 {
@@ -408,7 +505,12 @@ impl ByzantineCommitAlgorithm for Pbft {
             slot.batch = Some(batch.clone());
         }
         actions.push(Action::Broadcast {
-            message: PbftMessage::PrePrepare { view, round, digest, batch },
+            message: PbftMessage::PrePrepare {
+                view,
+                round,
+                digest,
+                batch,
+            },
         });
         self.try_prepare_and_commit(now, round, &mut actions);
         if self.progress_timer.is_none() {
@@ -425,7 +527,12 @@ impl ByzantineCommitAlgorithm for Pbft {
     ) -> Vec<Action<PbftMessage>> {
         let mut actions = Vec::new();
         match message {
-            PbftMessage::PrePrepare { view, round, digest, batch } => {
+            PbftMessage::PrePrepare {
+                view,
+                round,
+                digest,
+                batch,
+            } => {
                 if view != self.view || self.in_view_change {
                     return actions;
                 }
@@ -473,21 +580,33 @@ impl ByzantineCommitAlgorithm for Pbft {
                 }
                 self.try_prepare_and_commit(now, round, &mut actions);
             }
-            PbftMessage::Prepare { view, round, digest } => {
+            PbftMessage::Prepare {
+                view,
+                round,
+                digest,
+            } => {
                 if view != self.view || self.in_view_change {
                     return actions;
                 }
                 self.slot(round).prepares.vote(from, digest);
                 self.try_prepare_and_commit(now, round, &mut actions);
             }
-            PbftMessage::Commit { view, round, digest } => {
+            PbftMessage::Commit {
+                view,
+                round,
+                digest,
+            } => {
                 if view != self.view || self.in_view_change {
                     return actions;
                 }
                 self.slot(round).commits.vote(from, digest);
                 self.try_prepare_and_commit(now, round, &mut actions);
             }
-            PbftMessage::ViewChange { new_view, committed_prefix, prepared } => {
+            PbftMessage::ViewChange {
+                new_view,
+                committed_prefix,
+                prepared,
+            } => {
                 if self.suppress_view_changes || new_view <= self.view {
                     return actions;
                 }
@@ -495,10 +614,16 @@ impl ByzantineCommitAlgorithm for Pbft {
                     .entry(new_view)
                     .or_default()
                     .insert(from, (committed_prefix, prepared));
-                let votes = self.view_change_votes.get(&new_view).map(|v| v.len()).unwrap_or(0);
+                let votes = self
+                    .view_change_votes
+                    .get(&new_view)
+                    .map(|v| v.len())
+                    .unwrap_or(0);
                 // f + 1 view-change votes prove at least one non-faulty replica
                 // timed out: join the view change.
-                if votes >= self.config.weak_quorum() && !self.in_view_change && new_view == self.view + 1
+                if votes >= self.config.weak_quorum()
+                    && !self.in_view_change
+                    && new_view == self.view + 1
                 {
                     actions.push(Action::SuspectPrimary {
                         primary: self.primary(),
@@ -513,6 +638,36 @@ impl ByzantineCommitAlgorithm for Pbft {
                     return actions;
                 }
                 if from != self.primary_of(view) {
+                    return actions;
+                }
+                // Only follow a NEW-VIEW backed by evidence: at least f + 1
+                // locally recorded VIEW-CHANGE votes for that view prove at
+                // least one non-faulty replica abandoned the old primary.
+                // Without this, a single Byzantine replica could depose a
+                // healthy primary the moment its round-robin turn comes up.
+                // (Carrying the full vote certificate inside NEW-VIEW, as
+                // original PBFT does, is tracked in ROADMAP.md.)
+                let evidence = self
+                    .view_change_votes
+                    .get(&view)
+                    .map(|v| v.len())
+                    .unwrap_or(0);
+                if evidence < self.config.weak_quorum() {
+                    return actions;
+                }
+                // Re-proposals must be internally consistent; a mismatched
+                // digest proves the new primary is faulty.
+                if preprepares
+                    .iter()
+                    .any(|(_, digest, batch)| digest_batch(batch) != *digest)
+                {
+                    actions.push(Action::SuspectPrimary {
+                        primary: from,
+                        reason: FailureReason::InvalidProposal {
+                            round: self.committed_prefix,
+                            description: "NEW-VIEW re-proposal digest does not match batch".into(),
+                        },
+                    });
                     return actions;
                 }
                 self.enter_view(now, view, preprepares, &mut actions);
@@ -538,7 +693,9 @@ impl ByzantineCommitAlgorithm for Pbft {
         // No progress: the primary is suspected.
         actions.push(Action::SuspectPrimary {
             primary: self.primary(),
-            reason: FailureReason::ProgressTimeout { round: self.committed_prefix },
+            reason: FailureReason::ProgressTimeout {
+                round: self.committed_prefix,
+            },
         });
         if !self.suppress_view_changes && !self.in_view_change {
             self.start_view_change(now, &mut actions);
@@ -557,7 +714,11 @@ mod tests {
     }
 
     fn cluster(n: usize) -> Cluster<Pbft> {
-        Cluster::new((0..n).map(|i| Pbft::standalone(config(n), ReplicaId(i as u32))).collect())
+        Cluster::new(
+            (0..n)
+                .map(|i| Pbft::standalone(config(n), ReplicaId(i as u32)))
+                .collect(),
+        )
     }
 
     fn batch(tag: u8) -> Batch {
@@ -632,34 +793,60 @@ mod tests {
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(0),
-            PbftMessage::PrePrepare { view: 0, round: 0, digest, batch: b },
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 0,
+                digest,
+                batch: b,
+            },
         );
         assert!(actions.iter().all(|a| a.as_commit().is_none()));
         // Prepares from primary + self are implicit; add only one more (total 3 = nf).
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(2),
-            PbftMessage::Prepare { view: 0, round: 0, digest },
+            PbftMessage::Prepare {
+                view: 0,
+                round: 0,
+                digest,
+            },
         );
         // Now prepared (self + R0 implicit? R0 did not send Prepare here), so
         // count: self(R1) + R2 = 2 < 3: not yet prepared, no commit broadcast.
-        assert!(actions.iter().all(|a| !matches!(a, Action::Broadcast { message: PbftMessage::Commit { .. } })));
+        assert!(actions.iter().all(|a| !matches!(
+            a,
+            Action::Broadcast {
+                message: PbftMessage::Commit { .. }
+            }
+        )));
         let _ = replica.on_message(
             Time::ZERO,
             ReplicaId(3),
-            PbftMessage::Prepare { view: 0, round: 0, digest },
+            PbftMessage::Prepare {
+                view: 0,
+                round: 0,
+                digest,
+            },
         );
         // Commits: self only. Two more needed.
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(2),
-            PbftMessage::Commit { view: 0, round: 0, digest },
+            PbftMessage::Commit {
+                view: 0,
+                round: 0,
+                digest,
+            },
         );
         assert!(actions.iter().all(|a| a.as_commit().is_none()));
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(3),
-            PbftMessage::Commit { view: 0, round: 0, digest },
+            PbftMessage::Commit {
+                view: 0,
+                round: 0,
+                digest,
+            },
         );
         assert_eq!(actions.iter().filter_map(|a| a.as_commit()).count(), 1);
     }
@@ -673,16 +860,29 @@ mod tests {
         replica.on_message(
             Time::ZERO,
             ReplicaId(0),
-            PbftMessage::PrePrepare { view: 0, round: 0, digest: digest_batch(&b1), batch: b1 },
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 0,
+                digest: digest_batch(&b1),
+                batch: b1,
+            },
         );
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(0),
-            PbftMessage::PrePrepare { view: 0, round: 0, digest: digest_batch(&b2), batch: b2 },
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 0,
+                digest: digest_batch(&b2),
+                batch: b2,
+            },
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::SuspectPrimary { reason: FailureReason::Equivocation { .. }, .. }
+            Action::SuspectPrimary {
+                reason: FailureReason::Equivocation { .. },
+                ..
+            }
         )));
     }
 
@@ -694,11 +894,19 @@ mod tests {
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(0),
-            PbftMessage::PrePrepare { view: 0, round: 0, digest: Digest::ZERO, batch: b },
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 0,
+                digest: Digest::ZERO,
+                batch: b,
+            },
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::SuspectPrimary { reason: FailureReason::InvalidProposal { .. }, .. }
+            Action::SuspectPrimary {
+                reason: FailureReason::InvalidProposal { .. },
+                ..
+            }
         )));
     }
 
@@ -714,7 +922,10 @@ mod tests {
         cluster.propose(ReplicaId(0), batch(1));
         cluster.run_to_quiescence();
         for r in 0..n {
-            assert!(cluster.committed(ReplicaId(r as u32)).is_empty(), "replica {r}");
+            assert!(
+                cluster.committed(ReplicaId(r as u32)).is_empty(),
+                "replica {r}"
+            );
         }
         // Fire the progress timers (armed at R0 and R1): they suspect the
         // primary and broadcast VIEW-CHANGE votes; once R2/R3 see f + 1 such
@@ -723,7 +934,11 @@ mod tests {
         cluster.set_drop_link(ReplicaId(0), ReplicaId(3), false);
         cluster.fire_all_timers();
         for r in 1..n {
-            assert_eq!(cluster.node(ReplicaId(r as u32)).view(), 1, "replica {r} moved to view 1");
+            assert_eq!(
+                cluster.node(ReplicaId(r as u32)).view(),
+                1,
+                "replica {r} moved to view 1"
+            );
             assert_eq!(cluster.node(ReplicaId(r as u32)).primary(), ReplicaId(1));
         }
         // The new primary can now propose and commit.
@@ -740,15 +955,19 @@ mod tests {
     #[test]
     fn rcc_mode_reports_failure_without_view_change() {
         let cfg = config(4);
-        let mut replica =
-            Pbft::new(cfg, ReplicaId(1), ReplicaId(0)).with_suppressed_view_changes();
+        let mut replica = Pbft::new(cfg, ReplicaId(1), ReplicaId(0)).with_suppressed_view_changes();
         // Receive a proposal so a progress timer is armed.
         let b = batch(1);
         let digest = digest_batch(&b);
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(0),
-            PbftMessage::PrePrepare { view: 0, round: 0, digest, batch: b },
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 0,
+                digest,
+                batch: b,
+            },
         );
         let timer = actions
             .iter()
@@ -758,14 +977,21 @@ mod tests {
             })
             .expect("progress timer armed");
         let actions = replica.on_timeout(Time::from_secs(10), timer);
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::SuspectPrimary { primary, .. } if *primary == ReplicaId(0))));
+        assert!(actions.iter().any(
+            |a| matches!(a, Action::SuspectPrimary { primary, .. } if *primary == ReplicaId(0))
+        ));
         // No view change machinery in RCC mode.
-        assert!(actions
-            .iter()
-            .all(|a| !matches!(a, Action::Broadcast { message: PbftMessage::ViewChange { .. } })));
-        assert_eq!(replica.primary(), ReplicaId(0), "coordinator never rotates inside RCC");
+        assert!(actions.iter().all(|a| !matches!(
+            a,
+            Action::Broadcast {
+                message: PbftMessage::ViewChange { .. }
+            }
+        )));
+        assert_eq!(
+            replica.primary(),
+            ReplicaId(0),
+            "coordinator never rotates inside RCC"
+        );
     }
 
     #[test]
@@ -775,14 +1001,51 @@ mod tests {
         let b = batch(1);
         let digest = digest_batch(&b);
         // Prepares and commits arrive before the proposal.
-        replica.on_message(Time::ZERO, ReplicaId(2), PbftMessage::Prepare { view: 0, round: 0, digest });
-        replica.on_message(Time::ZERO, ReplicaId(3), PbftMessage::Prepare { view: 0, round: 0, digest });
-        replica.on_message(Time::ZERO, ReplicaId(2), PbftMessage::Commit { view: 0, round: 0, digest });
-        replica.on_message(Time::ZERO, ReplicaId(3), PbftMessage::Commit { view: 0, round: 0, digest });
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(2),
+            PbftMessage::Prepare {
+                view: 0,
+                round: 0,
+                digest,
+            },
+        );
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(3),
+            PbftMessage::Prepare {
+                view: 0,
+                round: 0,
+                digest,
+            },
+        );
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(2),
+            PbftMessage::Commit {
+                view: 0,
+                round: 0,
+                digest,
+            },
+        );
+        replica.on_message(
+            Time::ZERO,
+            ReplicaId(3),
+            PbftMessage::Commit {
+                view: 0,
+                round: 0,
+                digest,
+            },
+        );
         let actions = replica.on_message(
             Time::ZERO,
             ReplicaId(0),
-            PbftMessage::PrePrepare { view: 0, round: 0, digest, batch: b },
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 0,
+                digest,
+                batch: b,
+            },
         );
         assert_eq!(
             actions.iter().filter_map(|a| a.as_commit()).count(),

@@ -36,7 +36,10 @@ impl QuorumTracker {
 
     /// The set of replicas that voted for `digest`.
     pub fn voters(&self, digest: &Digest) -> Vec<ReplicaId> {
-        self.votes.get(digest).map(|s| s.iter().copied().collect()).unwrap_or_default()
+        self.votes
+            .get(digest)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// Whether `replica` has voted for any digest in this tracker.

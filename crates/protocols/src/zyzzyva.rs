@@ -155,7 +155,10 @@ impl Zyzzyva {
             actions.push(Action::CancelTimer { timer });
         }
         let outstanding = self.next_proposal_round > self.speculative_prefix
-            || self.slots.range(self.speculative_prefix..).any(|(_, s)| !s.speculated);
+            || self
+                .slots
+                .range(self.speculative_prefix..)
+                .any(|(_, s)| !s.speculated);
         if outstanding {
             let timer = self.alloc_timer();
             self.progress_timer = Some((timer, self.speculative_prefix));
@@ -171,8 +174,12 @@ impl Zyzzyva {
     fn speculate_ready_slots(&mut self, now: Time, actions: &mut Vec<Action<ZyzzyvaMessage>>) {
         loop {
             let round = self.speculative_prefix;
-            let Some(slot) = self.slots.get_mut(&round) else { break };
-            let (Some(digest), Some(batch)) = (slot.digest, slot.batch.clone()) else { break };
+            let Some(slot) = self.slots.get_mut(&round) else {
+                break;
+            };
+            let (Some(digest), Some(batch)) = (slot.digest, slot.batch.clone()) else {
+                break;
+            };
             if slot.speculated {
                 break;
             }
@@ -193,7 +200,9 @@ impl Zyzzyva {
     fn try_stable_commit(&mut self, round: Round, actions: &mut Vec<Action<ZyzzyvaMessage>>) {
         let quorum = self.config.quorum();
         let view = self.view;
-        let Some(slot) = self.slots.get_mut(&round) else { return };
+        let Some(slot) = self.slots.get_mut(&round) else {
+            return;
+        };
         let Some(digest) = slot.digest else { return };
         if slot.committed || !slot.local_commits.has_quorum(&digest, quorum) {
             return;
@@ -248,10 +257,16 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
         self.config.out_of_order_window.saturating_sub(in_flight)
     }
 
+    // Intentionally "misnamed": speculative acceptance is what drives
+    // execution and client replies in Zyzzyva; stable commits only matter on
+    // the slow path.
+    #[allow(clippy::misnamed_getters)]
     fn committed_prefix(&self) -> Round {
-        // Speculative acceptance is what drives execution and client replies
-        // in Zyzzyva; stable commits only matter on the slow path.
         self.speculative_prefix
+    }
+
+    fn next_proposal_round(&self) -> Round {
+        self.next_proposal_round
     }
 
     fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<ZyzzyvaMessage>> {
@@ -270,7 +285,13 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
             slot.batch = Some(batch.clone());
         }
         actions.push(Action::Broadcast {
-            message: ZyzzyvaMessage::OrderRequest { view, round, digest, history, batch },
+            message: ZyzzyvaMessage::OrderRequest {
+                view,
+                round,
+                digest,
+                history,
+                batch,
+            },
         });
         self.speculate_ready_slots(now, &mut actions);
         actions
@@ -284,7 +305,13 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
     ) -> Vec<Action<ZyzzyvaMessage>> {
         let mut actions = Vec::new();
         match message {
-            ZyzzyvaMessage::OrderRequest { view, round, digest, history, batch } => {
+            ZyzzyvaMessage::OrderRequest {
+                view,
+                round,
+                digest,
+                history,
+                batch,
+            } => {
                 if view != self.view || from != self.primary() {
                     return actions;
                 }
@@ -302,7 +329,11 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
                     if existing != digest {
                         actions.push(Action::SuspectPrimary {
                             primary: self.primary(),
-                            reason: FailureReason::Equivocation { round, first: existing, second: digest },
+                            reason: FailureReason::Equivocation {
+                                round,
+                                first: existing,
+                                second: digest,
+                            },
                         });
                         return actions;
                     }
@@ -328,7 +359,12 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
                     });
                 }
             }
-            ZyzzyvaMessage::CommitCertificate { view, round, digest, backers } => {
+            ZyzzyvaMessage::CommitCertificate {
+                view,
+                round,
+                digest,
+                backers,
+            } => {
                 if view != self.view {
                     return actions;
                 }
@@ -351,11 +387,19 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
                 }
                 actions.push(Action::Send {
                     to: from,
-                    message: ZyzzyvaMessage::LocalCommit { view, round, digest },
+                    message: ZyzzyvaMessage::LocalCommit {
+                        view,
+                        round,
+                        digest,
+                    },
                 });
                 self.try_stable_commit(round, &mut actions);
             }
-            ZyzzyvaMessage::LocalCommit { view, round, digest } => {
+            ZyzzyvaMessage::LocalCommit {
+                view,
+                round,
+                digest,
+            } => {
                 if view != self.view {
                     return actions;
                 }
@@ -368,7 +412,9 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
 
     fn on_timeout(&mut self, now: Time, timer: TimerId) -> Vec<Action<ZyzzyvaMessage>> {
         let mut actions = Vec::new();
-        let Some((armed, watched)) = self.progress_timer else { return actions };
+        let Some((armed, watched)) = self.progress_timer else {
+            return actions;
+        };
         if armed != timer {
             return actions;
         }
@@ -379,7 +425,9 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
         }
         actions.push(Action::SuspectPrimary {
             primary: self.primary(),
-            reason: FailureReason::ProgressTimeout { round: self.speculative_prefix },
+            reason: FailureReason::ProgressTimeout {
+                round: self.speculative_prefix,
+            },
         });
         if !self.suppress_view_changes {
             // Zyzzyva's full view change is notoriously heavy; the embedding
@@ -403,11 +451,19 @@ mod tests {
     }
 
     fn batch(tag: u8) -> Batch {
-        Batch::new(vec![ClientRequest::new(ClientId(tag as u64), 0, Transaction::noop())])
+        Batch::new(vec![ClientRequest::new(
+            ClientId(tag as u64),
+            0,
+            Transaction::noop(),
+        )])
     }
 
     fn cluster(n: usize) -> Cluster<Zyzzyva> {
-        Cluster::new((0..n).map(|i| Zyzzyva::standalone(config(n), ReplicaId(i as u32))).collect())
+        Cluster::new(
+            (0..n)
+                .map(|i| Zyzzyva::standalone(config(n), ReplicaId(i as u32)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -416,7 +472,10 @@ mod tests {
         cluster.propose(ReplicaId(0), batch(1));
         let delivered = cluster.run_to_quiescence();
         // One OrderRequest to each of the 3 backups and nothing else.
-        assert_eq!(delivered, 3, "Zyzzyva's failure-free path is a single broadcast");
+        assert_eq!(
+            delivered, 3,
+            "Zyzzyva's failure-free path is a single broadcast"
+        );
         for r in 0..4 {
             let commits = cluster.committed(ReplicaId(r));
             assert_eq!(commits.len(), 1);
@@ -490,9 +549,13 @@ mod tests {
             },
         );
         // It acknowledges with a LocalCommit and commits stably.
-        assert!(actions
-            .iter()
-            .any(|a| matches!(a, Action::Send { message: ZyzzyvaMessage::LocalCommit { .. }, .. })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::Send {
+                message: ZyzzyvaMessage::LocalCommit { .. },
+                ..
+            }
+        )));
         let commits: Vec<_> = actions.iter().filter_map(|a| a.as_commit()).collect();
         assert_eq!(commits.len(), 1);
         assert!(!commits[0].speculative);
@@ -513,7 +576,10 @@ mod tests {
                 backers: vec![ReplicaId(0), ReplicaId(0), ReplicaId(2)],
             },
         );
-        assert!(actions.is_empty(), "duplicate backers must not reach the quorum");
+        assert!(
+            actions.is_empty(),
+            "duplicate backers must not reach the quorum"
+        );
     }
 
     #[test]
@@ -546,7 +612,10 @@ mod tests {
         );
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::SuspectPrimary { reason: FailureReason::Equivocation { .. }, .. }
+            Action::SuspectPrimary {
+                reason: FailureReason::Equivocation { .. },
+                ..
+            }
         )));
     }
 
@@ -590,7 +659,10 @@ mod tests {
         let actions = replica.on_timeout(Time::from_secs(5), timer);
         assert!(actions.iter().any(|a| matches!(
             a,
-            Action::SuspectPrimary { reason: FailureReason::ProgressTimeout { .. }, .. }
+            Action::SuspectPrimary {
+                reason: FailureReason::ProgressTimeout { .. },
+                ..
+            }
         )));
     }
 }

@@ -1,0 +1,119 @@
+//! The tagged message envelope of an RCC deployment.
+//!
+//! All traffic between two RCC replicas travels as one [`RccMessage`]: either
+//! a BCA message tagged with the consensus instance it belongs to, or one of
+//! the RCC-level state-sync messages used to recover committed slots a
+//! replica missed (the practical face of assumption A3: an accepted proposal
+//! can be recovered from any `nf − f` non-faulty replicas).
+
+use rcc_common::{Batch, Digest, InstanceId, Round, View};
+use rcc_protocols::bca::WireMessage;
+use serde::{Deserialize, Serialize};
+
+/// A message exchanged between two RCC replicas.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RccMessage<M> {
+    /// A message of consensus instance `instance`'s BCA.
+    Instance {
+        /// The instance the payload belongs to.
+        instance: InstanceId,
+        /// The BCA-level message.
+        message: M,
+    },
+    /// Request for the committed slot of `instance` at `round`, broadcast by
+    /// a replica whose execution order is blocked on a slot it never
+    /// committed locally.
+    SlotRequest {
+        /// The instance whose slot is missing.
+        instance: InstanceId,
+        /// The missing round.
+        round: Round,
+    },
+    /// A committed slot served in response to a [`RccMessage::SlotRequest`].
+    /// Receivers accept a slot once `f + 1` distinct replicas reply with the
+    /// same digest, which guarantees at least one reply came from a
+    /// non-faulty replica.
+    SlotReply {
+        /// The instance the slot belongs to.
+        instance: InstanceId,
+        /// The round of the slot.
+        round: Round,
+        /// The digest certified by the instance's commit quorum.
+        digest: Digest,
+        /// The committed batch.
+        batch: Batch,
+        /// The view the slot committed in.
+        view: View,
+    },
+}
+
+impl<M: WireMessage> WireMessage for RccMessage<M> {
+    fn wire_size(&self) -> usize {
+        match self {
+            // Instance tag adds 8 bytes of framing to the inner message.
+            RccMessage::Instance { message, .. } => 8 + message.wire_size(),
+            RccMessage::SlotRequest { .. } => 64,
+            RccMessage::SlotReply { batch, .. } => 128 + batch.wire_size(),
+        }
+    }
+
+    fn is_proposal(&self) -> bool {
+        match self {
+            RccMessage::Instance { message, .. } => message.is_proposal(),
+            RccMessage::SlotRequest { .. } => false,
+            // Slot replies carry a full batch payload.
+            RccMessage::SlotReply { .. } => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Dummy(usize, bool);
+
+    impl WireMessage for Dummy {
+        fn wire_size(&self) -> usize {
+            self.0
+        }
+        fn is_proposal(&self) -> bool {
+            self.1
+        }
+    }
+
+    #[test]
+    fn envelope_adds_framing_and_delegates_proposal_flag() {
+        let m = RccMessage::Instance {
+            instance: InstanceId(2),
+            message: Dummy(100, true),
+        };
+        assert_eq!(m.wire_size(), 108);
+        assert!(m.is_proposal());
+        let m = RccMessage::Instance {
+            instance: InstanceId(2),
+            message: Dummy(250, false),
+        };
+        assert!(!m.is_proposal());
+    }
+
+    #[test]
+    fn sync_messages_have_fixed_framing() {
+        let req: RccMessage<Dummy> = RccMessage::SlotRequest {
+            instance: InstanceId(0),
+            round: 3,
+        };
+        assert!(!req.is_proposal());
+        assert_eq!(req.wire_size(), 64);
+        let reply: RccMessage<Dummy> = RccMessage::SlotReply {
+            instance: InstanceId(0),
+            round: 3,
+            digest: Digest::ZERO,
+            batch: Batch::noop(InstanceId(0), 3),
+            view: 0,
+        };
+        assert!(reply.is_proposal());
+        assert!(reply.wire_size() > 128);
+    }
+}

@@ -1,0 +1,262 @@
+//! The deterministic round-based execution orderer.
+//!
+//! Step 2 of the RCC paradigm (Section III-B): after the `m` concurrent
+//! instances accept their proposals for round `ρ`, every replica executes the
+//! `m` accepted batches in a deterministic order. This module implements the
+//! bookkeeping: commits arrive per `(instance, round)` in arbitrary order
+//! (instances run independently and BCAs commit out of order), are buffered,
+//! and a round is *released* only once all `m` instances have contributed
+//! their slot — at which point its batches come out in instance-id order.
+//!
+//! The orderer also exposes the per-instance *lag*: how far an instance's
+//! first missing round trails the most advanced committed round across all
+//! instances. The replica layer compares this against the lag bound `σ` to
+//! drive failure handling (Sections III-E and IV).
+
+use rcc_common::{Batch, BatchId, Digest, InstanceId, Round, View};
+
+/// A batch accepted by one instance in one round, as buffered and released by
+/// the orderer.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OrderedBatch {
+    /// Which instance and round accepted the batch.
+    pub id: BatchId,
+    /// The digest certified by the instance's commit quorum.
+    pub digest: Digest,
+    /// The batch payload.
+    pub batch: Batch,
+    /// `true` when the acceptance was speculative (e.g. Zyzzyva's fast
+    /// path).
+    pub speculative: bool,
+    /// The view the slot committed in.
+    pub view: View,
+}
+
+/// One fully released round: the `m` accepted batches in execution
+/// (instance-id) order.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReleasedRound {
+    /// The round released.
+    pub round: Round,
+    /// The round's batches in instance-id order.
+    pub batches: Vec<OrderedBatch>,
+}
+
+/// Buffers per-instance commits and releases rounds in order once complete.
+#[derive(Clone, Debug)]
+pub struct ExecutionOrderer {
+    m: usize,
+    next_round: Round,
+    pending:
+        std::collections::BTreeMap<Round, std::collections::BTreeMap<InstanceId, OrderedBatch>>,
+    max_committed: Option<Round>,
+}
+
+impl ExecutionOrderer {
+    /// Creates an orderer for `m` concurrent instances.
+    pub fn new(m: usize) -> Self {
+        assert!(m > 0, "an RCC deployment needs at least one instance");
+        ExecutionOrderer {
+            m,
+            next_round: 0,
+            pending: std::collections::BTreeMap::new(),
+            max_committed: None,
+        }
+    }
+
+    /// Number of concurrent instances.
+    pub fn instances(&self) -> usize {
+        self.m
+    }
+
+    /// The next round awaiting release (all rounds below have been
+    /// released).
+    pub fn next_round(&self) -> Round {
+        self.next_round
+    }
+
+    /// The highest round any instance has a recorded commit for, if any.
+    pub fn max_committed_round(&self) -> Option<Round> {
+        self.max_committed
+    }
+
+    /// Records a committed slot. Returns `true` when the slot was newly
+    /// recorded, `false` when it duplicates an already recorded or already
+    /// released slot (duplicates arrive when state sync races the instance's
+    /// own commit).
+    pub fn record(&mut self, slot: OrderedBatch) -> bool {
+        assert!(slot.id.instance.index() < self.m, "instance out of range");
+        let round = slot.id.round;
+        if round < self.next_round {
+            return false;
+        }
+        let per_round = self.pending.entry(round).or_default();
+        if per_round.contains_key(&slot.id.instance) {
+            return false;
+        }
+        per_round.insert(slot.id.instance, slot);
+        self.max_committed = Some(self.max_committed.map_or(round, |m| m.max(round)));
+        true
+    }
+
+    /// Releases every complete round starting at [`ExecutionOrderer::next_round`],
+    /// in round order, each with its batches in instance-id order.
+    pub fn release_ready(&mut self) -> Vec<ReleasedRound> {
+        let mut released = Vec::new();
+        while self
+            .pending
+            .get(&self.next_round)
+            .map(|r| r.len())
+            .unwrap_or(0)
+            == self.m
+        {
+            let per_round = self
+                .pending
+                .remove(&self.next_round)
+                .expect("checked above");
+            // BTreeMap iteration yields instance-id order.
+            released.push(ReleasedRound {
+                round: self.next_round,
+                batches: per_round.into_values().collect(),
+            });
+            self.next_round += 1;
+        }
+        released
+    }
+
+    /// The first round at or above the release frontier for which `instance`
+    /// has no recorded commit — the slot the execution order needs from it
+    /// next.
+    pub fn needed_round(&self, instance: InstanceId) -> Round {
+        let mut round = self.next_round;
+        while self
+            .pending
+            .get(&round)
+            .map(|r| r.contains_key(&instance))
+            .unwrap_or(false)
+        {
+            round += 1;
+        }
+        round
+    }
+
+    /// How far `instance`'s first missing round trails the most advanced
+    /// committed round across all instances (0 when the instance is at the
+    /// frontier). The replica layer compares this against the lag bound `σ`.
+    pub fn lag(&self, instance: InstanceId) -> u64 {
+        match self.max_committed {
+            Some(max) => (max + 1).saturating_sub(self.needed_round(instance)),
+            None => 0,
+        }
+    }
+
+    /// `true` when `instance` has a recorded (not yet released) commit for
+    /// `round`.
+    pub fn has_pending(&self, instance: InstanceId, round: Round) -> bool {
+        self.pending
+            .get(&round)
+            .map(|r| r.contains_key(&instance))
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(instance: u32, round: Round, tag: u8) -> OrderedBatch {
+        OrderedBatch {
+            id: BatchId {
+                instance: InstanceId(instance),
+                round,
+            },
+            digest: Digest::from_bytes([tag; 32]),
+            batch: Batch::noop(InstanceId(instance), round),
+            speculative: false,
+            view: 0,
+        }
+    }
+
+    #[test]
+    fn rounds_release_only_when_all_instances_committed() {
+        let mut orderer = ExecutionOrderer::new(3);
+        assert!(orderer.record(slot(0, 0, 1)));
+        assert!(orderer.record(slot(2, 0, 2)));
+        assert!(
+            orderer.release_ready().is_empty(),
+            "instance 1 still missing"
+        );
+        assert!(orderer.record(slot(1, 0, 3)));
+        let released = orderer.release_ready();
+        assert_eq!(released.len(), 1);
+        assert_eq!(released[0].round, 0);
+        let instances: Vec<u32> = released[0]
+            .batches
+            .iter()
+            .map(|b| b.id.instance.0)
+            .collect();
+        assert_eq!(
+            instances,
+            vec![0, 1, 2],
+            "batches come out in instance-id order"
+        );
+    }
+
+    #[test]
+    fn out_of_round_order_commits_are_buffered() {
+        let mut orderer = ExecutionOrderer::new(2);
+        // Both instances commit round 1 before round 0 (out-of-order BCAs).
+        orderer.record(slot(0, 1, 1));
+        orderer.record(slot(1, 1, 2));
+        assert!(
+            orderer.release_ready().is_empty(),
+            "round 0 must release first"
+        );
+        orderer.record(slot(0, 0, 3));
+        orderer.record(slot(1, 0, 4));
+        let released = orderer.release_ready();
+        assert_eq!(released.len(), 2);
+        assert_eq!(released[0].round, 0);
+        assert_eq!(released[1].round, 1);
+    }
+
+    #[test]
+    fn duplicates_and_released_rounds_are_rejected() {
+        let mut orderer = ExecutionOrderer::new(1);
+        assert!(orderer.record(slot(0, 0, 1)));
+        assert!(
+            !orderer.record(slot(0, 0, 9)),
+            "duplicate (instance, round)"
+        );
+        orderer.release_ready();
+        assert!(!orderer.record(slot(0, 0, 9)), "round already released");
+        assert_eq!(orderer.next_round(), 1);
+    }
+
+    #[test]
+    fn lag_tracks_distance_to_frontier() {
+        let mut orderer = ExecutionOrderer::new(2);
+        assert_eq!(orderer.lag(InstanceId(0)), 0, "no commits, no lag");
+        for round in 0..5 {
+            orderer.record(slot(0, round, round as u8));
+        }
+        assert_eq!(orderer.max_committed_round(), Some(4));
+        assert_eq!(orderer.needed_round(InstanceId(1)), 0);
+        assert_eq!(orderer.lag(InstanceId(1)), 5);
+        assert_eq!(orderer.lag(InstanceId(0)), 0, "instance 0 is the frontier");
+        orderer.record(slot(1, 0, 9));
+        orderer.release_ready();
+        assert_eq!(orderer.lag(InstanceId(1)), 4);
+    }
+
+    #[test]
+    fn needed_round_skips_recorded_rounds() {
+        let mut orderer = ExecutionOrderer::new(2);
+        orderer.record(slot(0, 0, 1));
+        orderer.record(slot(0, 2, 2));
+        // Round 1 missing: needed is 1 even though round 2 is recorded.
+        assert_eq!(orderer.needed_round(InstanceId(0)), 1);
+        assert!(orderer.has_pending(InstanceId(0), 2));
+        assert!(!orderer.has_pending(InstanceId(0), 1));
+    }
+}

@@ -1,0 +1,632 @@
+//! One replica of an RCC deployment.
+//!
+//! [`RccReplica`] owns the `m` concurrent BCA state machines of the
+//! deployment (instance `i` is coordinated by replica `i mod n`, Section
+//! III), multiplexes their messages and timers through the tagged
+//! [`RccMessage`] envelope, and feeds every instance-level commit into the
+//! deterministic [`ExecutionOrderer`]. It implements
+//! [`ByzantineCommitAlgorithm`] itself, so the deterministic
+//! `rcc_protocols::harness::Cluster` (and, later, the discrete-event
+//! simulator) drives an RCC cluster through exactly the same interface as a
+//! single PBFT cluster.
+//!
+//! # Failure handling (instance-local, wait-free)
+//!
+//! A faulty primary stalls only its own instance (design goals D4/D5):
+//!
+//! 1. Each instance's BCA detects its own primary failures (progress
+//!    timeouts, equivocation) and runs an *instance-local* view change that
+//!    replaces the coordinator without touching the other `m − 1` instances.
+//! 2. The replica layer additionally watches per-instance *lag* against the
+//!    bound `σ` ([`rcc_common::SystemConfig::sigma`]): an instance whose
+//!    next needed round trails the frontier by `σ` or more is notified via
+//!    [`ByzantineCommitAlgorithm::on_lag_detected`], which (for PBFT) votes
+//!    for the instance's view change even when the dead primary left nothing
+//!    outstanding to time out on.
+//! 3. After the view change, the instance's *new* primary fills every round
+//!    the old primary abandoned with no-op batches — inside the instance's
+//!    own consensus, so all replicas agree on the substitution — and the
+//!    replica layer keeps its primaries proposing catch-up no-ops while
+//!    their instances trail the frontier (Section III-E).
+//! 4. Independently, a replica that missed a slot other replicas committed
+//!    (dropped links) recovers it via `SlotRequest`/`SlotReply` state sync:
+//!    `f + 1` matching replies prove at least one non-faulty sender
+//!    (assumption A3).
+
+use crate::message::RccMessage;
+use crate::orderer::{ExecutionOrderer, OrderedBatch, ReleasedRound};
+use rcc_common::{Batch, BatchId, Digest, InstanceId, ReplicaId, Round, SystemConfig, Time, View};
+use rcc_crypto::hash::digest_batch;
+use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, CommittedSlot, TimerId, WireMessage};
+use rcc_protocols::pbft::Pbft;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Convenience alias: RCC running `m` concurrent PBFT instances (the
+/// configuration the paper evaluates as "RCC").
+pub type RccOverPbft = RccReplica<Pbft>;
+
+/// Bits used for the per-instance timer namespace: the low 48 bits carry the
+/// instance-local timer id, the high bits the instance index (offset by one
+/// so instance tags are never zero).
+const TIMER_INSTANCE_SHIFT: u32 = 48;
+
+fn encode_timer(instance: InstanceId, inner: TimerId) -> TimerId {
+    debug_assert!(
+        inner.0 < 1 << TIMER_INSTANCE_SHIFT,
+        "instance timer id overflow"
+    );
+    TimerId(((instance.0 as u64 + 1) << TIMER_INSTANCE_SHIFT) | inner.0)
+}
+
+fn decode_timer(timer: TimerId) -> Option<(InstanceId, TimerId)> {
+    let tag = timer.0 >> TIMER_INSTANCE_SHIFT;
+    if tag == 0 {
+        return None;
+    }
+    Some((
+        InstanceId(tag as u32 - 1),
+        TimerId(timer.0 & ((1 << TIMER_INSTANCE_SHIFT) - 1)),
+    ))
+}
+
+/// Collected votes for one missing slot during state sync.
+#[derive(Clone, Debug, Default)]
+struct SyncVotes {
+    by_digest: BTreeMap<Digest, (BTreeSet<ReplicaId>, Batch, View)>,
+}
+
+/// One replica's view of an RCC deployment over BCA `P`.
+pub struct RccReplica<P: ByzantineCommitAlgorithm> {
+    config: SystemConfig,
+    replica: ReplicaId,
+    instances: Vec<P>,
+    orderer: ExecutionOrderer,
+    /// Every slot this replica has seen commit, per instance, kept to serve
+    /// state-sync requests (pruning via checkpoints is future work).
+    committed_log: Vec<BTreeMap<Round, OrderedBatch>>,
+    /// Fully released rounds in execution order (what an execution engine
+    /// consumes).
+    execution_log: Vec<ReleasedRound>,
+    /// Global execution sequence: number of batches released so far.
+    executed: u64,
+    /// Lag-notification memo: the frontier round at which each instance was
+    /// last notified, so notifications repeat only after σ further rounds of
+    /// frontier progress (a linear back-off that still re-fires if the
+    /// replacement primary fails too).
+    lag_notified: Vec<Option<Round>>,
+    /// Slots already requested via state sync (one-shot per slot).
+    sync_requested: BTreeSet<(InstanceId, Round)>,
+    /// Outstanding state-sync replies.
+    sync_votes: BTreeMap<(InstanceId, Round), SyncVotes>,
+}
+
+impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
+    /// Creates the replica's view of a deployment with
+    /// `config.instances` concurrent instances, building each instance's BCA
+    /// state machine with `factory(instance)`.
+    ///
+    /// The factory must configure instance `i` with replica
+    /// `i mod config.n` as its initial coordinator (use
+    /// [`InstanceId::primary`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `config` fails validation.
+    pub fn new(
+        config: SystemConfig,
+        replica: ReplicaId,
+        mut factory: impl FnMut(InstanceId) -> P,
+    ) -> Self {
+        config.validate().expect("invalid RCC configuration");
+        let m = config.instances;
+        let instances: Vec<P> = InstanceId::all(m).map(&mut factory).collect();
+        RccReplica {
+            config,
+            replica,
+            instances,
+            orderer: ExecutionOrderer::new(m),
+            committed_log: vec![BTreeMap::new(); m],
+            execution_log: Vec::new(),
+            executed: 0,
+            lag_notified: vec![None; m],
+            sync_requested: BTreeSet::new(),
+            sync_votes: BTreeMap::new(),
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Number of concurrent instances `m`.
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Read access to one instance's BCA state machine.
+    pub fn instance(&self, instance: InstanceId) -> &P {
+        &self.instances[instance.index()]
+    }
+
+    /// The rounds released for execution so far, in execution order. Each
+    /// entry carries the `m` batches of one round in instance-id order with
+    /// their full [`BatchId`]s — this is what an execution engine consumes.
+    pub fn execution_log(&self) -> &[ReleasedRound] {
+        &self.execution_log
+    }
+
+    /// Digest sequence of the execution order (convenient for comparing
+    /// replicas in tests and examples).
+    pub fn execution_digests(&self) -> Vec<Digest> {
+        self.execution_log
+            .iter()
+            .flat_map(|round| round.batches.iter().map(|b| b.digest))
+            .collect()
+    }
+
+    /// The round-based orderer (read access, for tests and tooling).
+    pub fn orderer(&self) -> &ExecutionOrderer {
+        &self.orderer
+    }
+
+    /// Instances this replica currently coordinates.
+    pub fn led_instances(&self) -> Vec<InstanceId> {
+        InstanceId::all(self.instances.len())
+            .filter(|i| self.instances[i.index()].is_primary())
+            .collect()
+    }
+
+    /// Routes the actions emitted by instance `instance`'s BCA: wraps sends
+    /// and timers in the instance namespace, absorbs commits into the
+    /// orderer, and passes suspicions through to the embedding driver.
+    fn absorb_instance_actions(
+        &mut self,
+        instance: InstanceId,
+        actions: Vec<Action<P::Message>>,
+        out: &mut Vec<Action<RccMessage<P::Message>>>,
+    ) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => {
+                    out.push(Action::Send {
+                        to,
+                        message: RccMessage::Instance { instance, message },
+                    });
+                }
+                Action::Broadcast { message } => {
+                    out.push(Action::Broadcast {
+                        message: RccMessage::Instance { instance, message },
+                    });
+                }
+                Action::SetTimer { timer, fires_at } => {
+                    out.push(Action::SetTimer {
+                        timer: encode_timer(instance, timer),
+                        fires_at,
+                    });
+                }
+                Action::CancelTimer { timer } => {
+                    out.push(Action::CancelTimer {
+                        timer: encode_timer(instance, timer),
+                    });
+                }
+                Action::Commit(slot) => {
+                    self.absorb_commit(instance, slot, out);
+                }
+                Action::SuspectPrimary { primary, reason } => {
+                    out.push(Action::SuspectPrimary { primary, reason });
+                }
+                Action::ViewChanged { view, new_primary } => {
+                    // An instance-local view change: grant the replacement
+                    // primary a fresh lag grace period before re-escalating.
+                    self.lag_notified[instance.index()] = self.orderer.max_committed_round();
+                    out.push(Action::ViewChanged { view, new_primary });
+                }
+            }
+        }
+    }
+
+    /// Records a commit of `instance`, then releases every newly completed
+    /// round in execution order.
+    fn absorb_commit(
+        &mut self,
+        instance: InstanceId,
+        slot: CommittedSlot,
+        out: &mut Vec<Action<RccMessage<P::Message>>>,
+    ) {
+        let ordered = OrderedBatch {
+            id: BatchId {
+                instance,
+                round: slot.round,
+            },
+            digest: slot.digest,
+            batch: slot.batch,
+            speculative: slot.speculative,
+            view: slot.view,
+        };
+        self.committed_log[instance.index()]
+            .entry(ordered.id.round)
+            .or_insert_with(|| ordered.clone());
+        if !self.orderer.record(ordered) {
+            return;
+        }
+        self.sync_votes.remove(&(instance, slot.round));
+        for released in self.orderer.release_ready() {
+            for batch in &released.batches {
+                out.push(Action::Commit(CommittedSlot {
+                    round: self.executed,
+                    digest: batch.digest,
+                    batch: batch.batch.clone(),
+                    speculative: batch.speculative,
+                    view: batch.view,
+                }));
+                self.executed += 1;
+            }
+            self.execution_log.push(released);
+        }
+    }
+
+    /// Lag handling, run after every externally triggered event: instances
+    /// whose needed round trails the commit frontier by `σ` or more either
+    /// catch up (if this replica coordinates them) or are recovered in two
+    /// stages — state sync first (the slot may have committed elsewhere and
+    /// merely been lost on the way here), then, if the slot is still missing
+    /// after `σ` further rounds of frontier progress, escalation to the
+    /// instance's own failure handling (the coordinator is presumed faulty).
+    fn check_lag(&mut self, now: Time, out: &mut Vec<Action<RccMessage<P::Message>>>) {
+        let Some(frontier) = self.orderer.max_committed_round() else {
+            return;
+        };
+        let sigma = self.config.sigma;
+        for instance in InstanceId::all(self.instances.len()) {
+            if self.orderer.lag(instance) < sigma {
+                continue;
+            }
+            if self.instances[instance.index()].is_primary() {
+                self.catch_up_with_noops(instance, now, frontier, out);
+                continue;
+            }
+            // Stage 1: request the missing slot from peers (once per slot).
+            // Escalating straight to a view-change vote would wedge a
+            // perfectly healthy instance whenever *this* replica dropped a
+            // message.
+            let needed = self.orderer.needed_round(instance);
+            if self.sync_requested.insert((instance, needed)) {
+                self.lag_notified[instance.index()] = Some(frontier);
+                out.push(Action::Broadcast {
+                    message: RccMessage::SlotRequest {
+                        instance,
+                        round: needed,
+                    },
+                });
+                continue;
+            }
+            // Stage 2: the slot was requested at least σ frontier-rounds ago
+            // and is still missing — presume the coordinator faulty and let
+            // the instance's failure handling (PBFT: a view change) replace
+            // it. Re-escalates every σ further rounds of frontier progress,
+            // so a faulty *replacement* coordinator is replaced too.
+            let due = match self.lag_notified[instance.index()] {
+                None => true,
+                Some(last) => frontier >= last + sigma,
+            };
+            if due {
+                self.lag_notified[instance.index()] = Some(frontier);
+                let actions = self.instances[instance.index()].on_lag_detected(now);
+                self.absorb_instance_actions(instance, actions, out);
+            }
+        }
+    }
+
+    /// Has this replica — as the (possibly new) coordinator of a lagging
+    /// instance — propose no-op batches until the instance's proposal
+    /// frontier reaches the deployment's commit frontier (Section III-E).
+    fn catch_up_with_noops(
+        &mut self,
+        instance: InstanceId,
+        now: Time,
+        frontier: Round,
+        out: &mut Vec<Action<RccMessage<P::Message>>>,
+    ) {
+        loop {
+            let bca = &self.instances[instance.index()];
+            if !bca.is_primary()
+                || bca.next_proposal_round() > frontier
+                || bca.proposal_capacity() == 0
+            {
+                break;
+            }
+            // The no-op's pseudo-request sequence is the round it will be
+            // proposed in — the same convention as the view-change gap fill —
+            // so pseudo-client request ids stay unique per round.
+            let round = bca.next_proposal_round();
+            let batch = Batch::noop(instance, round);
+            let actions = self.instances[instance.index()].propose(now, batch);
+            if actions.is_empty() {
+                break;
+            }
+            self.absorb_instance_actions(instance, actions, out);
+        }
+    }
+
+    /// Serves a state-sync request for a slot this replica saw commit.
+    fn serve_slot_request(
+        &mut self,
+        from: ReplicaId,
+        instance: InstanceId,
+        round: Round,
+        out: &mut Vec<Action<RccMessage<P::Message>>>,
+    ) {
+        if instance.index() >= self.instances.len() {
+            return;
+        }
+        if let Some(slot) = self.committed_log[instance.index()].get(&round) {
+            out.push(Action::Send {
+                to: from,
+                message: RccMessage::SlotReply {
+                    instance,
+                    round,
+                    digest: slot.digest,
+                    batch: slot.batch.clone(),
+                    view: slot.view,
+                },
+            });
+        }
+    }
+
+    /// Accumulates a state-sync reply (as an [`OrderedBatch`] reported by
+    /// `from`); once `f + 1` distinct replicas vouch for the same digest
+    /// (and the digest matches the batch), the slot is adopted as committed.
+    fn absorb_slot_reply(
+        &mut self,
+        from: ReplicaId,
+        reply: OrderedBatch,
+        out: &mut Vec<Action<RccMessage<P::Message>>>,
+    ) {
+        let BatchId { instance, round } = reply.id;
+        if instance.index() >= self.instances.len() {
+            return;
+        }
+        // Only solicited replies are counted: without this gate a single
+        // peer could grow `sync_votes` without bound by streaming replies
+        // for rounds nobody asked about.
+        if !self.sync_requested.contains(&(instance, round)) {
+            return;
+        }
+        // A reply whose digest does not match its payload is forged.
+        if digest_batch(&reply.batch) != reply.digest {
+            return;
+        }
+        if round < self.orderer.next_round() || self.orderer.has_pending(instance, round) {
+            return;
+        }
+        let digest = reply.digest;
+        let votes = self.sync_votes.entry((instance, round)).or_default();
+        let (voters, _, _) = votes
+            .by_digest
+            .entry(digest)
+            .or_insert_with(|| (BTreeSet::new(), reply.batch, reply.view));
+        voters.insert(from);
+        if voters.len() < self.config.weak_quorum() {
+            return;
+        }
+        let (_, adopted_batch, adopted_view) = votes
+            .by_digest
+            .remove(&digest)
+            .expect("entry just inserted");
+        self.sync_votes.remove(&(instance, round));
+        self.absorb_commit(
+            instance,
+            CommittedSlot {
+                round,
+                digest,
+                batch: adopted_batch,
+                speculative: false,
+                view: adopted_view,
+            },
+            out,
+        );
+    }
+}
+
+impl RccReplica<Pbft> {
+    /// RCC over PBFT, the paper's default configuration: `config.instances`
+    /// concurrent PBFT instances, instance `i` initially coordinated by
+    /// replica `i mod n`, with instance-local view changes enabled so a
+    /// failed coordinator is replaced without disturbing other instances.
+    pub fn over_pbft(config: SystemConfig, replica: ReplicaId) -> Self {
+        let cfg = config.clone();
+        RccReplica::new(config, replica, |instance| {
+            Pbft::new(cfg.clone(), replica, instance.primary())
+        })
+    }
+}
+
+impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
+    type Message = RccMessage<P::Message>;
+
+    fn name(&self) -> &'static str {
+        "RCC"
+    }
+
+    fn replica(&self) -> ReplicaId {
+        self.replica
+    }
+
+    fn primary(&self) -> ReplicaId {
+        // In RCC every replica that coordinates an instance is "a primary".
+        // Report this replica when it leads any instance, otherwise the
+        // coordinator of the instance it maps to round-robin.
+        if self.instances.iter().any(|i| i.is_primary()) {
+            self.replica
+        } else {
+            let m = self.instances.len() as u32;
+            self.instances[(self.replica.0 % m) as usize].primary()
+        }
+    }
+
+    fn view(&self) -> View {
+        // The maximum view across instances: 0 until some instance performed
+        // a view change.
+        self.instances.iter().map(|i| i.view()).max().unwrap_or(0)
+    }
+
+    fn proposal_capacity(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.is_primary())
+            .map(|i| i.proposal_capacity())
+            .sum()
+    }
+
+    fn committed_prefix(&self) -> Round {
+        // For RCC the contiguous prefix is the global execution sequence:
+        // every batch below it has been released in an agreed order.
+        self.executed
+    }
+
+    fn next_proposal_round(&self) -> Round {
+        self.instances
+            .iter()
+            .map(|i| i.next_proposal_round())
+            .max()
+            .unwrap_or(0)
+    }
+
+    fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<Self::Message>> {
+        let mut out = Vec::new();
+        // Route the batch to this replica's *home* instance (instance id ==
+        // replica id) when it still coordinates it, falling back to any other
+        // instance it acquired through a view change. Taken-over instances
+        // run on catch-up no-ops until clients are reassigned (Section
+        // III-E), so routing client load to the home instance first keeps a
+        // takeover from starving the home instance into a view change.
+        let m = self.instances.len();
+        let home = self.replica.0 as usize % m;
+        let target = std::iter::once(InstanceId(home as u32))
+            .chain(InstanceId::all(m))
+            .find(|i| {
+                let bca = &self.instances[i.index()];
+                bca.is_primary() && bca.proposal_capacity() > 0
+            });
+        if let Some(instance) = target {
+            let actions = self.instances[instance.index()].propose(now, batch);
+            self.absorb_instance_actions(instance, actions, &mut out);
+        }
+        self.check_lag(now, &mut out);
+        out
+    }
+
+    fn on_message(
+        &mut self,
+        now: Time,
+        from: ReplicaId,
+        message: Self::Message,
+    ) -> Vec<Action<Self::Message>> {
+        let mut out = Vec::new();
+        match message {
+            RccMessage::Instance { instance, message } => {
+                if instance.index() < self.instances.len() {
+                    let actions = self.instances[instance.index()].on_message(now, from, message);
+                    self.absorb_instance_actions(instance, actions, &mut out);
+                }
+            }
+            RccMessage::SlotRequest { instance, round } => {
+                self.serve_slot_request(from, instance, round, &mut out);
+            }
+            RccMessage::SlotReply {
+                instance,
+                round,
+                digest,
+                batch,
+                view,
+            } => {
+                let reply = OrderedBatch {
+                    id: BatchId { instance, round },
+                    digest,
+                    batch,
+                    speculative: false,
+                    view,
+                };
+                self.absorb_slot_reply(from, reply, &mut out);
+            }
+        }
+        self.check_lag(now, &mut out);
+        out
+    }
+
+    fn on_timeout(&mut self, now: Time, timer: TimerId) -> Vec<Action<Self::Message>> {
+        let mut out = Vec::new();
+        if let Some((instance, inner)) = decode_timer(timer) {
+            if instance.index() < self.instances.len() {
+                let actions = self.instances[instance.index()].on_timeout(now, inner);
+                self.absorb_instance_actions(instance, actions, &mut out);
+            }
+        }
+        self.check_lag(now, &mut out);
+        out
+    }
+}
+
+// `WireMessage` is required of `Self::Message`; this bound is discharged in
+// `message.rs`, but assert it here so a regression is caught at the
+// definition site rather than at every use site.
+const _: fn() = || {
+    fn assert_wire<M: WireMessage>() {}
+    fn check<P: ByzantineCommitAlgorithm>() {
+        assert_wire::<RccMessage<P::Message>>();
+    }
+    let _ = check::<Pbft>;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_namespace_round_trips() {
+        for instance in [0u32, 1, 7, 90] {
+            for inner in [0u64, 1, 42, (1 << 40) + 5] {
+                let encoded = encode_timer(InstanceId(instance), TimerId(inner));
+                assert_eq!(
+                    decode_timer(encoded),
+                    Some((InstanceId(instance), TimerId(inner))),
+                    "instance {instance}, inner {inner}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn instance_timers_never_collide_across_instances() {
+        let a = encode_timer(InstanceId(0), TimerId(5));
+        let b = encode_timer(InstanceId(1), TimerId(5));
+        assert_ne!(a, b);
+        assert_eq!(
+            decode_timer(TimerId(3)),
+            None,
+            "untagged ids are not instance timers"
+        );
+    }
+
+    #[test]
+    fn over_pbft_assigns_round_robin_coordinators() {
+        let config = SystemConfig::new(4);
+        let replica = RccReplica::over_pbft(config, ReplicaId(2));
+        assert_eq!(replica.instance_count(), 4);
+        for i in 0..4u32 {
+            assert_eq!(replica.instance(InstanceId(i)).primary(), ReplicaId(i));
+        }
+        assert_eq!(replica.led_instances(), vec![InstanceId(2)]);
+        assert_eq!(replica.name(), "RCC");
+        assert_eq!(replica.primary(), ReplicaId(2), "leads its own instance");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid RCC configuration")]
+    fn invalid_configs_are_rejected() {
+        let mut config = SystemConfig::new(4);
+        config.instances = 9;
+        let _ = RccReplica::over_pbft(config, ReplicaId(0));
+    }
+}

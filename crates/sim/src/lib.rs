@@ -1,1 +1,23 @@
-//! placeholder (implementation pending)
+//! Discrete-event simulator for RCC deployments — **placeholder, not yet
+//! implemented**.
+//!
+//! Intended scope: the performance-accurate counterpart of the test-oriented
+//! `rcc_protocols::harness::Cluster`, able to reproduce the paper's
+//! large-scale experiments (Fig. 7/8: up to 91 replicas, global deployments)
+//! without real hardware:
+//!
+//! * a virtual-time event queue over [`rcc_common::Time`] with configurable
+//!   per-link latency/bandwidth models (the paper's LAN and WAN settings);
+//! * CPU cost accounting for message processing and cryptography via
+//!   [`rcc_crypto::CryptoCostModel`], so signature-vs-MAC trade-offs
+//!   (Fig. 7 right) are measurable;
+//! * fault injection scripts — crashes, partitions, Byzantine primaries,
+//!   throttling attacks (Section IV) — replayable from a deterministic seed;
+//! * throughput/latency collection into [`rcc_common::metrics`] time series
+//!   for comparison against the paper's figures.
+//!
+//! The `examples/simulator_campaign.rs` example sketches the intended entry
+//! point; it currently drives the deterministic harness instead.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -21,7 +21,9 @@ impl AccountStore {
 
     /// Creates a store with the given initial balances.
     pub fn with_balances(balances: &[(u32, i64)]) -> Self {
-        AccountStore { balances: balances.iter().copied().collect() }
+        AccountStore {
+            balances: balances.iter().copied().collect(),
+        }
     }
 
     /// The balance of `account` (0 when the account has never been used).
@@ -65,13 +67,15 @@ impl AccountStore {
     /// Order-independent fingerprint of all balances, used in state
     /// comparison across replicas.
     pub fn fingerprint(&self) -> u64 {
-        self.balances.iter().fold(0u64, |acc, (&account, &balance)| {
-            let mut x = (account as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add((balance as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
-            x ^= x >> 29;
-            acc ^ x.wrapping_mul(0x1656_67B1_9E37_79F9)
-        })
+        self.balances
+            .iter()
+            .fold(0u64, |acc, (&account, &balance)| {
+                let mut x = (account as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((balance as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F));
+                x ^= x >> 29;
+                acc ^ x.wrapping_mul(0x1656_67B1_9E37_79F9)
+            })
     }
 }
 
@@ -97,7 +101,10 @@ mod tests {
     #[test]
     fn fig6_order_t2_then_t1() {
         let mut s = fig6_initial();
-        assert!(!s.transfer(1, 2, 400, 300), "Bob has only 300 > 400 is false: no transfer");
+        assert!(
+            !s.transfer(1, 2, 400, 300),
+            "Bob has only 300 > 400 is false: no transfer"
+        );
         assert!(s.transfer(0, 1, 500, 200));
         assert_eq!((s.balance(0), s.balance(1), s.balance(2)), (600, 500, 100));
     }

@@ -137,7 +137,11 @@ mod tests {
         let cp = checkpoint(10, 42);
         store.record_local(cp.clone());
         assert_eq!(store.add_vote(ReplicaId(0), 10, cp.digest()), 1);
-        assert_eq!(store.add_vote(ReplicaId(0), 10, cp.digest()), 1, "duplicate vote ignored");
+        assert_eq!(
+            store.add_vote(ReplicaId(0), 10, cp.digest()),
+            1,
+            "duplicate vote ignored"
+        );
         assert!(!store.try_stabilize(&cp, 3));
         store.add_vote(ReplicaId(1), 10, cp.digest());
         store.add_vote(ReplicaId(2), 10, cp.digest());

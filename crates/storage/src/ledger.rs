@@ -78,7 +78,13 @@ impl Ledger {
         let height = self.height();
         let parent = self.head_digest();
         let digest = block_digest(height, round, &parent, &entries);
-        self.blocks.push(Block { height, round, parent, entries, digest });
+        self.blocks.push(Block {
+            height,
+            round,
+            parent,
+            entries,
+            digest,
+        });
         self.blocks.last().expect("just pushed")
     }
 
@@ -94,7 +100,11 @@ impl Ledger {
 
     /// Total number of client transactions recorded in the ledger.
     pub fn total_transactions(&self) -> u64 {
-        self.blocks.iter().flat_map(|b| b.entries.iter()).map(|e| e.transactions as u64).sum()
+        self.blocks
+            .iter()
+            .flat_map(|b| b.entries.iter())
+            .map(|e| e.transactions as u64)
+            .sum()
     }
 
     /// Verifies the hash chain and per-block digests, returning an error at
@@ -111,7 +121,9 @@ impl Ledger {
                 )));
             }
             if block.parent != parent {
-                return Err(Error::LedgerMismatch(format!("block {i} parent digest mismatch")));
+                return Err(Error::LedgerMismatch(format!(
+                    "block {i} parent digest mismatch"
+                )));
             }
             let expected = block_digest(block.height, block.round, &block.parent, &block.entries);
             if expected != block.digest {
@@ -130,7 +142,10 @@ mod tests {
 
     fn entry(instance: u32, round: Round, txns: usize) -> BlockEntry {
         BlockEntry {
-            batch: BatchId { instance: InstanceId(instance), round },
+            batch: BatchId {
+                instance: InstanceId(instance),
+                round,
+            },
             digest: digest_bytes(&[instance as u8, round as u8]),
             transactions: txns,
         }
@@ -144,7 +159,10 @@ mod tests {
         assert_eq!(ledger.height(), 2);
         assert_eq!(ledger.total_transactions(), 300);
         ledger.verify().expect("untampered ledger verifies");
-        assert_eq!(ledger.block(1).unwrap().parent, ledger.block(0).unwrap().digest);
+        assert_eq!(
+            ledger.block(1).unwrap().parent,
+            ledger.block(0).unwrap().digest
+        );
     }
 
     #[test]

@@ -35,7 +35,11 @@ fn mix(key: u64, version: u64, payload: &[u8]) -> u64 {
     let mut x = key
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(version.wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(payload.iter().fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(b as u64)));
+        .wrapping_add(
+            payload
+                .iter()
+                .fold(0u64, |acc, &b| acc.wrapping_mul(131).wrapping_add(b as u64)),
+        );
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -102,7 +106,11 @@ impl RecordTable {
     /// and returns the new length — the read-modify-write operation of YCSB.
     pub fn read_modify_write(&mut self, key: u64, delta: &[u8]) -> usize {
         self.reads += 1;
-        let mut payload = self.records.get(&key).map(|r| r.payload.clone()).unwrap_or_default();
+        let mut payload = self
+            .records
+            .get(&key)
+            .map(|r| r.payload.clone())
+            .unwrap_or_default();
         payload.extend_from_slice(delta);
         let len = payload.len();
         self.write(key, payload);
@@ -113,7 +121,9 @@ impl RecordTable {
     /// number of existing records touched.
     pub fn scan(&mut self, start: u64, count: u32) -> usize {
         self.reads += count as u64;
-        self.records.range(start..start.saturating_add(count as u64)).count()
+        self.records
+            .range(start..start.saturating_add(count as u64))
+            .count()
     }
 
     /// Number of write operations applied (excluding initialization).

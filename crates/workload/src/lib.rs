@@ -1,1 +1,18 @@
-//! placeholder (implementation pending)
+//! Workload generation — **placeholder, not yet implemented**.
+//!
+//! Intended scope: the client side of the paper's experiments (Section V-A):
+//!
+//! * the YCSB-style workload of the Blockbench macro benchmark — half a
+//!   million 1 KB records, 90 % write transactions, 512 B client
+//!   transactions — generated deterministically from
+//!   [`rcc_common::SystemConfig::seed`];
+//! * the bank-transfer workload behind the ordering-attack discussion of
+//!   Section IV (Example IV.1);
+//! * client models: open-loop arrival rates and closed-loop clients waiting
+//!   for `f + 1` matching replies, plus the client-to-instance assignment
+//!   policy with `σ`-spaced hand-offs (Section III-E);
+//! * batch assembly into [`rcc_common::Batch`]es of
+//!   [`rcc_common::SystemConfig::batch_size`] transactions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]

@@ -1,0 +1,159 @@
+//! Offline stand-in for `ed25519-dalek`. **NOT CRYPTOGRAPHICALLY SECURE.**
+//!
+//! The build environment has no registry access, so this crate mirrors the
+//! `ed25519-dalek` v2 API surface the workspace uses (`SigningKey`,
+//! `VerifyingKey`, `Signature`, the `Signer`/`Verifier` traits) with a
+//! deterministic hash-based tag scheme instead of real Ed25519:
+//!
+//! * `public = SHA256("rcc-stub-ed25519/pk" ‖ seed)`
+//! * `sig    = SHA256("rcc-stub-ed25519/s1" ‖ public ‖ msg) ‖
+//!             SHA256("rcc-stub-ed25519/s2" ‖ public ‖ msg)`
+//!
+//! Verification recomputes the tag from the *public key* alone, which gives
+//! the properties the deterministic simulation and tests rely on — stable
+//! round-trips, tamper detection, wrong-signer rejection, seed-deterministic
+//! keys — but means **anyone who knows a public key can forge signatures**.
+//! The real `ed25519-dalek` must be restored before anything built on this
+//! workspace crosses a trust boundary. See `third_party/README.md`.
+
+#![forbid(unsafe_code)]
+
+use sha2::{Digest as _, Sha256};
+
+/// Error produced by key parsing or signature verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SignatureError;
+
+impl std::fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "signature error")
+    }
+}
+
+impl std::error::Error for SignatureError {}
+
+fn tagged_hash(tag: &str, parts: &[&[u8]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(tag.as_bytes());
+    for part in parts {
+        h.update(part);
+    }
+    h.finalize().into()
+}
+
+fn tag_for(public: &[u8; 32], message: &[u8]) -> [u8; 64] {
+    let a = tagged_hash("rcc-stub-ed25519/s1", &[public, message]);
+    let b = tagged_hash("rcc-stub-ed25519/s2", &[public, message]);
+    let mut out = [0u8; 64];
+    out[..32].copy_from_slice(&a);
+    out[32..].copy_from_slice(&b);
+    out
+}
+
+/// A signing key derived deterministically from a 32-byte seed.
+#[derive(Clone, Debug)]
+pub struct SigningKey {
+    public: [u8; 32],
+}
+
+impl SigningKey {
+    /// Derives the key pair from a 32-byte seed.
+    pub fn from_bytes(seed: &[u8; 32]) -> Self {
+        SigningKey {
+            public: tagged_hash("rcc-stub-ed25519/pk", &[seed]),
+        }
+    }
+
+    /// The corresponding verifying (public) key.
+    pub fn verifying_key(&self) -> VerifyingKey {
+        VerifyingKey { bytes: self.public }
+    }
+}
+
+/// A verifying (public) key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VerifyingKey {
+    bytes: [u8; 32],
+}
+
+impl VerifyingKey {
+    /// Parses a verifying key from raw bytes.
+    pub fn from_bytes(bytes: &[u8; 32]) -> Result<Self, SignatureError> {
+        Ok(VerifyingKey { bytes: *bytes })
+    }
+
+    /// Raw key bytes.
+    pub fn to_bytes(&self) -> [u8; 32] {
+        self.bytes
+    }
+}
+
+/// A 64-byte signature value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Signature {
+    bytes: [u8; 64],
+}
+
+impl Signature {
+    /// Builds a signature from raw bytes.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Self {
+        Signature { bytes: *bytes }
+    }
+
+    /// Raw signature bytes.
+    pub fn to_bytes(&self) -> [u8; 64] {
+        self.bytes
+    }
+}
+
+/// Types that can sign messages.
+pub trait Signer<S> {
+    /// Signs `message`.
+    fn sign(&self, message: &[u8]) -> S;
+}
+
+/// Types that can verify signatures.
+pub trait Verifier<S> {
+    /// Verifies `signature` over `message`.
+    fn verify(&self, message: &[u8], signature: &S) -> Result<(), SignatureError>;
+}
+
+impl Signer<Signature> for SigningKey {
+    fn sign(&self, message: &[u8]) -> Signature {
+        Signature {
+            bytes: tag_for(&self.public, message),
+        }
+    }
+}
+
+impl Verifier<Signature> for VerifyingKey {
+    fn verify(&self, message: &[u8], signature: &Signature) -> Result<(), SignatureError> {
+        if tag_for(&self.bytes, message) == signature.bytes {
+            Ok(())
+        } else {
+            Err(SignatureError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_rejections() {
+        let a = SigningKey::from_bytes(&[1u8; 32]);
+        let b = SigningKey::from_bytes(&[2u8; 32]);
+        let sig = a.sign(b"message");
+        assert!(a.verifying_key().verify(b"message", &sig).is_ok());
+        assert!(a.verifying_key().verify(b"messagE", &sig).is_err());
+        assert!(b.verifying_key().verify(b"message", &sig).is_err());
+    }
+
+    #[test]
+    fn keys_are_seed_deterministic() {
+        let a = SigningKey::from_bytes(&[7u8; 32]);
+        let b = SigningKey::from_bytes(&[7u8; 32]);
+        assert_eq!(a.verifying_key(), b.verifying_key());
+    }
+}

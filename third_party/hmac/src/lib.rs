@@ -1,0 +1,182 @@
+//! Offline stand-in for the `hmac` crate: real HMAC (RFC 2104) over the
+//! vendored SHA-256.
+//!
+//! Exposes the subset of the RustCrypto `hmac`/`crypto-mac` API the workspace
+//! uses: `Hmac::<Sha256>::new_from_slice`, `update`, `finalize().into_bytes()`
+//! and `verify_slice` via the [`Mac`] trait. Verified against RFC 4231 test
+//! vectors in the test module below.
+
+#![forbid(unsafe_code)]
+
+use sha2::{Digest as _, Sha256};
+use std::marker::PhantomData;
+
+/// SHA-256 block size in bytes.
+const BLOCK: usize = 64;
+
+/// Error returned when a key cannot be used (never produced here: HMAC
+/// accepts keys of any length, but the type is part of the API).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidLength;
+
+impl std::fmt::Display for InvalidLength {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid key length")
+    }
+}
+
+/// Error returned when MAC verification fails.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MacError;
+
+impl std::fmt::Display for MacError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAC verification failed")
+    }
+}
+
+/// The finalized MAC output. `into_bytes` yields a [`sha2::Output`] (not a
+/// bare `[u8; 32]`) so call sites written against the real RustCrypto API —
+/// `mac.finalize().into_bytes().into()` — compile unchanged against this
+/// stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Output(sha2::Output);
+
+impl Output {
+    /// Returns the raw tag bytes.
+    pub fn into_bytes(self) -> sha2::Output {
+        self.0
+    }
+}
+
+/// The message-authentication-code trait (subset of RustCrypto's `Mac`).
+pub trait Mac: Sized {
+    /// Creates a MAC instance keyed with `key`.
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength>;
+    /// Feeds more message input.
+    fn update(&mut self, data: &[u8]);
+    /// Consumes the MAC and produces the tag.
+    fn finalize(self) -> Output;
+    /// Consumes the MAC and verifies the tag in constant time.
+    fn verify_slice(self, tag: &[u8]) -> Result<(), MacError>;
+}
+
+/// HMAC over a hash function `D` (only `Hmac<Sha256>` is implemented by this
+/// stand-in).
+#[derive(Clone, Debug)]
+pub struct Hmac<D> {
+    inner: Sha256,
+    opad_key: [u8; BLOCK],
+    _hash: PhantomData<D>,
+}
+
+impl Mac for Hmac<Sha256> {
+    fn new_from_slice(key: &[u8]) -> Result<Self, InvalidLength> {
+        let mut block_key = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let mut h = Sha256::new();
+            h.update(key);
+            let digest: [u8; 32] = h.finalize().into();
+            block_key[..32].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK];
+        let mut opad = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(ipad);
+        Ok(Hmac {
+            inner,
+            opad_key: opad,
+            _hash: PhantomData,
+        })
+    }
+
+    fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    fn finalize(self) -> Output {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(self.opad_key);
+        outer.update(inner_digest);
+        Output(outer.finalize())
+    }
+
+    fn verify_slice(self, tag: &[u8]) -> Result<(), MacError> {
+        let expected: [u8; 32] = self.finalize().into_bytes().into();
+        if expected.len() != tag.len() {
+            return Err(MacError);
+        }
+        // Constant-time comparison.
+        let mut diff = 0u8;
+        for (a, b) in expected.iter().zip(tag.iter()) {
+            diff |= a ^ b;
+        }
+        if diff == 0 {
+            Ok(())
+        } else {
+            Err(MacError)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn hmac(key: &[u8], data: &[u8]) -> String {
+        let mut mac = Hmac::<Sha256>::new_from_slice(key).unwrap();
+        mac.update(data);
+        let tag: [u8; 32] = mac.finalize().into_bytes().into();
+        hex(&tag)
+    }
+
+    #[test]
+    fn rfc4231_case_1() {
+        assert_eq!(
+            hmac(&[0x0b; 20], b"Hi There"),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        assert_eq!(
+            hmac(b"Jefe", b"what do ya want for nothing?"),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // 131-byte key exercises the hash-the-key path.
+        assert_eq!(
+            hmac(
+                &[0xaa; 131],
+                b"Test Using Larger Than Block-Size Key - Hash Key First"
+            ),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn verify_accepts_valid_and_rejects_invalid() {
+        let mut mac = Hmac::<Sha256>::new_from_slice(b"key").unwrap();
+        mac.update(b"msg");
+        let tag: [u8; 32] = mac.clone().finalize().into_bytes().into();
+        assert!(mac.clone().verify_slice(&tag).is_ok());
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(mac.verify_slice(&bad).is_err());
+    }
+}

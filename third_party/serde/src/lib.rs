@@ -1,0 +1,81 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on most message and
+//! configuration types so that a real serialization layer can be dropped in
+//! later, but nothing actually serializes yet: all messages travel as
+//! in-memory values through the deterministic harness and (eventually) the
+//! discrete-event simulator. This facade keeps those derives compiling
+//! without a registry:
+//!
+//! * the derive macros (re-exported from the stand-in `serde_derive`) emit no
+//!   code;
+//! * [`Serialize`] and [`Deserialize`] are satisfied by blanket
+//!   implementations, so generic bounds like `M: Serialize` hold trivially;
+//! * [`Serializer`]/[`Deserializer`] exist so hand-written `with`-style
+//!   helper modules type-check. Calling [`Deserialize::deserialize`] always
+//!   fails at runtime with a descriptive error.
+//!
+//! See `third_party/README.md` for the swap-back procedure.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization-side error machinery.
+pub mod de {
+    use std::fmt::Display;
+
+    /// The error trait deserializer errors must implement.
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Serialization-side error machinery.
+pub mod ser {
+    use std::fmt::Display;
+
+    /// The error trait serializer errors must implement.
+    pub trait Error: Sized + std::fmt::Debug + Display {
+        /// Builds an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A data-format serializer (stub: only the byte-slice entry point the
+/// workspace uses).
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type of the format.
+    type Error: ser::Error;
+
+    /// Serializes a raw byte slice.
+    fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data-format deserializer (stub: carries only the error type).
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: de::Error;
+}
+
+/// Marker trait for serializable types. Blanket-implemented for every type;
+/// the real trait is restored together with the real `serde`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Trait for deserializable types. Blanket-implemented for every sized type;
+/// the provided method always fails because the stand-in cannot construct
+/// arbitrary values.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer. Always fails in the
+    /// offline stand-in.
+    fn deserialize<D: Deserializer<'de>>(_deserializer: D) -> Result<Self, D::Error> {
+        Err(de::Error::custom(
+            "serde stand-in: deserialization is not available in offline builds",
+        ))
+    }
+}
+
+impl<'de, T: Sized> Deserialize<'de> for T {}

@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! The derive macros accept any input (including `#[serde(...)]` helper
+//! attributes, which are registered but never inspected) and emit no code at
+//! all. The matching `serde` facade crate provides blanket implementations of
+//! the `Serialize`/`Deserialize` traits, so deriving them is purely
+//! decorative until the real crates are restored. See
+//! `third_party/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `sha2` crate: a from-scratch SHA-256.
+//!
+//! This is a *real* implementation of SHA-256 per FIPS 180-4 (not a mock),
+//! exposing the subset of the RustCrypto `sha2`/`digest` API the workspace
+//! uses: `Sha256::new()`, `update`, and `finalize` via the [`Digest`] trait,
+//! with `finalize` returning the raw `[u8; 32]` output. Verified against the
+//! standard NIST test vectors in the test module below.
+
+#![forbid(unsafe_code)]
+
+/// Round constants: first 32 bits of the fractional parts of the cube roots
+/// of the first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values: first 32 bits of the fractional parts of the square
+/// roots of the first 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// The digest output. A distinct type (rather than a bare `[u8; 32]`) so
+/// that call sites written against the real RustCrypto API — where
+/// `finalize()` yields a `GenericArray` converted with `.into()` — compile
+/// unchanged against this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Output([u8; 32]);
+
+impl From<Output> for [u8; 32] {
+    fn from(output: Output) -> Self {
+        output.0
+    }
+}
+
+impl AsRef<[u8]> for Output {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// The streaming-digest trait (subset of RustCrypto's `digest::Digest`).
+pub trait Digest: Sized {
+    /// Creates a fresh hasher.
+    fn new() -> Self;
+    /// Feeds more input into the hasher.
+    fn update(&mut self, data: impl AsRef<[u8]>);
+    /// Consumes the hasher and returns the digest bytes.
+    fn finalize(self) -> Output;
+}
+
+/// A streaming SHA-256 hasher.
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    total_bytes: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256 {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            total_bytes: 0,
+        }
+    }
+}
+
+impl Sha256 {
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let big_s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(big_s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let big_s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = big_s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+impl Digest for Sha256 {
+    fn new() -> Self {
+        Sha256::default()
+    }
+
+    fn update(&mut self, data: impl AsRef<[u8]>) {
+        let mut input = data.as_ref();
+        self.total_bytes = self.total_bytes.wrapping_add(input.len() as u64);
+        if self.buffered > 0 {
+            let take = (64 - self.buffered).min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let block: [u8; 64] = input[..64].try_into().expect("64-byte block");
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    fn finalize(mut self) -> Output {
+        let bit_len = self.total_bytes.wrapping_mul(8);
+        // Append the 0x80 terminator, pad with zeros to 56 mod 64, then the
+        // 64-bit big-endian message length.
+        self.update([0x80u8]);
+        self.total_bytes = self.total_bytes.wrapping_sub(1);
+        while self.buffered != 56 {
+            self.update([0u8]);
+            self.total_bytes = self.total_bytes.wrapping_sub(1);
+        }
+        self.update(bit_len.to_be_bytes());
+
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state.iter()) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        Output(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: impl AsRef<[u8]>) -> String {
+        bytes.as_ref().iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn sha256(data: &[u8]) -> String {
+        let mut h = Sha256::new();
+        h.update(data);
+        hex(h.finalize())
+    }
+
+    #[test]
+    fn nist_vectors() {
+        assert_eq!(
+            sha256(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            sha256(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha256::new();
+        for _ in 0..1000 {
+            h.update([b'a'; 1000]);
+        }
+        assert_eq!(
+            hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Sha256::new();
+        h.update(b"hello ");
+        h.update(b"world");
+        let mut g = Sha256::new();
+        g.update(b"hello world");
+        assert_eq!(h.finalize(), g.finalize());
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Exercise lengths around the 64-byte block and 56-byte pad
+        // boundaries.
+        for len in [55usize, 56, 57, 63, 64, 65, 127, 128, 129] {
+            let data = vec![0xa5u8; len];
+            let mut h = Sha256::new();
+            h.update(&data);
+            let oneshot = h.finalize();
+            let mut g = Sha256::new();
+            for b in &data {
+                g.update([*b]);
+            }
+            assert_eq!(oneshot, g.finalize(), "length {len}");
+        }
+    }
+}
