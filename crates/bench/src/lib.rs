@@ -1,17 +1,635 @@
-//! Benchmark harness — **placeholder, not yet implemented**.
+//! Reproducible experiment campaigns over the `rcc-sim` discrete-event
+//! simulator, mirroring the paper's evaluation (Section V).
 //!
-//! Intended scope: reproducible experiment campaigns over the simulator (and
-//! later the real transport), mirroring the paper's evaluation (Section V):
+//! A campaign is an experiment matrix — protocol × deployment size `n` ×
+//! concurrent instances `m` × batch size × authentication mode × network ×
+//! fault scenario — run with warm-up/measure/cool-down phasing: metrics are
+//! evaluated only over the measurement window, so pipeline fill and drain do
+//! not distort throughput, and latency samples are restricted to batches
+//! submitted inside the window.
 //!
-//! * experiment matrices: protocol × deployment size × batch size ×
-//!   authentication mode × fault scenario, each a
-//!   [`rcc_common::SystemConfig`] plus a fault script;
-//! * warm-up/measure/cool-down phasing with throughput and latency
-//!   percentiles collected via [`rcc_common::metrics`];
-//! * CSV/Markdown result emission suitable for regenerating the paper's
-//!   figures (Fig. 7 and Fig. 8);
-//! * regression gates so CI can flag performance changes in the protocol
-//!   hot paths.
+//! Results are emitted as CSV (one row per experiment, machine-readable, the
+//! format CI archives) and as a Markdown table (human-readable). Both are
+//! deterministic: the same seed and matrix produce byte-identical output,
+//! which is what makes regression comparison across PRs meaningful.
+//! `docs/EVALUATION.md` documents every knob and how the output columns map
+//! onto the axes of Fig. 7 and Fig. 8 of the paper.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+use rcc_common::{CryptoMode, Duration, ReplicaId, SystemConfig, Time};
+use rcc_sim::{
+    simulate_pbft, simulate_rcc_over_pbft, FaultKind, FaultScript, NetworkModel, SimConfig,
+    SimReport,
+};
+use std::fmt::Write as _;
+
+/// Which consensus system a row measures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProtocolKind {
+    /// RCC running `m` concurrent PBFT instances (the paper's "RCC").
+    RccPbft,
+    /// Standalone PBFT with out-of-order processing (the paper's strongest
+    /// primary-backup baseline).
+    Pbft,
+}
+
+impl ProtocolKind {
+    /// Stable name used in CSV/Markdown output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::RccPbft => "rcc-pbft",
+            ProtocolKind::Pbft => "pbft",
+        }
+    }
+}
+
+/// Which link model a row uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NetworkKind {
+    /// Single-cluster LAN (Fig. 7-left / Fig. 8 LAN rows).
+    Lan,
+    /// Four-region WAN (Fig. 8 WAN rows).
+    Wan,
+}
+
+impl NetworkKind {
+    /// Stable name used in CSV/Markdown output.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetworkKind::Lan => "lan",
+            NetworkKind::Wan => "wan",
+        }
+    }
+
+    /// The simulator link model.
+    pub fn model(self) -> NetworkModel {
+        match self {
+            NetworkKind::Lan => NetworkModel::lan(),
+            NetworkKind::Wan => NetworkModel::wan(),
+        }
+    }
+}
+
+/// Scripted fault scenarios, injected shortly after the warm-up phase so the
+/// measurement window observes the system under the fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FaultScenario {
+    /// Failure-free run.
+    None,
+    /// The highest-numbered replica crashes — a backup of every instance
+    /// when `m < n`, the coordinator of instance `n − 1` when `m = n` (in
+    /// which case RCC must replace it with an instance-local view change).
+    CrashReplica,
+    /// Replica 1 — coordinator of instance 1 when `m > 1` — turns into a
+    /// Byzantine silent primary and withholds its proposals.
+    SilenceCoordinator,
+    /// Replica 1 throttles its own CPU by 8× (the Section-IV attack).
+    ThrottleCoordinator,
+}
+
+impl FaultScenario {
+    /// Stable name used in CSV/Markdown output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultScenario::None => "none",
+            FaultScenario::CrashReplica => "crash-replica",
+            FaultScenario::SilenceCoordinator => "silence-coordinator",
+            FaultScenario::ThrottleCoordinator => "throttle-coordinator",
+        }
+    }
+
+    /// The concrete fault script for a deployment of `n` replicas whose
+    /// measurement starts at `measure_start`.
+    pub fn script(self, n: usize, measure_start: Time) -> FaultScript {
+        // Inject just after measurement begins so the fault's effect is
+        // inside the measured window.
+        let at = measure_start + Duration::from_millis(50);
+        match self {
+            FaultScenario::None => FaultScript::none(),
+            FaultScenario::CrashReplica => FaultScript::crash_at(at, ReplicaId(n as u32 - 1)),
+            FaultScenario::SilenceCoordinator => FaultScript::silence_at(at, ReplicaId(1)),
+            FaultScenario::ThrottleCoordinator => FaultScript::none().with(
+                at,
+                FaultKind::Throttle {
+                    replica: ReplicaId(1),
+                    factor: 8.0,
+                },
+            ),
+        }
+    }
+}
+
+/// Warm-up / measurement / cool-down phasing of every run in a campaign.
+#[derive(Clone, Copy, Debug)]
+pub struct Phases {
+    /// Virtual time before measurement starts (pipeline fill).
+    pub warmup: Duration,
+    /// Virtual length of the measurement window.
+    pub measure: Duration,
+    /// Virtual time after measurement (lets in-flight batches drain).
+    pub cooldown: Duration,
+}
+
+impl Phases {
+    /// The phasing used by the full campaigns: 0.2 s warm-up, 0.7 s
+    /// measurement, 0.1 s cool-down of virtual time.
+    pub fn standard() -> Self {
+        Phases {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(700),
+            cooldown: Duration::from_millis(100),
+        }
+    }
+
+    /// Longer phasing for small deployments (CI smoke): the runs are cheap,
+    /// so a longer window tightens the estimates.
+    pub fn smoke() -> Self {
+        Phases {
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(3),
+            cooldown: Duration::from_millis(500),
+        }
+    }
+
+    /// Total virtual horizon of one run.
+    pub fn total(&self) -> Duration {
+        self.warmup + self.measure + self.cooldown
+    }
+
+    /// Start of the measurement window.
+    pub fn measure_start(&self) -> Time {
+        Time::ZERO + self.warmup
+    }
+
+    /// End of the measurement window.
+    pub fn measure_end(&self) -> Time {
+        Time::ZERO + self.warmup + self.measure
+    }
+}
+
+/// One cell of an experiment matrix.
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// The measured system.
+    pub protocol: ProtocolKind,
+    /// The link model.
+    pub network: NetworkKind,
+    /// The fault scenario.
+    pub fault: FaultScenario,
+    /// Number of replicas `n`.
+    pub n: usize,
+    /// Concurrent instances `m` (forced to 1 for [`ProtocolKind::Pbft`]).
+    pub m: usize,
+    /// Transactions per batch.
+    pub batch_size: usize,
+    /// Replica-to-replica authentication mode.
+    pub crypto: CryptoMode,
+    /// Deterministic seed of the run.
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    fn crypto_name(&self) -> &'static str {
+        match self.crypto {
+            CryptoMode::None => "none",
+            CryptoMode::Mac => "mac",
+            CryptoMode::PublicKey => "pk",
+        }
+    }
+
+    /// The [`SystemConfig`] this spec describes.
+    pub fn system(&self) -> SystemConfig {
+        SystemConfig::new(self.n)
+            .with_instances(self.m)
+            .with_batch_size(self.batch_size)
+            .with_crypto(self.crypto)
+            .with_seed(self.seed)
+    }
+}
+
+/// Measurements of one experiment.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The experiment that was run.
+    pub spec: ExperimentSpec,
+    /// Quorum-committed throughput (txn/s) over the measurement window.
+    pub throughput_tps: f64,
+    /// Mean client latency in milliseconds.
+    pub latency_mean_ms: f64,
+    /// Median client latency in milliseconds.
+    pub latency_p50_ms: f64,
+    /// 99th-percentile client latency in milliseconds.
+    pub latency_p99_ms: f64,
+    /// Transactions that reached the `f + 1` commit quorum over the whole
+    /// run.
+    pub committed_transactions: u64,
+    /// Batches that reached the `f + 1` commit quorum over the whole run.
+    pub committed_batches: u64,
+    /// Messages delivered between replicas.
+    pub messages_delivered: u64,
+    /// Bytes delivered between replicas.
+    pub bytes_delivered: u64,
+    /// Simulation events processed.
+    pub events_processed: u64,
+    /// `SuspectPrimary` actions observed.
+    pub suspicions: u64,
+    /// `ViewChanged` actions observed.
+    pub view_changes: u64,
+    /// The run's event-trace fingerprint (equal ⇒ identical run).
+    pub trace_fingerprint: u64,
+}
+
+fn to_ms(d: rcc_common::Duration) -> f64 {
+    d.as_nanos() as f64 / 1e6
+}
+
+/// Runs one experiment with the given phasing.
+pub fn run_spec(spec: &ExperimentSpec, phases: &Phases) -> RunResult {
+    let mut spec = spec.clone();
+    if spec.protocol == ProtocolKind::Pbft {
+        // Standalone PBFT has exactly one primary; `m` is not meaningful.
+        spec.m = 1;
+    }
+    let config = SimConfig::new(spec.system(), spec.network.model(), phases.total())
+        .with_measure_window(phases.measure_start(), phases.measure_end())
+        .with_faults(spec.fault.script(spec.n, phases.measure_start()));
+    let report: SimReport = match spec.protocol {
+        ProtocolKind::RccPbft => simulate_rcc_over_pbft(config),
+        ProtocolKind::Pbft => simulate_pbft(config),
+    };
+    RunResult {
+        throughput_tps: report.throughput_over(phases.measure_start(), phases.measure_end()),
+        latency_mean_ms: to_ms(report.latency.mean()),
+        latency_p50_ms: to_ms(report.latency.percentile(0.5)),
+        latency_p99_ms: to_ms(report.latency.percentile(0.99)),
+        committed_transactions: report.committed_transactions,
+        committed_batches: report.committed_batches,
+        messages_delivered: report.messages_delivered,
+        bytes_delivered: report.bytes_delivered,
+        events_processed: report.events_processed,
+        suspicions: report.suspicions,
+        view_changes: report.view_changes,
+        trace_fingerprint: report.trace_fingerprint,
+        spec,
+    }
+}
+
+/// A named experiment matrix.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Campaign name (used for output file names).
+    pub name: String,
+    /// The experiments, in execution order.
+    pub specs: Vec<ExperimentSpec>,
+    /// Phasing applied to every run.
+    pub phases: Phases,
+}
+
+impl Campaign {
+    /// Runs every experiment in order.
+    pub fn run(&self) -> CampaignResults {
+        self.run_with(|_, _| {})
+    }
+
+    /// Runs every experiment, reporting `(index, spec)` to `progress` before
+    /// each run (for CLI progress output on stderr).
+    pub fn run_with(&self, mut progress: impl FnMut(usize, &ExperimentSpec)) -> CampaignResults {
+        let rows = self
+            .specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                progress(i, spec);
+                run_spec(spec, &self.phases)
+            })
+            .collect();
+        CampaignResults {
+            name: self.name.clone(),
+            rows,
+        }
+    }
+}
+
+/// The collected rows of a campaign.
+#[derive(Clone, Debug)]
+pub struct CampaignResults {
+    /// The campaign's name.
+    pub name: String,
+    /// One result per experiment, in execution order.
+    pub rows: Vec<RunResult>,
+}
+
+impl CampaignResults {
+    /// CSV emission: a header row plus one row per experiment. Deterministic
+    /// byte-for-byte for a fixed campaign and seed.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "protocol,network,fault,n,f,m,batch_size,crypto,seed,throughput_tps,\
+             latency_mean_ms,latency_p50_ms,latency_p99_ms,committed_txns,committed_batches,\
+             messages,bytes,events,suspicions,view_changes,trace_fingerprint\n",
+        );
+        for row in &self.rows {
+            let s = &row.spec;
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{:.1},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{:016x}",
+                s.protocol.name(),
+                s.network.name(),
+                s.fault.name(),
+                s.n,
+                s.system().f,
+                s.m,
+                s.batch_size,
+                s.crypto_name(),
+                s.seed,
+                row.throughput_tps,
+                row.latency_mean_ms,
+                row.latency_p50_ms,
+                row.latency_p99_ms,
+                row.committed_transactions,
+                row.committed_batches,
+                row.messages_delivered,
+                row.bytes_delivered,
+                row.events_processed,
+                row.suspicions,
+                row.view_changes,
+                row.trace_fingerprint,
+            );
+        }
+        out
+    }
+
+    /// Markdown emission: a compact table with the headline columns.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### Campaign `{}`\n", self.name);
+        out.push_str(
+            "| protocol | network | fault | n | m | batch | crypto | throughput (txn/s) | p50 (ms) | p99 (ms) | view changes |\n\
+             |---|---|---|---:|---:|---:|---|---:|---:|---:|---:|\n",
+        );
+        for row in &self.rows {
+            let s = &row.spec;
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.1} | {:.1} | {} |",
+                s.protocol.name(),
+                s.network.name(),
+                s.fault.name(),
+                s.n,
+                s.m,
+                s.batch_size,
+                s.crypto_name(),
+                row.throughput_tps,
+                row.latency_p50_ms,
+                row.latency_p99_ms,
+                row.view_changes,
+            );
+        }
+        out
+    }
+}
+
+/// The CI smoke campaign: a 4-replica deployment, a handful of rows, a few
+/// virtual seconds each — seconds of wall-clock time, enough to catch "the
+/// simulator broke" and gross performance regressions.
+pub fn smoke_campaign(seed: u64) -> Campaign {
+    let spec = |protocol, m, fault| ExperimentSpec {
+        protocol,
+        network: NetworkKind::Wan,
+        fault,
+        n: 4,
+        m,
+        batch_size: 100,
+        crypto: CryptoMode::Mac,
+        seed,
+    };
+    Campaign {
+        name: "smoke".into(),
+        specs: vec![
+            spec(ProtocolKind::Pbft, 1, FaultScenario::None),
+            spec(ProtocolKind::RccPbft, 1, FaultScenario::None),
+            spec(ProtocolKind::RccPbft, 4, FaultScenario::None),
+            spec(ProtocolKind::RccPbft, 4, FaultScenario::CrashReplica),
+        ],
+        phases: Phases::smoke(),
+    }
+}
+
+/// The Fig. 7-shaped sweep: RCC-over-PBFT under the WAN model, m ∈ {1, 2, 4}
+/// × n ∈ {4, 16, 32}, MAC authentication, failure-free. Columns `m` and
+/// `throughput_tps` correspond to Fig. 7-left's x- and y-axes.
+pub fn fig7_campaign(seed: u64) -> Campaign {
+    let mut specs = Vec::new();
+    for n in [4usize, 16, 32] {
+        for m in [1usize, 2, 4] {
+            specs.push(ExperimentSpec {
+                protocol: ProtocolKind::RccPbft,
+                network: NetworkKind::Wan,
+                fault: FaultScenario::None,
+                n,
+                m,
+                batch_size: 100,
+                crypto: CryptoMode::Mac,
+                seed,
+            });
+        }
+    }
+    Campaign {
+        name: "fig7".into(),
+        specs,
+        phases: Phases::standard(),
+    }
+}
+
+/// The Fig. 7-right-shaped sweep: standalone PBFT on a LAN under the three
+/// authentication modes (no authentication, MACs, ED25519 signatures).
+/// Column `crypto` is Fig. 7-right's x-axis.
+pub fn fig7_auth_campaign(seed: u64) -> Campaign {
+    let specs = [CryptoMode::None, CryptoMode::Mac, CryptoMode::PublicKey]
+        .into_iter()
+        .map(|crypto| ExperimentSpec {
+            protocol: ProtocolKind::Pbft,
+            network: NetworkKind::Lan,
+            fault: FaultScenario::None,
+            n: 16,
+            m: 1,
+            batch_size: 100,
+            crypto,
+            seed,
+        })
+        .collect();
+    Campaign {
+        name: "fig7-auth".into(),
+        specs,
+        phases: Phases::standard(),
+    }
+}
+
+/// The Fig. 8-shaped scalability sweep: RCC with `m = n` against standalone
+/// PBFT, WAN, n ∈ {4, 16, 32, 64, 91} (the paper's deployment sizes).
+/// Expensive: the n = 91 rows simulate tens of millions of events.
+pub fn fig8_campaign(seed: u64) -> Campaign {
+    let mut specs = Vec::new();
+    for n in [4usize, 16, 32, 64, 91] {
+        specs.push(ExperimentSpec {
+            protocol: ProtocolKind::RccPbft,
+            network: NetworkKind::Wan,
+            fault: FaultScenario::None,
+            n,
+            m: n,
+            batch_size: 100,
+            crypto: CryptoMode::Mac,
+            seed,
+        });
+        specs.push(ExperimentSpec {
+            protocol: ProtocolKind::Pbft,
+            network: NetworkKind::Wan,
+            fault: FaultScenario::None,
+            n,
+            m: 1,
+            batch_size: 100,
+            crypto: CryptoMode::Mac,
+            seed,
+        });
+    }
+    Campaign {
+        name: "fig8".into(),
+        specs,
+        phases: Phases::standard(),
+    }
+}
+
+/// The fault-tolerance sweep (Fig. 10's spirit): RCC n = 4, m = 4 under each
+/// fault scenario, so throughput under failures has a tracked baseline.
+pub fn faults_campaign(seed: u64) -> Campaign {
+    let specs = [
+        FaultScenario::None,
+        FaultScenario::CrashReplica,
+        FaultScenario::SilenceCoordinator,
+        FaultScenario::ThrottleCoordinator,
+    ]
+    .into_iter()
+    .map(|fault| ExperimentSpec {
+        protocol: ProtocolKind::RccPbft,
+        network: NetworkKind::Wan,
+        fault,
+        n: 4,
+        m: 4,
+        batch_size: 100,
+        crypto: CryptoMode::Mac,
+        seed,
+    })
+    .collect();
+    Campaign {
+        name: "faults".into(),
+        specs,
+        phases: Phases {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(1500),
+            cooldown: Duration::from_millis(100),
+        },
+    }
+}
+
+/// Looks a campaign preset up by name.
+pub fn campaign_by_name(name: &str, seed: u64) -> Option<Campaign> {
+    match name {
+        "smoke" => Some(smoke_campaign(seed)),
+        "fig7" => Some(fig7_campaign(seed)),
+        "fig7-auth" => Some(fig7_auth_campaign(seed)),
+        "fig8" => Some(fig8_campaign(seed)),
+        "faults" => Some(faults_campaign(seed)),
+        _ => None,
+    }
+}
+
+/// The names accepted by [`campaign_by_name`].
+pub const CAMPAIGN_NAMES: [&str; 5] = ["smoke", "fig7", "fig7-auth", "fig8", "faults"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_campaign(seed: u64) -> Campaign {
+        let spec = |m| ExperimentSpec {
+            protocol: ProtocolKind::RccPbft,
+            network: NetworkKind::Wan,
+            fault: FaultScenario::None,
+            n: 4,
+            m,
+            batch_size: 10,
+            crypto: CryptoMode::Mac,
+            seed,
+        };
+        Campaign {
+            name: "tiny".into(),
+            specs: vec![spec(1), spec(4)],
+            phases: Phases {
+                warmup: Duration::from_millis(150),
+                measure: Duration::from_millis(500),
+                cooldown: Duration::from_millis(50),
+            },
+        }
+    }
+
+    #[test]
+    fn campaign_output_is_deterministic() {
+        let a = tiny_campaign(3).run();
+        let b = tiny_campaign(3).run();
+        assert_eq!(a.to_csv(), b.to_csv());
+        assert_eq!(a.to_markdown(), b.to_markdown());
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_spec() {
+        let results = tiny_campaign(3).run();
+        let csv = results.to_csv();
+        assert_eq!(csv.lines().count(), 1 + results.rows.len());
+        assert!(csv.starts_with("protocol,network,fault,n,f,m,"));
+        for row in &results.rows {
+            assert!(row.committed_transactions > 0, "rows must make progress");
+        }
+    }
+
+    #[test]
+    fn markdown_table_contains_every_protocol_row() {
+        let md = tiny_campaign(3).run().to_markdown();
+        assert!(md.contains("| rcc-pbft | wan |"));
+        assert!(md.starts_with("### Campaign `tiny`"));
+    }
+
+    #[test]
+    fn pbft_rows_force_single_instance() {
+        let spec = ExperimentSpec {
+            protocol: ProtocolKind::Pbft,
+            network: NetworkKind::Wan,
+            fault: FaultScenario::None,
+            n: 4,
+            m: 4,
+            batch_size: 10,
+            crypto: CryptoMode::Mac,
+            seed: 1,
+        };
+        let phases = Phases {
+            warmup: Duration::from_millis(100),
+            measure: Duration::from_millis(300),
+            cooldown: Duration::from_millis(50),
+        };
+        let row = run_spec(&spec, &phases);
+        assert_eq!(row.spec.m, 1);
+        assert!(row.committed_transactions > 0);
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in CAMPAIGN_NAMES {
+            let campaign = campaign_by_name(name, 1).expect(name);
+            assert!(!campaign.specs.is_empty());
+            assert_eq!(campaign.name, name);
+        }
+        assert!(campaign_by_name("nope", 1).is_none());
+    }
+}

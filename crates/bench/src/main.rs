@@ -1,0 +1,129 @@
+//! `rcc-bench` — the campaign runner CLI.
+//!
+//! Runs a named experiment campaign over the discrete-event simulator and
+//! writes `<out>/<campaign>.csv` (machine-readable, archived by CI) and
+//! `<out>/<campaign>.md` (human-readable). The Markdown table is also
+//! printed to stdout; progress goes to stderr so stdout stays deterministic.
+//!
+//! ```text
+//! rcc-bench [--preset smoke|fig7|fig7-auth|fig8|faults] [--seed N] [--out DIR] [--quiet]
+//! ```
+//!
+//! See `docs/EVALUATION.md` for what each campaign measures and how the
+//! output columns map back to the paper's figures.
+
+use rcc_bench::{campaign_by_name, CAMPAIGN_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    preset: String,
+    seed: u64,
+    out: PathBuf,
+    quiet: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "usage: rcc-bench [--preset NAME] [--seed N] [--out DIR] [--quiet]\n\
+         presets: {}\n\
+         defaults: --preset smoke --seed {} --out bench-results",
+        CAMPAIGN_NAMES.join(", "),
+        rcc_common::config::DEFAULT_SEED,
+    )
+}
+
+/// A parsed invocation: either "show the usage text" or a run request.
+enum Cli {
+    Help,
+    Run(Args),
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = Args {
+        preset: "smoke".into(),
+        seed: rcc_common::config::DEFAULT_SEED,
+        out: PathBuf::from("bench-results"),
+        quiet: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(flag) = iter.next() {
+        match flag.as_str() {
+            "--preset" => {
+                args.preset = iter.next().ok_or("--preset needs a value")?;
+            }
+            "--seed" => {
+                let v = iter.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("invalid seed: {v}"))?;
+            }
+            "--out" => {
+                args.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--quiet" => args.quiet = true,
+            "--help" | "-h" => return Ok(Cli::Help),
+            other => return Err(format!("unknown argument: {other}\n{}", usage())),
+        }
+    }
+    Ok(Cli::Run(args))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(Cli::Run(args)) => args,
+        Ok(Cli::Help) => {
+            println!("{}", usage());
+            return ExitCode::SUCCESS;
+        }
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(campaign) = campaign_by_name(&args.preset, args.seed) else {
+        eprintln!(
+            "unknown preset `{}` (expected one of: {})",
+            args.preset,
+            CAMPAIGN_NAMES.join(", ")
+        );
+        return ExitCode::FAILURE;
+    };
+    let total = campaign.specs.len();
+    let quiet = args.quiet;
+    let results = campaign.run_with(|i, spec| {
+        if !quiet {
+            eprintln!(
+                "[{}/{total}] {} {} n={} m={} batch={} fault={} …",
+                i + 1,
+                spec.protocol.name(),
+                spec.network.name(),
+                spec.n,
+                spec.m,
+                spec.batch_size,
+                spec.fault.name(),
+            );
+        }
+    });
+    if results.rows.iter().any(|r| r.committed_transactions == 0) {
+        eprintln!("error: a run committed zero transactions — the simulator is broken");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::create_dir_all(&args.out) {
+        eprintln!("error: cannot create {}: {e}", args.out.display());
+        return ExitCode::FAILURE;
+    }
+    let csv_path = args.out.join(format!("{}.csv", results.name));
+    let md_path = args.out.join(format!("{}.md", results.name));
+    if let Err(e) = std::fs::write(&csv_path, results.to_csv()) {
+        eprintln!("error: cannot write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&md_path, results.to_markdown()) {
+        eprintln!("error: cannot write {}: {e}", md_path.display());
+        return ExitCode::FAILURE;
+    }
+    print!("{}", results.to_markdown());
+    if !quiet {
+        eprintln!("wrote {} and {}", csv_path.display(), md_path.display());
+    }
+    ExitCode::SUCCESS
+}

@@ -129,6 +129,40 @@ impl CryptoCostModel {
             CryptoMode::PublicKey => self.signature_verify,
         }
     }
+
+    /// CPU time to verify the client signatures carried by a proposal of
+    /// `batch_size` transactions. Client transactions are signed in both the
+    /// MAC and public-key modes of Fig. 7 (right) — only the "None" baseline
+    /// skips authentication entirely. The simulator divides this cost by the
+    /// replica's core count, matching ResilientDB's parallelized batch
+    /// verification.
+    pub fn batch_verify_cost(&self, mode: CryptoMode, batch_size: usize) -> Duration {
+        match mode {
+            CryptoMode::None => Duration::ZERO,
+            CryptoMode::Mac | CryptoMode::PublicKey => {
+                self.signature_verify.saturating_mul(batch_size as u64)
+            }
+        }
+    }
+
+    /// A copy of this model with every cost multiplied by `factor` — a
+    /// convenience for deriving cost models of slower or faster hardware
+    /// than the default calibration (e.g. single-board replicas at 4× cost).
+    /// Note: the simulator's per-replica Section-IV throttling is applied at
+    /// charge time (`rcc_sim::FaultKind::Throttle`), not by swapping models.
+    pub fn scaled(&self, factor: f64) -> Self {
+        CryptoCostModel {
+            digest: self.digest.mul_f64(factor),
+            mac_create: self.mac_create.mul_f64(factor),
+            mac_verify: self.mac_verify.mul_f64(factor),
+            signature_create: self.signature_create.mul_f64(factor),
+            signature_verify: self.signature_verify.mul_f64(factor),
+            threshold_share_create: self.threshold_share_create.mul_f64(factor),
+            threshold_share_verify: self.threshold_share_verify.mul_f64(factor),
+            threshold_combine_per_share: self.threshold_combine_per_share.mul_f64(factor),
+            threshold_certificate_verify: self.threshold_certificate_verify.mul_f64(factor),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +198,30 @@ mod tests {
             m.outgoing_message_cost(CryptoMode::PublicKey, 90)
                 > m.outgoing_message_cost(CryptoMode::Mac, 1)
         );
+    }
+
+    #[test]
+    fn batch_verify_cost_follows_mode() {
+        let m = CryptoCostModel::default();
+        assert_eq!(m.batch_verify_cost(CryptoMode::None, 100), Duration::ZERO);
+        assert_eq!(
+            m.batch_verify_cost(CryptoMode::Mac, 100),
+            m.signature_verify.saturating_mul(100)
+        );
+        assert_eq!(
+            m.batch_verify_cost(CryptoMode::Mac, 100),
+            m.batch_verify_cost(CryptoMode::PublicKey, 100),
+            "client signatures are checked in both authenticated modes"
+        );
+    }
+
+    #[test]
+    fn scaled_model_multiplies_every_cost() {
+        let m = CryptoCostModel::default().scaled(3.0);
+        let base = CryptoCostModel::default();
+        assert_eq!(m.mac_verify, base.mac_verify.mul_f64(3.0));
+        assert_eq!(m.signature_verify, base.signature_verify.mul_f64(3.0));
+        assert_eq!(m.digest, base.digest.mul_f64(3.0));
     }
 
     #[test]

@@ -165,6 +165,12 @@ pub trait WireMessage {
     fn wire_size(&self) -> usize;
     /// `true` when the message carries a batch payload (a proposal).
     fn is_proposal(&self) -> bool;
+    /// Number of client requests carried in the message's batch payload
+    /// (0 for metadata-only messages). The discrete-event simulator uses this
+    /// to charge per-transaction verification and execution CPU time.
+    fn payload_transactions(&self) -> usize {
+        0
+    }
 }
 
 /// A primary-backup Byzantine commit algorithm as required by RCC.

@@ -23,7 +23,10 @@
 //! of them implement, the [`bca::Action`] vocabulary they emit, and the
 //! assumptions (A1–A4 in Section III-B of the paper) the RCC layer relies
 //! on. The [`harness`] module is a deterministic in-memory cluster driver
-//! shared by all protocol tests and by `rcc-core`.
+//! shared by all protocol tests and by `rcc-core`; the `rcc-sim` crate
+//! drives the same state machines through a performance-accurate
+//! discrete-event simulation (latency, bandwidth, and CPU cost per
+//! [`bca::WireMessage`]).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

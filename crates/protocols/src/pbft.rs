@@ -98,6 +98,19 @@ impl WireMessage for PbftMessage {
             PbftMessage::PrePrepare { .. } | PbftMessage::NewView { .. }
         )
     }
+
+    fn payload_transactions(&self) -> usize {
+        match self {
+            PbftMessage::PrePrepare { batch, .. } => batch.len(),
+            PbftMessage::Prepare { .. } | PbftMessage::Commit { .. } => 0,
+            PbftMessage::ViewChange { prepared, .. } => {
+                prepared.iter().map(|(_, _, b)| b.len()).sum()
+            }
+            PbftMessage::NewView { preprepares, .. } => {
+                preprepares.iter().map(|(_, _, b)| b.len()).sum()
+            }
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]

@@ -79,6 +79,13 @@ impl WireMessage for ZyzzyvaMessage {
     fn is_proposal(&self) -> bool {
         matches!(self, ZyzzyvaMessage::OrderRequest { .. })
     }
+
+    fn payload_transactions(&self) -> usize {
+        match self {
+            ZyzzyvaMessage::OrderRequest { batch, .. } => batch.len(),
+            _ => 0,
+        }
+    }
 }
 
 #[derive(Clone, Debug, Default)]

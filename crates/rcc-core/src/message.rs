@@ -65,6 +65,14 @@ impl<M: WireMessage> WireMessage for RccMessage<M> {
             RccMessage::SlotReply { .. } => true,
         }
     }
+
+    fn payload_transactions(&self) -> usize {
+        match self {
+            RccMessage::Instance { message, .. } => message.payload_transactions(),
+            RccMessage::SlotRequest { .. } => 0,
+            RccMessage::SlotReply { batch, .. } => batch.len(),
+        }
+    }
 }
 
 #[cfg(test)]

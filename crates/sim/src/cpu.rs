@@ -1,0 +1,76 @@
+//! The per-replica CPU cost model.
+//!
+//! Cryptographic costs come from [`rcc_crypto::CryptoCostModel`]; this module
+//! adds the non-crypto costs of running a replica and decides what runs
+//! sequentially on the consensus path versus what parallelizes across cores.
+//!
+//! The model follows ResilientDB's architecture (Section II of the paper):
+//! consensus message handling is a sequential pipeline (message parsing,
+//! protocol state updates, and per-message authentication happen on the
+//! consensus path), while batch verification of client signatures and
+//! transaction execution parallelize across the replica's worker cores. The
+//! paper's replicas have 16 cores; that is the default here.
+
+use rcc_common::Duration;
+
+/// Non-crypto CPU costs of one replica.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuModel {
+    /// Sequential cost of ingesting any message (parsing, dispatch, protocol
+    /// bookkeeping).
+    pub message_overhead: Duration,
+    /// Additional sequential cost of handling a proposal (batch bookkeeping,
+    /// ordering).
+    pub proposal_overhead: Duration,
+    /// Cost of executing one client transaction once its batch commits.
+    /// Charged on the worker cores (divided by `cores`).
+    pub execute_per_transaction: Duration,
+    /// Worker cores available for parallel batch verification and execution.
+    pub cores: u32,
+}
+
+impl Default for CpuModel {
+    fn default() -> Self {
+        CpuModel {
+            message_overhead: Duration::from_micros(2),
+            proposal_overhead: Duration::from_micros(10),
+            execute_per_transaction: Duration::from_nanos(500),
+            cores: 16,
+        }
+    }
+}
+
+impl CpuModel {
+    /// A model with a single worker core (no parallel verification), useful
+    /// to expose CPU-bound behaviour in small tests.
+    pub fn single_core() -> Self {
+        CpuModel {
+            cores: 1,
+            ..CpuModel::default()
+        }
+    }
+
+    /// Spreads `work` across the worker cores.
+    pub fn parallelized(&self, work: Duration) -> Duration {
+        work.mul_f64(1.0 / self.cores.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelization_divides_by_cores() {
+        let cpu = CpuModel::default();
+        assert_eq!(
+            cpu.parallelized(Duration::from_micros(1600)),
+            Duration::from_micros(100)
+        );
+        let single = CpuModel::single_core();
+        assert_eq!(
+            single.parallelized(Duration::from_micros(1600)),
+            Duration::from_micros(1600)
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Scripted fault injection.
+//!
+//! A [`FaultScript`] is a deterministic, virtual-time-stamped list of fault
+//! events replayed by the simulator: replica crashes and recoveries, network
+//! partitions, Byzantine primaries that silently withhold proposals, and the
+//! Section-IV throttling attack in which a Byzantine replica slows its own
+//! processing to just above the failure-detection threshold. Because the
+//! script is part of the simulation configuration, every failure experiment
+//! is replayable bit-for-bit from its seed.
+
+use rcc_common::{ReplicaId, Time};
+
+/// One kind of injected fault (or repair).
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The replica stops processing and emitting messages entirely.
+    Crash {
+        /// The crashing replica.
+        replica: ReplicaId,
+    },
+    /// A previously crashed replica resumes with its state intact (a long
+    /// pause rather than a state loss — amnesia recovery is future work).
+    Recover {
+        /// The recovering replica.
+        replica: ReplicaId,
+    },
+    /// Cuts every link between `group` and the rest of the deployment, in
+    /// both directions. Messages already in flight across the cut are lost.
+    Partition {
+        /// One side of the partition.
+        group: Vec<ReplicaId>,
+    },
+    /// Removes all partition cuts.
+    Heal,
+    /// The replica becomes a Byzantine silent primary: it keeps running the
+    /// protocol as a backup but withholds every proposal it should make.
+    SilencePrimary {
+        /// The misbehaving replica.
+        replica: ReplicaId,
+    },
+    /// Undoes [`FaultKind::SilencePrimary`].
+    RestorePrimary {
+        /// The repaired replica.
+        replica: ReplicaId,
+    },
+    /// Multiplies every CPU cost the simulator charges this replica —
+    /// message overhead, crypto, verification, execution alike — by
+    /// `factor` (the Section-IV throttling attack when `factor > 1`).
+    Throttle {
+        /// The throttled replica.
+        replica: ReplicaId,
+        /// CPU slow-down factor (`1.0` restores full speed; clamped to a
+        /// positive floor of `0.001` — a factor of zero would model an
+        /// infinitely fast replica, not an attack).
+        factor: f64,
+    },
+}
+
+/// A fault scheduled at a point in virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault is injected.
+    pub at: Time,
+    /// What happens.
+    pub fault: FaultKind,
+}
+
+/// A replayable fault schedule.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultScript {
+    /// The scheduled events. The simulator applies them in `at` order
+    /// (ties broken by list position).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// The empty script: a failure-free run.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Appends a fault at `at` (builder style).
+    pub fn with(mut self, at: Time, fault: FaultKind) -> Self {
+        self.events.push(FaultEvent { at, fault });
+        self
+    }
+
+    /// Convenience: crash `replica` at `at`.
+    pub fn crash_at(at: Time, replica: ReplicaId) -> Self {
+        FaultScript::none().with(at, FaultKind::Crash { replica })
+    }
+
+    /// Convenience: make `replica` a silent Byzantine primary at `at`.
+    pub fn silence_at(at: Time, replica: ReplicaId) -> Self {
+        FaultScript::none().with(at, FaultKind::SilencePrimary { replica })
+    }
+
+    /// Convenience: throttle `replica` by `factor` at `at` (Section IV).
+    pub fn throttle_at(at: Time, replica: ReplicaId, factor: f64) -> Self {
+        FaultScript::none().with(at, FaultKind::Throttle { replica, factor })
+    }
+
+    /// The events sorted by injection time (stable, so list order breaks
+    /// ties).
+    pub fn sorted(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates_events_in_time_order() {
+        let script = FaultScript::none()
+            .with(Time::from_secs(2), FaultKind::Heal)
+            .with(
+                Time::from_secs(1),
+                FaultKind::Partition {
+                    group: vec![ReplicaId(0)],
+                },
+            );
+        let sorted = script.sorted();
+        assert_eq!(sorted.len(), 2);
+        assert_eq!(sorted[0].at, Time::from_secs(1));
+        assert!(matches!(sorted[1].fault, FaultKind::Heal));
+    }
+
+    #[test]
+    fn convenience_constructors() {
+        let s = FaultScript::crash_at(Time::from_secs(1), ReplicaId(2));
+        assert!(matches!(
+            s.events[0].fault,
+            FaultKind::Crash {
+                replica: ReplicaId(2)
+            }
+        ));
+        let s = FaultScript::throttle_at(Time::from_secs(1), ReplicaId(1), 8.0);
+        assert!(matches!(s.events[0].fault, FaultKind::Throttle { .. }));
+    }
+}

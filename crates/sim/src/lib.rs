@@ -1,23 +1,91 @@
-//! Discrete-event simulator for RCC deployments — **placeholder, not yet
-//! implemented**.
+//! Discrete-event simulator for RCC deployments.
 //!
-//! Intended scope: the performance-accurate counterpart of the test-oriented
-//! `rcc_protocols::harness::Cluster`, able to reproduce the paper's
-//! large-scale experiments (Fig. 7/8: up to 91 replicas, global deployments)
-//! without real hardware:
+//! The performance-accurate counterpart of the test-oriented
+//! `rcc_protocols::harness::Cluster`: it reproduces the *shape* of the
+//! paper's large-scale experiments (Fig. 7/8: up to 91 replicas, global
+//! deployments) without real hardware by simulating virtual time:
 //!
-//! * a virtual-time event queue over [`rcc_common::Time`] with configurable
-//!   per-link latency/bandwidth models (the paper's LAN and WAN settings);
-//! * CPU cost accounting for message processing and cryptography via
-//!   [`rcc_crypto::CryptoCostModel`], so signature-vs-MAC trade-offs
-//!   (Fig. 7 right) are measurable;
-//! * fault injection scripts — crashes, partitions, Byzantine primaries,
-//!   throttling attacks (Section IV) — replayable from a deterministic seed;
-//! * throughput/latency collection into [`rcc_common::metrics`] time series
-//!   for comparison against the paper's figures.
+//! * [`sim`] — the event loop: a virtual-time queue over
+//!   [`rcc_common::Time`] driving any
+//!   [`rcc_protocols::bca::ByzantineCommitAlgorithm`] (including
+//!   [`rcc_core::RccReplica`]), with saturated closed-loop clients and CPU
+//!   accounting per replica.
+//! * [`network`] — per-link latency/bandwidth models with the paper's LAN
+//!   and multi-region WAN settings.
+//! * [`cpu`] — non-crypto CPU costs and the sequential-consensus /
+//!   parallel-verification split; crypto costs come from
+//!   [`rcc_crypto::CryptoCostModel`], so signature-vs-MAC trade-offs (Fig. 7
+//!   right) are measurable.
+//! * [`fault`] — seed-replayable fault scripts: crashes, partitions,
+//!   Byzantine silent primaries, and the Section-IV throttling attack.
+//! * [`workload`] — deterministic YCSB-style batch generation (90 % writes)
+//!   forked per proposer from [`rcc_common::SystemConfig::seed`].
+//! * [`rng`] — the SplitMix64 generator behind all simulated randomness.
 //!
-//! The `examples/simulator_campaign.rs` example sketches the intended entry
-//! point; it currently drives the deterministic harness instead.
+//! Everything is deterministic: the same [`SimConfig`] produces a
+//! bit-identical event trace (witnessed by [`SimReport::trace_fingerprint`])
+//! and identical metrics. The campaign runner in `rcc-bench` sweeps
+//! experiment matrices over this simulator; `docs/EVALUATION.md` explains
+//! how the outputs map back to the paper's figures.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod cpu;
+pub mod fault;
+pub mod network;
+pub mod rng;
+pub mod sim;
+pub mod workload;
+
+pub use cpu::CpuModel;
+pub use fault::{FaultEvent, FaultKind, FaultScript};
+pub use network::{LinkParams, NetworkModel};
+pub use rng::SplitMix64;
+pub use sim::{SimConfig, SimReport, Simulation};
+pub use workload::WorkloadGenerator;
+
+use rcc_core::RccOverPbft;
+use rcc_protocols::pbft::Pbft;
+
+/// Simulates RCC running `config.system.instances` concurrent PBFT instances
+/// — the configuration the paper evaluates as "RCC".
+///
+/// As an end-to-end safety check, the final execution orders of all replicas
+/// are verified to be prefix-consistent (replicas may trail — crashed or
+/// partitioned ones legitimately do — but two replicas must never release
+/// different batches at the same position).
+///
+/// # Panics
+///
+/// Panics when two replicas released divergent execution orders, which would
+/// mean a consensus-safety violation in the protocol stack.
+pub fn simulate_rcc_over_pbft(config: SimConfig) -> SimReport {
+    let system = config.system.clone();
+    let (report, nodes) = Simulation::new(config, |replica| {
+        RccOverPbft::over_pbft(system.clone(), replica)
+    })
+    .run_full();
+    let logs: Vec<_> = nodes.iter().map(|n| n.execution_digests()).collect();
+    let reference = logs
+        .iter()
+        .max_by_key(|l| l.len())
+        .expect("at least one replica");
+    for (replica, log) in logs.iter().enumerate() {
+        assert!(
+            log.as_slice() == &reference[..log.len()],
+            "SAFETY VIOLATION: replica {replica}'s execution order diverges \
+             from the longest log (prefix of {} vs {} entries)",
+            log.len(),
+            reference.len(),
+        );
+    }
+    report
+}
+
+/// Simulates the standalone PBFT baseline (a single primary-backup instance
+/// with out-of-order processing, as in the paper's comparisons).
+pub fn simulate_pbft(config: SimConfig) -> SimReport {
+    let system = config.system.clone();
+    Simulation::new(config, |replica| Pbft::standalone(system.clone(), replica)).run()
+}

@@ -1,0 +1,135 @@
+//! Per-link latency and bandwidth models.
+//!
+//! The paper evaluates RCC in two settings (Section V): a LAN cluster and a
+//! multi-region WAN deployment (Google Cloud regions in the US, Canada, and
+//! Europe). The simulator models both as a two-tier topology: replicas are
+//! assigned round-robin to `regions` regions; links inside a region use the
+//! `local` parameters, links between regions the `remote` parameters.
+//!
+//! Each sender has one egress queue per simulation (a shared NIC): a message
+//! of `b` bytes occupies the NIC for `b / bandwidth` before it enters the
+//! link, then experiences the link's propagation latency plus a uniformly
+//! distributed jitter sampled from the run's deterministic seed.
+
+use rcc_common::{Duration, ReplicaId};
+
+/// Latency/bandwidth parameters of one class of links.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkParams {
+    /// One-way propagation latency.
+    pub latency: Duration,
+    /// Maximum uniform jitter added on top of `latency`.
+    pub jitter: Duration,
+    /// Sender egress bandwidth in bytes per second.
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl LinkParams {
+    /// Serialization delay of `bytes` on this link.
+    pub fn serialization_delay(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bytes_per_sec == 0 {
+            return Duration::ZERO;
+        }
+        Duration::from_nanos(
+            (bytes as u128 * 1_000_000_000 / self.bandwidth_bytes_per_sec as u128) as u64,
+        )
+    }
+}
+
+/// The network topology of a simulated deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NetworkModel {
+    /// Number of regions; replica `r` lives in region `r mod regions`.
+    pub regions: usize,
+    /// Parameters of links between replicas in the same region.
+    pub local: LinkParams,
+    /// Parameters of links between replicas in different regions.
+    pub remote: LinkParams,
+}
+
+impl NetworkModel {
+    /// The paper's LAN setting: a single cluster with sub-millisecond
+    /// latencies and 10 Gbit/s networking.
+    pub fn lan() -> Self {
+        let link = LinkParams {
+            latency: Duration::from_micros(250),
+            jitter: Duration::from_micros(50),
+            bandwidth_bytes_per_sec: 1_250_000_000, // 10 Gbit/s
+        };
+        NetworkModel {
+            regions: 1,
+            local: link,
+            remote: link,
+        }
+    }
+
+    /// The paper's WAN setting: four regions (Oregon, Iowa, Montreal,
+    /// Belgium in the paper's GCP deployment) with tens of milliseconds
+    /// between regions and per-VM egress limits.
+    pub fn wan() -> Self {
+        NetworkModel {
+            regions: 4,
+            local: LinkParams {
+                latency: Duration::from_micros(300),
+                jitter: Duration::from_micros(60),
+                bandwidth_bytes_per_sec: 1_250_000_000, // 10 Gbit/s within a region
+            },
+            remote: LinkParams {
+                latency: Duration::from_millis(40),
+                jitter: Duration::from_millis(2),
+                bandwidth_bytes_per_sec: 250_000_000, // 2 Gbit/s across regions
+            },
+        }
+    }
+
+    /// The region replica `r` lives in.
+    pub fn region_of(&self, r: ReplicaId) -> usize {
+        r.index() % self.regions.max(1)
+    }
+
+    /// The link parameters for traffic `from → to`.
+    pub fn link(&self, from: ReplicaId, to: ReplicaId) -> &LinkParams {
+        if self.region_of(from) == self.region_of(to) {
+            &self.local
+        } else {
+            &self.remote
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lan_has_one_region() {
+        let net = NetworkModel::lan();
+        assert_eq!(net.region_of(ReplicaId(0)), net.region_of(ReplicaId(9)));
+        assert_eq!(net.link(ReplicaId(0), ReplicaId(3)), &net.local);
+    }
+
+    #[test]
+    fn wan_distinguishes_local_and_remote_links() {
+        let net = NetworkModel::wan();
+        // Replicas 0 and 4 share region 0; replica 1 lives in region 1.
+        assert_eq!(net.link(ReplicaId(0), ReplicaId(4)), &net.local);
+        assert_eq!(net.link(ReplicaId(0), ReplicaId(1)), &net.remote);
+        assert!(net.remote.latency > net.local.latency);
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_bytes() {
+        let link = LinkParams {
+            latency: Duration::ZERO,
+            jitter: Duration::ZERO,
+            bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s
+        };
+        assert_eq!(link.serialization_delay(1_000), Duration::from_millis(1));
+        assert_eq!(link.serialization_delay(0), Duration::ZERO);
+        let free = LinkParams {
+            bandwidth_bytes_per_sec: 0,
+            ..link
+        };
+        assert_eq!(free.serialization_delay(1_000_000), Duration::ZERO);
+    }
+}

@@ -1,0 +1,725 @@
+//! The virtual-time discrete-event simulation loop.
+//!
+//! A [`Simulation`] owns `n` sans-io protocol state machines (any
+//! [`ByzantineCommitAlgorithm`], including [`rcc_core::RccReplica`]) and
+//! drives them through a single event queue ordered by virtual time:
+//!
+//! * **Deliver** events carry protocol messages; delivery time is the
+//!   sender's CPU-completion time plus egress serialization (bytes ÷
+//!   bandwidth), link propagation latency, and seeded jitter.
+//! * **Timer** events fire the timers the protocols arm via
+//!   [`Action::SetTimer`], with cancellation handled by an armed-timer map.
+//! * **Pump** events model saturated closed-loop clients: whenever a replica
+//!   has proposal capacity it assembles the next workload batch and proposes
+//!   it (the paper measures saturated throughput).
+//! * **Fault** events replay the configured [`FaultScript`].
+//!
+//! CPU time is charged per the [`CpuModel`] and
+//! [`rcc_crypto::CryptoCostModel`]: per-message overhead and
+//! replica-to-replica authentication are sequential on the consensus path,
+//! while client-signature batch verification and execution parallelize over
+//! the replica's cores. A replica is a single server: work queues behind
+//! `busy_until`, which is what makes throughput saturate instead of growing
+//! without bound.
+//!
+//! Determinism: events are ordered by `(virtual time, insertion sequence)`,
+//! all collections iterate in deterministic order, and every random draw
+//! (jitter, workload) comes from [`SplitMix64`] streams derived from
+//! [`rcc_common::SystemConfig::seed`]. Two runs with the same configuration
+//! produce bit-identical event traces; the running [`SimReport::trace_fingerprint`]
+//! witnesses this.
+
+use crate::cpu::CpuModel;
+use crate::fault::{FaultEvent, FaultKind, FaultScript};
+use crate::network::NetworkModel;
+use crate::rng::SplitMix64;
+use crate::workload::WorkloadGenerator;
+use rcc_common::metrics::{LatencyHistogram, ReplicaCounters, ThroughputMeter};
+use rcc_common::{Digest, Duration, ReplicaId, SystemConfig, Time};
+use rcc_crypto::hash::digest_batch;
+use rcc_crypto::CryptoCostModel;
+use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId, WireMessage};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// Complete configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The deployment being simulated (n, f, m, batching, crypto mode, seed).
+    pub system: SystemConfig,
+    /// Link latency/bandwidth topology.
+    pub network: NetworkModel,
+    /// Non-crypto CPU costs.
+    pub cpu: CpuModel,
+    /// Cryptographic CPU costs.
+    pub costs: CryptoCostModel,
+    /// Virtual-time end of the run.
+    pub horizon: Duration,
+    /// Start of the measurement window (latency samples are restricted to
+    /// batches submitted inside the window; throughput is recorded as a time
+    /// series and can be evaluated over any window).
+    pub measure_start: Time,
+    /// End of the measurement window.
+    pub measure_end: Time,
+    /// Scripted fault injection.
+    pub faults: FaultScript,
+    /// Safety bound on processed events; exceeding it aborts the run (it
+    /// indicates a livelock, not a legitimate workload).
+    pub max_events: u64,
+}
+
+impl SimConfig {
+    /// A configuration with the whole run as the measurement window and no
+    /// faults.
+    pub fn new(system: SystemConfig, network: NetworkModel, horizon: Duration) -> Self {
+        SimConfig {
+            system,
+            network,
+            cpu: CpuModel::default(),
+            costs: CryptoCostModel::default(),
+            horizon,
+            measure_start: Time::ZERO,
+            measure_end: Time::ZERO + horizon,
+            faults: FaultScript::none(),
+            max_events: 500_000_000,
+        }
+    }
+
+    /// Sets the measurement window (builder style).
+    pub fn with_measure_window(mut self, start: Time, end: Time) -> Self {
+        self.measure_start = start;
+        self.measure_end = end;
+        self
+    }
+
+    /// Sets the fault script (builder style).
+    pub fn with_faults(mut self, faults: FaultScript) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the CPU model (builder style).
+    pub fn with_cpu(mut self, cpu: CpuModel) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Sets the crypto cost model (builder style).
+    pub fn with_costs(mut self, costs: CryptoCostModel) -> Self {
+        self.costs = costs;
+        self
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Client transactions that reached the `f + 1` commit quorum (no-op
+    /// filler batches are excluded).
+    pub committed_transactions: u64,
+    /// Batches that reached the `f + 1` commit quorum.
+    pub committed_batches: u64,
+    /// Quorum-committed transaction throughput as a bucketed time series.
+    pub throughput: ThroughputMeter,
+    /// Client-perceived latency (submission → `f + 1` replicas committed) of
+    /// batches submitted inside the measurement window.
+    pub latency: LatencyHistogram,
+    /// Per-replica resource counters.
+    pub per_replica: Vec<ReplicaCounters>,
+    /// Events processed by the simulation loop.
+    pub events_processed: u64,
+    /// Messages delivered between replicas.
+    pub messages_delivered: u64,
+    /// Bytes delivered between replicas.
+    pub bytes_delivered: u64,
+    /// `SuspectPrimary` actions observed across all replicas.
+    pub suspicions: u64,
+    /// `ViewChanged` actions observed across all replicas.
+    pub view_changes: u64,
+    /// Chained fingerprint over every processed event; equal fingerprints ⇒
+    /// identical event traces.
+    pub trace_fingerprint: u64,
+    /// The configured virtual horizon.
+    pub horizon: Duration,
+}
+
+impl SimReport {
+    /// Average quorum-committed throughput (txn/s) over `[start, end)`.
+    pub fn throughput_over(&self, start: Time, end: Time) -> f64 {
+        self.throughput.throughput_over(start, end)
+    }
+
+    /// Average quorum-committed throughput (txn/s) over the whole run.
+    pub fn average_throughput(&self) -> f64 {
+        self.throughput.average_throughput()
+    }
+}
+
+/// An in-flight (submitted, not yet quorum-committed) batch.
+#[derive(Clone, Debug)]
+struct PendingBatch {
+    submitted: Time,
+    transactions: u64,
+    /// Bitmask of replicas that committed the batch (n ≤ 128 everywhere in
+    /// the paper's experiments).
+    committers: u128,
+    counted: bool,
+}
+
+/// Per-replica simulation state around the protocol state machine.
+struct SimNode<P: ByzantineCommitAlgorithm> {
+    bca: P,
+    /// The consensus path is busy until this time.
+    busy_until: Time,
+    /// The egress NIC is busy until this time.
+    egress_busy: Time,
+    /// CPU slow-down factor (Section-IV throttling; 1.0 = full speed).
+    throttle: f64,
+    crashed: bool,
+    /// Byzantine silent primary: withholds proposals.
+    silenced: bool,
+    timers: BTreeMap<TimerId, Time>,
+    pump_pending: bool,
+    workload: WorkloadGenerator,
+    counters: ReplicaCounters,
+}
+
+enum EventKind<M> {
+    Deliver {
+        from: ReplicaId,
+        to: ReplicaId,
+        bytes: usize,
+        proposal: bool,
+        payload_transactions: usize,
+        message: M,
+    },
+    Timer {
+        node: ReplicaId,
+        timer: TimerId,
+        at: Time,
+    },
+    Pump {
+        node: ReplicaId,
+    },
+    Fault {
+        index: usize,
+    },
+}
+
+struct Event<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h.rotate_left(5) ^ v).wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A deterministic discrete-event simulation of one deployment.
+pub struct Simulation<P: ByzantineCommitAlgorithm> {
+    config: SimConfig,
+    nodes: Vec<SimNode<P>>,
+    queue: BinaryHeap<Reverse<Event<P::Message>>>,
+    next_seq: u64,
+    faults: Vec<FaultEvent>,
+    /// Directed links currently cut by a partition.
+    blocked: BTreeSet<(ReplicaId, ReplicaId)>,
+    jitter_rng: SplitMix64,
+    inflight: BTreeMap<Digest, PendingBatch>,
+    throughput: ThroughputMeter,
+    latency: LatencyHistogram,
+    committed_transactions: u64,
+    committed_batches: u64,
+    events_processed: u64,
+    messages_delivered: u64,
+    bytes_delivered: u64,
+    suspicions: u64,
+    view_changes: u64,
+    trace: u64,
+    /// Virtual time of the event currently being processed; new events are
+    /// never scheduled before it.
+    now: Time,
+}
+
+impl<P: ByzantineCommitAlgorithm> Simulation<P> {
+    /// Builds a simulation over `n` state machines created by
+    /// `factory(replica)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the system configuration fails validation.
+    pub fn new(config: SimConfig, mut factory: impl FnMut(ReplicaId) -> P) -> Self {
+        config.system.validate().expect("invalid simulation config");
+        let n = config.system.n;
+        // The commit-quorum tracker is a 128-bit mask; the paper's largest
+        // deployment is 91 replicas.
+        assert!(
+            n <= 128,
+            "the simulator supports at most 128 replicas (n = {n})"
+        );
+        let seed = config.system.seed;
+        let batch_size = config.system.batch_size;
+        let nodes = ReplicaId::all(n)
+            .map(|r| SimNode {
+                bca: factory(r),
+                busy_until: Time::ZERO,
+                egress_busy: Time::ZERO,
+                throttle: 1.0,
+                crashed: false,
+                silenced: false,
+                timers: BTreeMap::new(),
+                pump_pending: false,
+                workload: WorkloadGenerator::new(seed, r, batch_size),
+                counters: ReplicaCounters::default(),
+            })
+            .collect();
+        let faults = config.faults.sorted();
+        let mut sim = Simulation {
+            jitter_rng: SplitMix64::new(seed).fork(0xFACE),
+            nodes,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            faults,
+            blocked: BTreeSet::new(),
+            inflight: BTreeMap::new(),
+            throughput: ThroughputMeter::new(Duration::from_millis(50)),
+            latency: LatencyHistogram::new(),
+            committed_transactions: 0,
+            committed_batches: 0,
+            events_processed: 0,
+            messages_delivered: 0,
+            bytes_delivered: 0,
+            suspicions: 0,
+            view_changes: 0,
+            trace: 0x9E37_79B9_7F4A_7C15,
+            now: Time::ZERO,
+            config,
+        };
+        for index in 0..sim.faults.len() {
+            let at = sim.faults[index].at;
+            sim.push(at, EventKind::Fault { index });
+        }
+        for node in ReplicaId::all(n) {
+            sim.nodes[node.index()].pump_pending = true;
+            sim.push(Time::ZERO, EventKind::Pump { node });
+        }
+        sim
+    }
+
+    /// Runs the simulation to its virtual horizon and returns the report.
+    pub fn run(self) -> SimReport {
+        self.run_full().0
+    }
+
+    /// Like [`Simulation::run`], but additionally hands back the final
+    /// protocol state machines (indexed by replica) so callers can make
+    /// end-of-run safety assertions — e.g. that all replicas released the
+    /// same execution order.
+    pub fn run_full(mut self) -> (SimReport, Vec<P>) {
+        let end = Time::ZERO + self.config.horizon;
+        while let Some(Reverse(event)) = self.queue.pop() {
+            if event.at > end {
+                break;
+            }
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= self.config.max_events,
+                "simulation exceeded max_events = {} — livelock?",
+                self.config.max_events
+            );
+            self.note_event(&event);
+            self.now = event.at;
+            match event.kind {
+                EventKind::Deliver {
+                    from,
+                    to,
+                    bytes,
+                    proposal,
+                    payload_transactions,
+                    message,
+                } => self.deliver(
+                    event.at,
+                    from,
+                    to,
+                    bytes,
+                    proposal,
+                    payload_transactions,
+                    message,
+                ),
+                EventKind::Timer { node, timer, at } => self.fire_timer(event.at, node, timer, at),
+                EventKind::Pump { node } => self.pump(event.at, node),
+                EventKind::Fault { index } => self.apply_fault(index),
+            }
+        }
+        let report = SimReport {
+            committed_transactions: self.committed_transactions,
+            committed_batches: self.committed_batches,
+            throughput: self.throughput,
+            latency: self.latency,
+            per_replica: self.nodes.iter().map(|n| n.counters).collect(),
+            events_processed: self.events_processed,
+            messages_delivered: self.messages_delivered,
+            bytes_delivered: self.bytes_delivered,
+            suspicions: self.suspicions,
+            view_changes: self.view_changes,
+            trace_fingerprint: self.trace,
+            horizon: self.config.horizon,
+        };
+        (report, self.nodes.into_iter().map(|n| n.bca).collect())
+    }
+
+    fn note_event(&mut self, event: &Event<P::Message>) {
+        let (tag, a, b) = match &event.kind {
+            EventKind::Deliver {
+                from, to, bytes, ..
+            } => (1, ((from.0 as u64) << 32) | to.0 as u64, *bytes as u64),
+            EventKind::Timer { node, timer, .. } => (2, node.0 as u64, timer.0),
+            EventKind::Pump { node } => (3, node.0 as u64, 0),
+            EventKind::Fault { index } => (4, *index as u64, 0),
+        };
+        self.trace = mix(self.trace, event.at.as_nanos());
+        self.trace = mix(self.trace, tag);
+        self.trace = mix(self.trace, a);
+        self.trace = mix(self.trace, b);
+    }
+
+    fn push(&mut self, at: Time, kind: EventKind<P::Message>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn scaled(&self, node: usize, cost: Duration) -> Duration {
+        let throttle = self.nodes[node].throttle;
+        if throttle == 1.0 {
+            cost
+        } else {
+            cost.mul_f64(throttle)
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver(
+        &mut self,
+        at: Time,
+        from: ReplicaId,
+        to: ReplicaId,
+        bytes: usize,
+        proposal: bool,
+        payload_transactions: usize,
+        message: P::Message,
+    ) {
+        if self.nodes[to.index()].crashed || self.blocked.contains(&(from, to)) {
+            return;
+        }
+        self.messages_delivered += 1;
+        self.bytes_delivered += bytes as u64;
+        let idx = to.index();
+        self.nodes[idx].counters.messages_received += 1;
+        self.nodes[idx].counters.bytes_received += bytes as u64;
+
+        let crypto_mode = self.config.system.crypto;
+        if crypto_mode != rcc_common::CryptoMode::None {
+            self.nodes[idx].counters.crypto_operations += 1;
+        }
+        let mut cost =
+            self.config.cpu.message_overhead + self.config.costs.incoming_message_cost(crypto_mode);
+        if proposal {
+            cost = cost
+                + self.config.cpu.proposal_overhead
+                + self.config.costs.digest
+                + self.config.cpu.parallelized(
+                    self.config
+                        .costs
+                        .batch_verify_cost(crypto_mode, payload_transactions),
+                );
+        }
+        let cost = self.scaled(idx, cost);
+        let start = at.max(self.nodes[idx].busy_until);
+        let ready = start + cost;
+        self.nodes[idx].busy_until = ready;
+        let actions = self.nodes[idx].bca.on_message(ready, from, message);
+        self.apply_actions(to, ready, actions);
+        self.maybe_pump(to);
+    }
+
+    fn fire_timer(&mut self, at: Time, node: ReplicaId, timer: TimerId, armed_at: Time) {
+        let idx = node.index();
+        if self.nodes[idx].crashed {
+            // A timer that pops while the replica is down is lost.
+            self.nodes[idx].timers.remove(&timer);
+            return;
+        }
+        // Only fire if the timer is still armed for exactly this deadline
+        // (cancelled or re-armed timers leave stale heap entries behind).
+        if self.nodes[idx].timers.get(&timer) != Some(&armed_at) {
+            return;
+        }
+        self.nodes[idx].timers.remove(&timer);
+        let cost = self.scaled(idx, self.config.cpu.message_overhead);
+        let start = at.max(self.nodes[idx].busy_until);
+        let ready = start + cost;
+        self.nodes[idx].busy_until = ready;
+        let actions = self.nodes[idx].bca.on_timeout(ready, timer);
+        self.apply_actions(node, ready, actions);
+        self.maybe_pump(node);
+    }
+
+    fn pump(&mut self, at: Time, node: ReplicaId) {
+        let idx = node.index();
+        self.nodes[idx].pump_pending = false;
+        if self.nodes[idx].crashed || self.nodes[idx].silenced {
+            return;
+        }
+        let crypto_mode = self.config.system.crypto;
+        let mut t_cpu = at.max(self.nodes[idx].busy_until);
+        // The capacity bound makes this loop finite; the extra guard protects
+        // against a protocol whose propose() fails to consume capacity.
+        let mut guard = self.config.system.out_of_order_window * self.config.system.instances + 4;
+        while self.nodes[idx].bca.proposal_capacity() > 0 && guard > 0 {
+            guard -= 1;
+            let batch = self.nodes[idx].workload.next_batch();
+            let transactions = batch.effective_transactions() as u64;
+            let digest = digest_batch(&batch);
+            // Primary-side cost: verify the clients' signatures (parallel),
+            // digest the batch, assemble the proposal.
+            let cost = self.scaled(
+                idx,
+                self.config.cpu.proposal_overhead
+                    + self.config.costs.digest
+                    + self.config.cpu.parallelized(
+                        self.config
+                            .costs
+                            .batch_verify_cost(crypto_mode, batch.len()),
+                    ),
+            );
+            t_cpu += cost;
+            let actions = self.nodes[idx].bca.propose(t_cpu, batch);
+            if actions.is_empty() {
+                break;
+            }
+            self.nodes[idx].busy_until = t_cpu;
+            self.nodes[idx].counters.batches_proposed += 1;
+            self.inflight.insert(
+                digest,
+                PendingBatch {
+                    submitted: at,
+                    transactions,
+                    committers: 0,
+                    counted: false,
+                },
+            );
+            self.apply_actions(node, t_cpu, actions);
+            t_cpu = t_cpu.max(self.nodes[idx].busy_until);
+        }
+    }
+
+    fn maybe_pump(&mut self, node: ReplicaId) {
+        let idx = node.index();
+        if self.nodes[idx].pump_pending
+            || self.nodes[idx].crashed
+            || self.nodes[idx].silenced
+            || self.nodes[idx].bca.proposal_capacity() == 0
+        {
+            return;
+        }
+        self.nodes[idx].pump_pending = true;
+        // Never schedule into the virtual past: a replica whose CPU went
+        // idle (e.g. it just recovered from a crash) pumps from *now*.
+        let at = self.nodes[idx].busy_until.max(self.now);
+        self.push(at, EventKind::Pump { node });
+    }
+
+    fn apply_actions(&mut self, node: ReplicaId, t: Time, actions: Vec<Action<P::Message>>) {
+        let idx = node.index();
+        let crypto_mode = self.config.system.crypto;
+        let mut t_cpu = t.max(self.nodes[idx].busy_until);
+        for action in actions {
+            match action {
+                Action::Send { to, message } => {
+                    let cost =
+                        self.scaled(idx, self.config.costs.outgoing_message_cost(crypto_mode, 1));
+                    t_cpu += cost;
+                    if crypto_mode != rcc_common::CryptoMode::None {
+                        self.nodes[idx].counters.crypto_operations += 1;
+                    }
+                    self.enqueue_send(node, t_cpu, to, message);
+                }
+                Action::Broadcast { message } => {
+                    let recipients = self.config.system.n.saturating_sub(1);
+                    let cost = self.scaled(
+                        idx,
+                        self.config
+                            .costs
+                            .outgoing_message_cost(crypto_mode, recipients),
+                    );
+                    t_cpu += cost;
+                    if crypto_mode != rcc_common::CryptoMode::None {
+                        self.nodes[idx].counters.crypto_operations += recipients as u64;
+                    }
+                    for to in ReplicaId::all(self.config.system.n) {
+                        if to != node {
+                            self.enqueue_send(node, t_cpu, to, message.clone());
+                        }
+                    }
+                }
+                Action::SetTimer { timer, fires_at } => {
+                    let fires_at = fires_at.max(t_cpu);
+                    self.nodes[idx].timers.insert(timer, fires_at);
+                    self.push(
+                        fires_at,
+                        EventKind::Timer {
+                            node,
+                            timer,
+                            at: fires_at,
+                        },
+                    );
+                }
+                Action::CancelTimer { timer } => {
+                    self.nodes[idx].timers.remove(&timer);
+                }
+                Action::Commit(slot) => {
+                    let cost = self.scaled(
+                        idx,
+                        self.config.cpu.parallelized(
+                            self.config
+                                .cpu
+                                .execute_per_transaction
+                                .saturating_mul(slot.batch.len() as u64),
+                        ),
+                    );
+                    t_cpu += cost;
+                    self.nodes[idx].counters.slots_accepted += 1;
+                    self.nodes[idx].counters.transactions_executed +=
+                        slot.batch.effective_transactions() as u64;
+                    self.record_commit(node, t_cpu, slot.digest, &slot.batch);
+                }
+                Action::SuspectPrimary { .. } => {
+                    self.suspicions += 1;
+                }
+                Action::ViewChanged { .. } => {
+                    self.view_changes += 1;
+                }
+            }
+        }
+        self.nodes[idx].busy_until = self.nodes[idx].busy_until.max(t_cpu);
+    }
+
+    fn enqueue_send(&mut self, from: ReplicaId, t: Time, to: ReplicaId, message: P::Message) {
+        let idx = from.index();
+        let proposal = message.is_proposal();
+        if self.nodes[idx].crashed
+            || (self.nodes[idx].silenced && proposal)
+            || self.blocked.contains(&(from, to))
+        {
+            return;
+        }
+        let bytes = message.wire_size();
+        self.nodes[idx].counters.messages_sent += 1;
+        self.nodes[idx].counters.bytes_sent += bytes as u64;
+        let link = *self.config.network.link(from, to);
+        let egress = self.nodes[idx].egress_busy.max(t) + link.serialization_delay(bytes);
+        self.nodes[idx].egress_busy = egress;
+        let jitter = Duration::from_nanos(self.jitter_rng.next_below(link.jitter.as_nanos()));
+        let arrival = egress + link.latency + jitter;
+        let payload_transactions = message.payload_transactions();
+        self.push(
+            arrival,
+            EventKind::Deliver {
+                from,
+                to,
+                bytes,
+                proposal,
+                payload_transactions,
+                message,
+            },
+        );
+    }
+
+    fn record_commit(
+        &mut self,
+        node: ReplicaId,
+        t: Time,
+        digest: Digest,
+        batch: &rcc_common::Batch,
+    ) {
+        if batch.is_noop() {
+            return;
+        }
+        let Some(pending) = self.inflight.get_mut(&digest) else {
+            return;
+        };
+        pending.committers |= 1u128 << (node.index() as u32 % 128);
+        let commits = pending.committers.count_ones() as usize;
+        if !pending.counted && commits >= self.config.system.client_reply_quorum() {
+            pending.counted = true;
+            self.committed_transactions += pending.transactions;
+            self.committed_batches += 1;
+            self.throughput.record(t, pending.transactions);
+            if pending.submitted >= self.config.measure_start
+                && pending.submitted < self.config.measure_end
+            {
+                self.latency.record(t.saturating_since(pending.submitted));
+            }
+        }
+        if commits >= self.config.system.n {
+            self.inflight.remove(&digest);
+        }
+    }
+
+    fn apply_fault(&mut self, index: usize) {
+        let fault = self.faults[index].fault.clone();
+        match fault {
+            FaultKind::Crash { replica } => {
+                self.nodes[replica.index()].crashed = true;
+            }
+            FaultKind::Recover { replica } => {
+                self.nodes[replica.index()].crashed = false;
+                self.maybe_pump(replica);
+            }
+            FaultKind::Partition { group } => {
+                let members: BTreeSet<ReplicaId> = group.into_iter().collect();
+                for a in ReplicaId::all(self.config.system.n) {
+                    for b in ReplicaId::all(self.config.system.n) {
+                        if members.contains(&a) != members.contains(&b) {
+                            self.blocked.insert((a, b));
+                        }
+                    }
+                }
+            }
+            FaultKind::Heal => {
+                self.blocked.clear();
+            }
+            FaultKind::SilencePrimary { replica } => {
+                self.nodes[replica.index()].silenced = true;
+            }
+            FaultKind::RestorePrimary { replica } => {
+                self.nodes[replica.index()].silenced = false;
+                self.maybe_pump(replica);
+            }
+            FaultKind::Throttle { replica, factor } => {
+                // Clamp to a positive floor: factor 0 would make the replica
+                // infinitely fast, the opposite of the modeled attack.
+                self.nodes[replica.index()].throttle = factor.max(1e-3);
+            }
+        }
+    }
+}

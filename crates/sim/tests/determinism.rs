@@ -1,0 +1,148 @@
+//! Integration tests of the discrete-event simulator: bit-for-bit
+//! determinism and the paper's headline scaling claim (throughput grows with
+//! the number of concurrent instances `m`).
+
+use rcc_common::{Duration, SystemConfig, Time};
+use rcc_sim::{
+    simulate_pbft, simulate_rcc_over_pbft, FaultKind, FaultScript, NetworkModel, SimConfig,
+    SimReport,
+};
+
+/// A deliberately small deployment (10-txn batches, an 8-slot pipeline
+/// window) so the whole suite stays fast in unoptimized builds; the bench
+/// crate and the examples exercise paper-sized configurations.
+fn wan_config(n: usize, m: usize, seed: u64) -> SimConfig {
+    let mut system = SystemConfig::new(n)
+        .with_instances(m)
+        .with_batch_size(10)
+        .with_out_of_order_window(8)
+        .with_seed(seed);
+    system.sigma = 8;
+    SimConfig::new(system, NetworkModel::wan(), Duration::from_secs(1))
+        .with_measure_window(Time::from_millis(200), Time::from_millis(900))
+}
+
+fn measured_throughput(report: &SimReport) -> f64 {
+    report.throughput_over(Time::from_millis(200), Time::from_millis(900))
+}
+
+/// Everything a trace comparison needs: the event fingerprint plus the
+/// derived metrics (formatted, so float formatting is part of the contract).
+fn snapshot(report: &SimReport) -> String {
+    format!(
+        "fp={:016x} txns={} batches={} tput={:.3} p50={}ns p99={}ns events={} msgs={} bytes={} susp={} vc={}",
+        report.trace_fingerprint,
+        report.committed_transactions,
+        report.committed_batches,
+        measured_throughput(report),
+        report.latency.percentile(0.5).as_nanos(),
+        report.latency.percentile(0.99).as_nanos(),
+        report.events_processed,
+        report.messages_delivered,
+        report.bytes_delivered,
+        report.suspicions,
+        report.view_changes,
+    )
+}
+
+#[test]
+fn same_seed_same_config_is_bit_identical() {
+    let a = simulate_rcc_over_pbft(wan_config(4, 4, 42));
+    let b = simulate_rcc_over_pbft(wan_config(4, 4, 42));
+    assert!(
+        a.committed_transactions > 0,
+        "simulation must make progress"
+    );
+    assert_eq!(snapshot(&a), snapshot(&b));
+    // The per-replica counters are part of the trace too.
+    for (x, y) in a.per_replica.iter().zip(b.per_replica.iter()) {
+        assert_eq!(x.messages_sent, y.messages_sent);
+        assert_eq!(x.bytes_sent, y.bytes_sent);
+        assert_eq!(x.batches_proposed, y.batches_proposed);
+        assert_eq!(x.slots_accepted, y.slots_accepted);
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_traces() {
+    let a = simulate_rcc_over_pbft(wan_config(4, 4, 1));
+    let b = simulate_rcc_over_pbft(wan_config(4, 4, 2));
+    assert_ne!(
+        a.trace_fingerprint, b.trace_fingerprint,
+        "different seeds must change jitter and workload, hence the trace"
+    );
+}
+
+#[test]
+fn more_instances_mean_strictly_higher_wan_throughput() {
+    // Fig. 7's premise: with WAN latencies, a single primary cannot saturate
+    // the deployment; m concurrent instances multiply the proposal rate.
+    let m1 = simulate_rcc_over_pbft(wan_config(4, 1, 7));
+    let m4 = simulate_rcc_over_pbft(wan_config(4, 4, 7));
+    let t1 = measured_throughput(&m1);
+    let t4 = measured_throughput(&m4);
+    assert!(t1 > 0.0, "m=1 must commit transactions");
+    assert!(
+        t4 > t1,
+        "m=4 must outperform m=1 under the WAN link model (t1 = {t1:.0}, t4 = {t4:.0})"
+    );
+    // The scaling should be substantial, not a rounding artifact.
+    assert!(
+        t4 > 2.0 * t1,
+        "expected ≥2× scaling from m=1 to m=4 (t1 = {t1:.0}, t4 = {t4:.0})"
+    );
+}
+
+#[test]
+fn standalone_pbft_matches_rcc_with_one_instance_in_spirit() {
+    // Both run a single primary; RCC-with-m=1 adds only the envelope, so the
+    // two should land in the same throughput ballpark.
+    let pbft = simulate_pbft(wan_config(4, 1, 7));
+    let rcc1 = simulate_rcc_over_pbft(wan_config(4, 1, 7));
+    let tp = measured_throughput(&pbft);
+    let tr = measured_throughput(&rcc1);
+    assert!(tp > 0.0 && tr > 0.0);
+    let ratio = tp / tr;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "PBFT ({tp:.0} tps) and RCC m=1 ({tr:.0} tps) diverge unexpectedly"
+    );
+}
+
+#[test]
+fn crashed_backup_does_not_stop_commits() {
+    // Crashing one backup of a 4-replica deployment (f = 1) leaves a quorum.
+    let faults = FaultScript::crash_at(Time::from_millis(300), rcc_common::ReplicaId(3));
+    let config = wan_config(4, 1, 11).with_faults(faults);
+    let healthy = simulate_rcc_over_pbft(wan_config(4, 1, 11));
+    let report = simulate_rcc_over_pbft(config);
+    assert!(
+        report.committed_transactions > healthy.committed_transactions / 2,
+        "one crashed backup must not halve throughput: {} vs {}",
+        report.committed_transactions,
+        healthy.committed_transactions
+    );
+}
+
+#[test]
+fn silenced_coordinator_triggers_failure_handling() {
+    // A Byzantine-silent coordinator of one instance stalls that instance;
+    // RCC's lag detection must notice and raise suspicions/view changes.
+    let faults = FaultScript::none().with(
+        Time::from_millis(300),
+        FaultKind::SilencePrimary {
+            replica: rcc_common::ReplicaId(1),
+        },
+    );
+    let mut config = wan_config(4, 4, 5).with_faults(faults);
+    config.horizon = Duration::from_millis(1800);
+    config.measure_end = Time::ZERO + config.horizon;
+    let report = simulate_rcc_over_pbft(config);
+    assert!(
+        report.suspicions > 0 || report.view_changes > 0,
+        "a silent coordinator must be detected (suspicions = {}, view changes = {})",
+        report.suspicions,
+        report.view_changes
+    );
+    assert!(report.committed_transactions > 0);
+}

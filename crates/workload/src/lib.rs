@@ -13,6 +13,11 @@
 //!   policy with `σ`-spaced hand-offs (Section III-E);
 //! * batch assembly into [`rcc_common::Batch`]es of
 //!   [`rcc_common::SystemConfig::batch_size`] transactions.
+//!
+//! A first deterministic YCSB-style generator (90 % writes, seeded per
+//! proposer) currently lives in `rcc_sim::workload`, where the simulator's
+//! saturated clients consume it; open-loop/closed-loop client models and the
+//! σ-spaced instance-assignment policy belong here when implemented.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
