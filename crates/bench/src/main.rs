@@ -6,8 +6,16 @@
 //! printed to stdout; progress goes to stderr so stdout stays deterministic.
 //!
 //! ```text
-//! rcc-bench [--preset smoke|fig7|fig7-auth|fig8|faults] [--seed N] [--out DIR] [--quiet]
+//! rcc-bench [--preset smoke|fig7|fig7-auth|fig8|faults|recovery] [--seed N]
+//!           [--out DIR] [--floor TPS] [--quiet]
 //! ```
+//!
+//! `--floor TPS` turns the run into a regression gate: the process exits
+//! non-zero when any row's tail-window throughput (`tail_tps`, the final
+//! third of the measurement window — the post-recovery steady state in
+//! fault runs) falls below the floor. CI runs the `recovery` preset this
+//! way so a regression in client reassignment (Section III-E) fails the
+//! build instead of silently shipping a post-crash throughput collapse.
 //!
 //! See `docs/EVALUATION.md` for what each campaign measures and how the
 //! output columns map back to the paper's figures.
@@ -20,14 +28,16 @@ struct Args {
     preset: String,
     seed: u64,
     out: PathBuf,
+    floor: Option<f64>,
     quiet: bool,
 }
 
 fn usage() -> String {
     format!(
-        "usage: rcc-bench [--preset NAME] [--seed N] [--out DIR] [--quiet]\n\
+        "usage: rcc-bench [--preset NAME] [--seed N] [--out DIR] [--floor TPS] [--quiet]\n\
          presets: {}\n\
-         defaults: --preset smoke --seed {} --out bench-results",
+         defaults: --preset smoke --seed {} --out bench-results\n\
+         --floor TPS: exit non-zero when any row's tail-window throughput falls below TPS",
         CAMPAIGN_NAMES.join(", "),
         rcc_common::config::DEFAULT_SEED,
     )
@@ -44,6 +54,7 @@ fn parse_args() -> Result<Cli, String> {
         preset: "smoke".into(),
         seed: rcc_common::config::DEFAULT_SEED,
         out: PathBuf::from("bench-results"),
+        floor: None,
         quiet: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -58,6 +69,10 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--out" => {
                 args.out = PathBuf::from(iter.next().ok_or("--out needs a value")?);
+            }
+            "--floor" => {
+                let v = iter.next().ok_or("--floor needs a value")?;
+                args.floor = Some(v.parse().map_err(|_| format!("invalid floor: {v}"))?);
             }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Cli::Help),
@@ -122,6 +137,27 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     print!("{}", results.to_markdown());
+    // The floor gate runs *after* the results are on disk and stdout, so a
+    // failing run still leaves its CSV/Markdown evidence for debugging.
+    if let Some(floor) = args.floor {
+        let mut failed = false;
+        for row in &results.rows {
+            if row.tail_tps < floor {
+                failed = true;
+                eprintln!(
+                    "error: tail-window throughput below the floor: {} {} fault={} \
+                     tail_tps={:.0} < {floor:.0} (post-recovery steady state regressed?)",
+                    row.spec.protocol.name(),
+                    row.spec.network.name(),
+                    row.spec.fault.name(),
+                    row.tail_tps,
+                );
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    }
     if !quiet {
         eprintln!("wrote {} and {}", csv_path.display(), md_path.display());
     }

@@ -16,6 +16,10 @@
 //!   threshold, batching, pipelining, timeouts, and cryptography mode.
 //! * [`metrics`] — throughput meters, latency histograms, and time series
 //!   used by the benchmark harness.
+//! * [`rng`] — the SplitMix64 generator behind every piece of deterministic
+//!   randomness in the workspace (simulated jitter, workload contents).
+//! * [`status`] — the per-instance coordination status exposed by an RCC
+//!   replica for the Section III-E client-assignment policy.
 //! * [`digest`] — a fixed 32-byte digest newtype (hash values are produced by
 //!   `rcc-crypto` but referenced everywhere).
 //! * [`error`] — the shared error type.
@@ -32,6 +36,8 @@ pub mod digest;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod rng;
+pub mod status;
 pub mod time;
 pub mod transaction;
 
@@ -40,5 +46,7 @@ pub use config::{CryptoMode, SystemConfig, WireCosts};
 pub use digest::Digest;
 pub use error::{Error, Result};
 pub use ids::{ClientId, InstanceId, ReplicaId, Round, View};
+pub use rng::SplitMix64;
+pub use status::InstanceStatus;
 pub use time::{Duration, Time};
 pub use transaction::{ClientRequest, RequestId, Transaction, TransactionKind};

@@ -1,0 +1,93 @@
+//! Per-instance coordination status, the observable side of RCC's recovery
+//! machinery.
+//!
+//! The Section III-E client-assignment policy needs to know, for every
+//! concurrent consensus instance, who currently coordinates it, whether it is
+//! mid view change, and how much progress the (possibly new) coordinator has
+//! demonstrated since taking over. Replicas expose this as a list of
+//! [`InstanceStatus`] values; clients (or the simulator standing in for them)
+//! feed those observations into `rcc_workload::InstanceAssignment`, which
+//! decides when load drains off a failed instance and when it hands back to a
+//! recovered one — only after `σ` rounds of demonstrated progress.
+
+use crate::ids::{InstanceId, ReplicaId, View};
+use serde::{Deserialize, Serialize};
+
+/// One consensus instance's coordination status, as reported by a replica.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct InstanceStatus {
+    /// The instance described.
+    pub instance: InstanceId,
+    /// The replica currently acting as the instance's coordinator (primary).
+    pub coordinator: ReplicaId,
+    /// The instance's current view (0 until a coordinator was replaced).
+    pub view: View,
+    /// `true` while the instance is running a view change — it has no working
+    /// coordinator and accepts no proposals.
+    pub in_view_change: bool,
+    /// Rounds the instance has committed under its current view — the
+    /// "demonstrated progress" of the current coordinator. Reset on every
+    /// view change; the Section III-E policy hands client load (back) to an
+    /// instance only once this reaches the lag bound `σ`.
+    pub progress_in_view: u64,
+}
+
+impl InstanceStatus {
+    /// Merges another replica's observation of the same instance into this
+    /// one, keeping the most advanced view. Views are monotone and the
+    /// coordinator of a view is a deterministic function of `(instance,
+    /// view)`, so "most advanced" is well defined; within a view the larger
+    /// committed progress wins and a view change reported by either observer
+    /// is believed.
+    pub fn merge(&mut self, other: &InstanceStatus) {
+        debug_assert_eq!(self.instance, other.instance);
+        match other.view.cmp(&self.view) {
+            std::cmp::Ordering::Greater => *self = *other,
+            std::cmp::Ordering::Equal => {
+                self.in_view_change |= other.in_view_change;
+                self.progress_in_view = self.progress_in_view.max(other.progress_in_view);
+            }
+            std::cmp::Ordering::Less => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn status(view: View, in_view_change: bool, progress: u64) -> InstanceStatus {
+        InstanceStatus {
+            instance: InstanceId(1),
+            coordinator: ReplicaId((view % 4) as u32),
+            view,
+            in_view_change,
+            progress_in_view: progress,
+        }
+    }
+
+    #[test]
+    fn merge_prefers_higher_views() {
+        let mut a = status(0, false, 50);
+        a.merge(&status(1, true, 2));
+        assert_eq!(a.view, 1);
+        assert!(a.in_view_change);
+        assert_eq!(a.progress_in_view, 2);
+        // A stale observation cannot roll the status back.
+        a.merge(&status(0, false, 99));
+        assert_eq!(a.view, 1);
+        assert_eq!(a.progress_in_view, 2);
+    }
+
+    #[test]
+    fn merge_within_a_view_is_conservative() {
+        let mut a = status(1, false, 3);
+        a.merge(&status(1, true, 7));
+        assert_eq!(a.view, 1);
+        assert!(
+            a.in_view_change,
+            "either observer's view change is believed"
+        );
+        assert_eq!(a.progress_in_view, 7, "larger progress wins");
+    }
+}

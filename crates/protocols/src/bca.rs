@@ -23,7 +23,7 @@
 //! The integration test-suite checks A1/A2/A4 behaviourally for each
 //! implementation, and the recovery protocol of `rcc-core` exercises A3.
 
-use rcc_common::{Batch, Digest, ReplicaId, Round, Time, View};
+use rcc_common::{Batch, Digest, InstanceId, InstanceStatus, ReplicaId, Round, Time, View};
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a timer requested by a protocol. Timer identities are only
@@ -195,6 +195,13 @@ pub trait ByzantineCommitAlgorithm {
     /// The current view.
     fn view(&self) -> View;
 
+    /// `true` while the protocol is mid view change: the old primary has been
+    /// abandoned and the new one has not yet taken over, so proposals are
+    /// refused. Protocols without a view-change mechanism report `false`.
+    fn in_view_change(&self) -> bool {
+        false
+    }
+
     /// Number of additional proposals the primary may currently have in
     /// flight (out-of-order window minus outstanding slots). Drivers call
     /// [`ByzantineCommitAlgorithm::propose`] at most this many times before
@@ -228,6 +235,57 @@ pub trait ByzantineCommitAlgorithm {
                 round: self.committed_prefix(),
             },
         }]
+    }
+
+    /// The coordination status of every consensus instance this state
+    /// machine runs, for the Section III-E client-assignment policy: who
+    /// coordinates each instance, whether it is mid view change, and how many
+    /// rounds its current coordinator has committed since taking over.
+    ///
+    /// Single-instance protocols (the default) report one entry for instance
+    /// 0; an RCC deployment reports one entry per concurrent instance. The
+    /// default cannot observe per-view progress, so it reports the full
+    /// committed prefix while in view 0 and `0` after any view change — the
+    /// conservative direction for the policy's σ hand-back gate (clients
+    /// are never handed to a replacement coordinator on the strength of
+    /// progress it did not demonstrate). Protocols that track per-view
+    /// progress (PBFT does) should override this.
+    fn instance_statuses(&self) -> Vec<InstanceStatus> {
+        let view = self.view();
+        vec![InstanceStatus {
+            instance: InstanceId(0),
+            coordinator: self.primary(),
+            view,
+            in_view_change: self.in_view_change(),
+            progress_in_view: if view == 0 {
+                self.committed_prefix()
+            } else {
+                0
+            },
+        }]
+    }
+
+    /// Proposal capacity of one specific instance. Single-instance protocols
+    /// (the default) ignore `instance`; an RCC deployment reports the window
+    /// of the targeted instance only (0 when this replica does not coordinate
+    /// it).
+    fn proposal_capacity_for(&self, _instance: InstanceId) -> usize {
+        self.proposal_capacity()
+    }
+
+    /// As the coordinator of `instance`, propose `batch` in its next round.
+    /// This is how assigned client load reaches a specific instance; the
+    /// default (for single-instance protocols) ignores the instance and
+    /// delegates to [`ByzantineCommitAlgorithm::propose`]. Returns an empty
+    /// vector when this replica does not coordinate `instance` or the
+    /// instance has no capacity.
+    fn propose_for(
+        &mut self,
+        now: Time,
+        _instance: InstanceId,
+        batch: Batch,
+    ) -> Vec<Action<Self::Message>> {
+        self.propose(now, batch)
     }
 
     /// As the primary, propose `batch` in the next round. Returns the

@@ -14,7 +14,9 @@ use crate::bca::{
 };
 use crate::quorum::QuorumTracker;
 use rcc_common::ids::primary_of_view;
-use rcc_common::{Batch, Digest, InstanceId, ReplicaId, Round, SystemConfig, Time, View};
+use rcc_common::{
+    Batch, Digest, InstanceId, InstanceStatus, ReplicaId, Round, SystemConfig, Time, View,
+};
 use rcc_crypto::hash::digest_batch;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -151,6 +153,22 @@ pub struct Pbft {
     entered_new_view: BTreeMap<View, bool>,
     next_timer: u64,
     progress_timer: Option<(TimerId, Round)>,
+    /// Slots committed under the *current* view — the demonstrated progress
+    /// of the current primary, reset on every view change. Reported via
+    /// [`ByzantineCommitAlgorithm::instance_statuses`] for the Section III-E
+    /// client-assignment policy's σ-spaced hand-backs.
+    committed_in_view: u64,
+    /// Consensus messages that arrived *early*: stamped with a view this
+    /// replica has not entered yet (or its current view while it is still
+    /// mid view change). Dropping them — as this implementation originally
+    /// did — loses them forever, because nothing retransmits: a new
+    /// primary's gap-fill PrePrepares race its NEW-VIEW over jittered links,
+    /// the losers are discarded, the affected slots can never reach their
+    /// prepare quorum, and the progress timers escalate a *working* new
+    /// coordinator into yet another view change. Buffered messages are
+    /// replayed on entering the view they were stamped with. Bounded by
+    /// [`Pbft::early_message_cap`]; overflow drops the incoming message.
+    early_messages: Vec<(ReplicaId, PbftMessage)>,
     /// When `true`, the replica does not rotate primaries on failure (RCC
     /// mode): it only reports `SuspectPrimary` and lets the RCC recovery
     /// protocol handle the failure (design goals D4/D5).
@@ -174,6 +192,8 @@ impl Pbft {
             entered_new_view: BTreeMap::new(),
             next_timer: 0,
             progress_timer: None,
+            committed_in_view: 0,
+            early_messages: Vec::new(),
             suppress_view_changes: false,
         }
     }
@@ -209,6 +229,83 @@ impl Pbft {
     fn alloc_timer(&mut self) -> TimerId {
         self.next_timer += 1;
         TimerId(self.next_timer)
+    }
+
+    /// Upper bound on buffered early messages: enough for every replica to
+    /// have a full pipeline window of PrePrepare + Prepare + Commit in
+    /// flight across a view boundary, with headroom. A Byzantine flood
+    /// beyond the cap costs only the flooder's own messages.
+    fn early_message_cap(&self) -> usize {
+        (self.config.out_of_order_window + 4) * 3 * self.config.n
+    }
+
+    /// How far ahead of the current view a message may be and still be worth
+    /// buffering. A legitimate race spans the view boundary being crossed
+    /// (occasionally two, when this replica is catching up through
+    /// back-to-back view changes); anything further cannot become valid
+    /// before an `enter_view` that would drop it anyway, and without this
+    /// bound a Byzantine peer could park messages stamped with an absurd
+    /// view in the buffer *forever* — every replay re-buffers them, pinning
+    /// the buffer at its cap and crowding out the real boundary traffic.
+    fn bufferable(&self, view: View) -> bool {
+        view <= self.view + 2
+    }
+
+    /// Buffers a message stamped with view `view`, which this replica has
+    /// not entered yet, to be replayed by [`Pbft::enter_view`]. The cap is
+    /// enforced per sender, so one flooding peer cannot evict the boundary
+    /// traffic of the honest ones.
+    fn buffer_early(&mut self, from: ReplicaId, view: View, message: PbftMessage) {
+        if !self.bufferable(view) {
+            return;
+        }
+        let per_sender = self.early_message_cap() / self.config.n.max(1);
+        let from_sender = self
+            .early_messages
+            .iter()
+            .filter(|(sender, _)| *sender == from)
+            .count();
+        if from_sender < per_sender.max(1) {
+            self.early_messages.push((from, message));
+        }
+    }
+
+    /// `true` when a consensus message stamped `view` arrived before this
+    /// replica entered that view (including its current view while it is
+    /// still completing the view change).
+    fn is_early(&self, view: View) -> bool {
+        view > self.view || (view == self.view && self.in_view_change)
+    }
+
+    /// Broadcasts this replica's Prepare + Commit votes for a slot it
+    /// already committed, stamped with `view`. Used when a later view
+    /// re-proposes the committed digest: this replica will never re-enter
+    /// the prepare/commit phases for the slot, so without the explicit
+    /// re-announcement the replicas that lost their votes across the view
+    /// boundary can be one vote short of a quorum forever (with n = 4 the
+    /// quorum is all three non-faulty replicas). Safe: a committed digest is
+    /// final, and the callers verify the re-proposed digest matches it.
+    fn reannounce_committed(
+        &self,
+        view: View,
+        round: Round,
+        digest: Digest,
+        actions: &mut Vec<Action<PbftMessage>>,
+    ) {
+        actions.push(Action::Broadcast {
+            message: PbftMessage::Prepare {
+                view,
+                round,
+                digest,
+            },
+        });
+        actions.push(Action::Broadcast {
+            message: PbftMessage::Commit {
+                view,
+                round,
+                digest,
+            },
+        });
     }
 
     fn slot(&mut self, round: Round) -> &mut Slot {
@@ -290,6 +387,7 @@ impl Pbft {
         // Accept once nf distinct replicas announced COMMIT.
         if !slot.committed && slot.sent_commit && slot.commits.has_quorum(&digest, quorum) {
             slot.committed = true;
+            self.committed_in_view += 1;
             let batch = slot.batch.clone().unwrap_or_else(|| Batch::new(vec![]));
             actions.push(Action::Commit(CommittedSlot {
                 round,
@@ -382,6 +480,7 @@ impl Pbft {
     ) {
         self.view = view;
         self.in_view_change = false;
+        self.committed_in_view = 0;
         actions.push(Action::ViewChanged {
             view,
             new_primary: self.primary_of(view),
@@ -395,12 +494,44 @@ impl Pbft {
             }
         }
         // Apply the re-proposals.
-        let reproposals: Vec<Round> = preprepares.iter().map(|(r, _, _)| *r).collect();
+        let mut reproposals: Vec<Round> = Vec::with_capacity(preprepares.len());
         for (round, digest, batch) in preprepares {
+            if let Some(slot) = self.slots.get(&round) {
+                if slot.committed {
+                    if slot.digest == Some(digest) {
+                        // Already committed here in an earlier view: this
+                        // replica will never re-enter the prepare/commit
+                        // phases for the slot, so re-announce its votes in
+                        // the new view instead — without this the replicas
+                        // that lost their votes across the view boundary can
+                        // be one vote short of a quorum forever.
+                        self.reannounce_committed(view, round, digest, actions);
+                    } else {
+                        // The NEW-VIEW re-proposes a *different* (internally
+                        // consistent) digest for a slot this replica already
+                        // executed. Never overwrite a committed slot — doing
+                        // so would later make this replica vote for a value
+                        // it executed differently. A committed digest is
+                        // backed by a quorum, so a conflicting re-proposal
+                        // proves the new primary faulty.
+                        actions.push(Action::SuspectPrimary {
+                            primary: self.primary_of(view),
+                            reason: FailureReason::InvalidProposal {
+                                round,
+                                description: "NEW-VIEW re-proposes a digest conflicting \
+                                              with a committed slot"
+                                    .into(),
+                            },
+                        });
+                    }
+                    continue;
+                }
+            }
             let slot = self.slot(round);
             slot.view = view;
             slot.digest = Some(digest);
             slot.batch = Some(batch);
+            reproposals.push(round);
         }
         for round in reproposals {
             self.try_prepare_and_commit(now, round, actions);
@@ -450,6 +581,16 @@ impl Pbft {
                 self.try_prepare_and_commit(now, round, actions);
             }
         }
+        // Replay the consensus messages that raced ahead of this view's
+        // NEW-VIEW: they were stamped with a view that now exists, and
+        // without them slots proposed around the view boundary could never
+        // assemble their quorums (messages still early for a later view are
+        // re-buffered by the handler).
+        let buffered = std::mem::take(&mut self.early_messages);
+        for (from, message) in buffered {
+            let replayed = self.on_message(now, from, message);
+            actions.extend(replayed);
+        }
         self.rearm_progress_timer(now, actions);
     }
 }
@@ -471,6 +612,23 @@ impl ByzantineCommitAlgorithm for Pbft {
 
     fn view(&self) -> View {
         self.view
+    }
+
+    fn in_view_change(&self) -> bool {
+        self.in_view_change
+    }
+
+    fn instance_statuses(&self) -> Vec<InstanceStatus> {
+        // A standalone Pbft is always "instance 0" per the trait contract;
+        // it does not know which RCC instance it is embedded in (the RCC
+        // replica layer overrides this method with real instance ids).
+        vec![InstanceStatus {
+            instance: InstanceId(0),
+            coordinator: self.primary(),
+            view: self.view,
+            in_view_change: self.in_view_change,
+            progress_in_view: self.committed_in_view,
+        }]
     }
 
     fn proposal_capacity(&self) -> usize {
@@ -546,7 +704,20 @@ impl ByzantineCommitAlgorithm for Pbft {
                 digest,
                 batch,
             } => {
-                if view != self.view || self.in_view_change {
+                if self.is_early(view) {
+                    self.buffer_early(
+                        from,
+                        view,
+                        PbftMessage::PrePrepare {
+                            view,
+                            round,
+                            digest,
+                            batch,
+                        },
+                    );
+                    return actions;
+                }
+                if view != self.view {
                     return actions;
                 }
                 if from != self.primary() {
@@ -585,6 +756,20 @@ impl ByzantineCommitAlgorithm for Pbft {
                     slot.digest = Some(digest);
                     slot.batch = Some(batch);
                 }
+                // The slot already committed here in an *earlier* view — the
+                // proposer is re-issuing it because other replicas lost their
+                // votes across the view boundary. This replica will never
+                // re-enter the prepare/commit phases for a committed slot, so
+                // without an explicit re-announcement the remaining replicas
+                // can be one vote short of a quorum forever (with n = 4 the
+                // quorum is all three non-faulty replicas). Re-announcing the
+                // committed digest in the proposer's view is safe: a
+                // committed digest is final, and the equivocation check above
+                // rejects any other digest for the round.
+                if self.slots.get(&round).map(|s| s.committed).unwrap_or(false) {
+                    self.reannounce_committed(view, round, digest, &mut actions);
+                    return actions;
+                }
                 if self.next_proposal_round <= round {
                     self.next_proposal_round = round + 1;
                 }
@@ -598,7 +783,19 @@ impl ByzantineCommitAlgorithm for Pbft {
                 round,
                 digest,
             } => {
-                if view != self.view || self.in_view_change {
+                if self.is_early(view) {
+                    self.buffer_early(
+                        from,
+                        view,
+                        PbftMessage::Prepare {
+                            view,
+                            round,
+                            digest,
+                        },
+                    );
+                    return actions;
+                }
+                if view != self.view {
                     return actions;
                 }
                 self.slot(round).prepares.vote(from, digest);
@@ -609,7 +806,19 @@ impl ByzantineCommitAlgorithm for Pbft {
                 round,
                 digest,
             } => {
-                if view != self.view || self.in_view_change {
+                if self.is_early(view) {
+                    self.buffer_early(
+                        from,
+                        view,
+                        PbftMessage::Commit {
+                            view,
+                            round,
+                            digest,
+                        },
+                    );
+                    return actions;
+                }
+                if view != self.view {
                     return actions;
                 }
                 self.slot(round).commits.vote(from, digest);
@@ -645,6 +854,20 @@ impl ByzantineCommitAlgorithm for Pbft {
                     self.start_view_change(now, &mut actions);
                 }
                 self.maybe_enter_new_view(now, &mut actions);
+                // A NEW-VIEW that raced ahead of its vote evidence may have
+                // been buffered; the vote just recorded could be the one that
+                // makes it acceptable.
+                if self
+                    .early_messages
+                    .iter()
+                    .any(|(_, m)| matches!(m, PbftMessage::NewView { .. }))
+                {
+                    let buffered = std::mem::take(&mut self.early_messages);
+                    for (sender, message) in buffered {
+                        let replayed = self.on_message(now, sender, message);
+                        actions.extend(replayed);
+                    }
+                }
             }
             PbftMessage::NewView { view, preprepares } => {
                 if self.suppress_view_changes || view <= self.view {
@@ -666,6 +889,11 @@ impl ByzantineCommitAlgorithm for Pbft {
                     .map(|v| v.len())
                     .unwrap_or(0);
                 if evidence < self.config.weak_quorum() {
+                    // Not enough locally recorded votes *yet*: the NEW-VIEW
+                    // may simply have raced ahead of the VIEW-CHANGE votes on
+                    // jittered links, and nothing retransmits it. Buffer it;
+                    // the vote handler replays it as evidence accumulates.
+                    self.buffer_early(from, view, PbftMessage::NewView { view, preprepares });
                     return actions;
                 }
                 // Re-proposals must be internally consistent; a mismatched

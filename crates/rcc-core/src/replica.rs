@@ -35,7 +35,9 @@
 
 use crate::message::RccMessage;
 use crate::orderer::{ExecutionOrderer, OrderedBatch, ReleasedRound};
-use rcc_common::{Batch, BatchId, Digest, InstanceId, ReplicaId, Round, SystemConfig, Time, View};
+use rcc_common::{
+    Batch, BatchId, Digest, InstanceId, InstanceStatus, ReplicaId, Round, SystemConfig, Time, View,
+};
 use rcc_crypto::hash::digest_batch;
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, CommittedSlot, TimerId, WireMessage};
 use rcc_protocols::pbft::Pbft;
@@ -50,12 +52,27 @@ pub type RccOverPbft = RccReplica<Pbft>;
 /// so instance tags are never zero).
 const TIMER_INSTANCE_SHIFT: u32 = 48;
 
-fn encode_timer(instance: InstanceId, inner: TimerId) -> TimerId {
-    debug_assert!(
-        inner.0 < 1 << TIMER_INSTANCE_SHIFT,
-        "instance timer id overflow"
-    );
-    TimerId(((instance.0 as u64 + 1) << TIMER_INSTANCE_SHIFT) | inner.0)
+/// The replica-level lag watchdog timer. Lag handling is otherwise purely
+/// event-driven (it piggybacks on messages, timeouts, and proposals), so a
+/// deployment that stalls *completely* — every client blocked on a round the
+/// failed instance will never release — would stop running it and never
+/// escalate. The watchdog re-fires it at the next pending lag deadline. Id 0
+/// lives in the untagged namespace: instance timers always carry a non-zero
+/// tag and overflow-mapped ids start at 1.
+const WATCHDOG_TIMER: TimerId = TimerId(0);
+
+/// Encodes an instance-local timer into the replica-wide namespace. Returns
+/// `None` when the encoding cannot represent the pair — an instance-local id
+/// that needs 48 bits or more, or an instance tag that would not fit above
+/// the shift. Callers must route such timers through the overflow map
+/// instead: silently masking would alias the timer into *another instance's*
+/// namespace and deliver the timeout to the wrong state machine.
+fn encode_timer(instance: InstanceId, inner: TimerId) -> Option<TimerId> {
+    let tag = instance.0 as u64 + 1;
+    if inner.0 >= 1 << TIMER_INSTANCE_SHIFT || tag >= 1 << (64 - TIMER_INSTANCE_SHIFT) {
+        return None;
+    }
+    Some(TimerId((tag << TIMER_INSTANCE_SHIFT) | inner.0))
 }
 
 fn decode_timer(timer: TimerId) -> Option<(InstanceId, TimerId)> {
@@ -72,6 +89,11 @@ fn decode_timer(timer: TimerId) -> Option<(InstanceId, TimerId)> {
 /// Collected votes for one missing slot during state sync.
 #[derive(Clone, Debug, Default)]
 struct SyncVotes {
+    /// Replicas whose vote has been counted for this slot — one vote per
+    /// replica, whatever digest it endorsed. Without this gate a Byzantine
+    /// peer could vote for arbitrarily many *distinct* digests (any crafted
+    /// batch matches its own digest) and grow `by_digest` without bound.
+    voted: BTreeSet<ReplicaId>,
     by_digest: BTreeMap<Digest, (BTreeSet<ReplicaId>, Batch, View)>,
 }
 
@@ -89,15 +111,53 @@ pub struct RccReplica<P: ByzantineCommitAlgorithm> {
     execution_log: Vec<ReleasedRound>,
     /// Global execution sequence: number of batches released so far.
     executed: u64,
-    /// Lag-notification memo: the frontier round at which each instance was
-    /// last notified, so notifications repeat only after σ further rounds of
-    /// frontier progress (a linear back-off that still re-fires if the
-    /// replacement primary fails too).
-    lag_notified: Vec<Option<Round>>,
-    /// Slots already requested via state sync (one-shot per slot).
-    sync_requested: BTreeSet<(InstanceId, Round)>,
+    /// Lag-notification memo: the frontier round and time at which each
+    /// instance was last notified, so notifications repeat only after σ
+    /// further rounds of frontier progress *or* a further failure-detection
+    /// timeout of wall-clock time (a linear back-off that still re-fires if
+    /// the replacement primary fails too, and that cannot be frozen out by a
+    /// frontier that stopped advancing).
+    lag_notified: Vec<Option<(Round, Time)>>,
+    /// Rounds each instance committed in its *current* view — the
+    /// demonstrated progress of the current coordinator, reset on every view
+    /// change. The Section III-E client-assignment policy reads this via
+    /// [`ByzantineCommitAlgorithm::instance_statuses`] to decide when a
+    /// recovered instance has earned its client load back.
+    progress_in_view: Vec<u64>,
+    /// Per-instance escalation hold-off after a completed view change. The
+    /// lag escalation is paced in *frontier rounds*, but right after a view
+    /// change the other instances can burst far ahead (reassigned clients
+    /// refill them) in much less time than the replacement coordinator's
+    /// first catch-up commits need on a WAN — escalating on that burst tears
+    /// down a working new coordinator. So a fresh coordinator additionally
+    /// gets [`SystemConfig::failure_detection_timeout`] of wall-clock grace.
+    escalation_holdoff: Vec<Time>,
+    /// Slots requested via state sync, mapped to the frontier round at the
+    /// most recent request plus the time of the *first* request. Entries are
+    /// pruned once the slot is recorded or released; while a slot stays
+    /// missing the request is re-broadcast after every σ further rounds of
+    /// frontier progress, so a *dropped* request broadcast does not leave the
+    /// replica escalating a healthy instance into a view change. The first
+    /// request time additionally paces escalation in wall-clock terms: a
+    /// slot must stay missing for a full failure-detection timeout before
+    /// the coordinator is presumed faulty, because frontier rounds alone can
+    /// burst past σ (a reassigned client refilling another instance) in far
+    /// less time than a healthy coordinator's catch-up commits need to
+    /// round-trip the network.
+    sync_requested: BTreeMap<(InstanceId, Round), (Round, Time)>,
     /// Outstanding state-sync replies.
     sync_votes: BTreeMap<(InstanceId, Round), SyncVotes>,
+    /// Instance timers that cannot be represented in the tagged namespace
+    /// (48-bit overflow): replica-level id → owning instance and original id,
+    /// with the reverse map for cancellation. Entries are dropped when the
+    /// timer fires or is cancelled.
+    overflow_timers: BTreeMap<u64, (InstanceId, TimerId)>,
+    overflow_ids: BTreeMap<(InstanceId, TimerId), u64>,
+    next_overflow_id: u64,
+    /// Deadline the lag watchdog ([`WATCHDOG_TIMER`]) is currently armed
+    /// for, if any — tracked so re-arms only happen when the next pending
+    /// deadline moves earlier.
+    watchdog_armed_until: Option<Time>,
 }
 
 impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
@@ -129,8 +189,14 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
             execution_log: Vec::new(),
             executed: 0,
             lag_notified: vec![None; m],
-            sync_requested: BTreeSet::new(),
+            progress_in_view: vec![0; m],
+            escalation_holdoff: vec![Time::ZERO; m],
+            sync_requested: BTreeMap::new(),
             sync_votes: BTreeMap::new(),
+            overflow_timers: BTreeMap::new(),
+            overflow_ids: BTreeMap::new(),
+            next_overflow_id: 1,
+            watchdog_armed_until: None,
         }
     }
 
@@ -177,11 +243,58 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
             .collect()
     }
 
+    /// Rounds `instance` committed in its current view — the demonstrated
+    /// progress of its current coordinator, reset on every view change.
+    pub fn progress_in_view(&self, instance: InstanceId) -> u64 {
+        self.progress_in_view[instance.index()]
+    }
+
+    /// Every slot this replica has seen commit for `instance`, by round —
+    /// what state-sync requests are served from. Exposed so tests and tools
+    /// can distinguish real batches from no-op filler per instance (e.g. to
+    /// verify a recovered instance carries client load again).
+    pub fn instance_commit_log(&self, instance: InstanceId) -> &BTreeMap<Round, OrderedBatch> {
+        &self.committed_log[instance.index()]
+    }
+
+    /// Encodes an instance timer, routing ids the tagged namespace cannot
+    /// represent through the overflow map (allocating an untagged replica
+    /// level id for them) so an out-of-range id is never silently aliased
+    /// into another instance.
+    fn encode_or_map_timer(&mut self, instance: InstanceId, inner: TimerId) -> TimerId {
+        if let Some(encoded) = encode_timer(instance, inner) {
+            return encoded;
+        }
+        if let Some(&mapped) = self.overflow_ids.get(&(instance, inner)) {
+            return TimerId(mapped);
+        }
+        // Untagged ids (high bits zero) never collide with encoded ones;
+        // id 0 is reserved for the lag watchdog.
+        let mapped = self.next_overflow_id;
+        self.next_overflow_id =
+            ((self.next_overflow_id + 1) & ((1 << TIMER_INSTANCE_SHIFT) - 1)).max(1);
+        self.overflow_timers.insert(mapped, (instance, inner));
+        self.overflow_ids.insert((instance, inner), mapped);
+        TimerId(mapped)
+    }
+
+    /// Resolves a replica-level timer id back to its instance and
+    /// instance-local id, consuming overflow-map entries as they fire.
+    fn resolve_timer(&mut self, timer: TimerId) -> Option<(InstanceId, TimerId)> {
+        if let Some(decoded) = decode_timer(timer) {
+            return Some(decoded);
+        }
+        let (instance, inner) = self.overflow_timers.remove(&timer.0)?;
+        self.overflow_ids.remove(&(instance, inner));
+        Some((instance, inner))
+    }
+
     /// Routes the actions emitted by instance `instance`'s BCA: wraps sends
     /// and timers in the instance namespace, absorbs commits into the
     /// orderer, and passes suspicions through to the embedding driver.
     fn absorb_instance_actions(
         &mut self,
+        now: Time,
         instance: InstanceId,
         actions: Vec<Action<P::Message>>,
         out: &mut Vec<Action<RccMessage<P::Message>>>,
@@ -201,14 +314,20 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
                 }
                 Action::SetTimer { timer, fires_at } => {
                     out.push(Action::SetTimer {
-                        timer: encode_timer(instance, timer),
+                        timer: self.encode_or_map_timer(instance, timer),
                         fires_at,
                     });
                 }
                 Action::CancelTimer { timer } => {
-                    out.push(Action::CancelTimer {
-                        timer: encode_timer(instance, timer),
-                    });
+                    let encoded = self.encode_or_map_timer(instance, timer);
+                    // A cancelled overflow timer will never fire; drop its
+                    // mapping so the overflow maps stay bounded by the number
+                    // of *armed* overflow timers.
+                    if decode_timer(encoded).is_none() {
+                        self.overflow_timers.remove(&encoded.0);
+                        self.overflow_ids.remove(&(instance, timer));
+                    }
+                    out.push(Action::CancelTimer { timer: encoded });
                 }
                 Action::Commit(slot) => {
                     self.absorb_commit(instance, slot, out);
@@ -218,8 +337,15 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
                 }
                 Action::ViewChanged { view, new_primary } => {
                     // An instance-local view change: grant the replacement
-                    // primary a fresh lag grace period before re-escalating.
-                    self.lag_notified[instance.index()] = self.orderer.max_committed_round();
+                    // primary a fresh lag grace period before re-escalating,
+                    // and restart its demonstrated-progress count — the
+                    // Section III-E policy hands client load back only after
+                    // σ rounds committed under the *new* coordinator.
+                    self.lag_notified[instance.index()] =
+                        self.orderer.max_committed_round().map(|f| (f, now));
+                    self.progress_in_view[instance.index()] = 0;
+                    self.escalation_holdoff[instance.index()] =
+                        now + self.config.failure_detection_timeout;
                     out.push(Action::ViewChanged { view, new_primary });
                 }
             }
@@ -250,6 +376,18 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         if !self.orderer.record(ordered) {
             return;
         }
+        // Demonstrated progress counts only slots committed in the
+        // instance's *current* view: state-synced adoptions of old-view
+        // slots (pre-crash leftovers served by peers) are not the
+        // replacement coordinator's work, and counting them would let the
+        // σ hand-back gate pass for a coordinator that committed nothing.
+        if slot.view == self.instances[instance.index()].view() {
+            self.progress_in_view[instance.index()] += 1;
+        }
+        // The slot is no longer missing: drop its state-sync bookkeeping so
+        // `sync_requested`/`sync_votes` stay bounded by the slots still
+        // outstanding.
+        self.sync_requested.remove(&(instance, slot.round));
         self.sync_votes.remove(&(instance, slot.round));
         for released in self.orderer.release_ready() {
             for batch in &released.batches {
@@ -277,7 +415,22 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         let Some(frontier) = self.orderer.max_committed_round() else {
             return;
         };
+        // Sweep state-sync bookkeeping for rounds the release frontier has
+        // passed (a slot can stop being needed without ever being recorded
+        // here, e.g. when it was adopted under a different round key).
+        let released = self.orderer.next_round();
+        self.sync_requested
+            .retain(|&(_, round), _| round >= released);
+        self.sync_votes.retain(|&(_, round), _| round >= released);
         let sigma = self.config.sigma;
+        let timeout = self.config.failure_detection_timeout;
+        // The earliest future instant at which a gated decision below could
+        // change; the watchdog timer is armed for it, because a fully
+        // stalled deployment generates no other events to re-run this check.
+        let mut wake: Option<Time> = None;
+        let wake_at = |wake: &mut Option<Time>, at: Time| {
+            *wake = Some(wake.map_or(at, |cur| cur.min(at)));
+        };
         for instance in InstanceId::all(self.instances.len()) {
             if self.orderer.lag(instance) < sigma {
                 continue;
@@ -286,34 +439,101 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
                 self.catch_up_with_noops(instance, now, frontier, out);
                 continue;
             }
-            // Stage 1: request the missing slot from peers (once per slot).
-            // Escalating straight to a view-change vote would wedge a
-            // perfectly healthy instance whenever *this* replica dropped a
-            // message.
+            // Stage 1: request the missing slot from peers. Escalating
+            // straight to a view-change vote would wedge a perfectly healthy
+            // instance whenever *this* replica dropped a message — and so
+            // would a *request broadcast* that got dropped, so the request is
+            // re-broadcast after every σ further rounds of frontier progress
+            // while the slot stays missing.
             let needed = self.orderer.needed_round(instance);
-            if self.sync_requested.insert((instance, needed)) {
-                self.lag_notified[instance.index()] = Some(frontier);
-                out.push(Action::Broadcast {
-                    message: RccMessage::SlotRequest {
-                        instance,
-                        round: needed,
-                    },
-                });
+            let first_requested_at = match self.sync_requested.get(&(instance, needed)) {
+                None => {
+                    self.sync_requested
+                        .insert((instance, needed), (frontier, now));
+                    out.push(Action::Broadcast {
+                        message: RccMessage::SlotRequest {
+                            instance,
+                            round: needed,
+                        },
+                    });
+                    // Give state sync σ rounds of frontier progress and a
+                    // failure-detection timeout of wall-clock time before
+                    // presuming the coordinator faulty.
+                    self.lag_notified[instance.index()] = Some((frontier, now));
+                    wake_at(&mut wake, now + timeout);
+                    continue;
+                }
+                Some(&(last_frontier, first_at)) => {
+                    if frontier >= last_frontier + sigma {
+                        self.sync_requested
+                            .insert((instance, needed), (frontier, first_at));
+                        out.push(Action::Broadcast {
+                            message: RccMessage::SlotRequest {
+                                instance,
+                                round: needed,
+                            },
+                        });
+                    }
+                    first_at
+                }
+            };
+            // Stage 2: the slot was requested at least σ frontier-rounds and
+            // one failure-detection timeout ago and is still missing —
+            // presume the coordinator faulty and let the instance's failure
+            // handling (PBFT: a view change) replace it. Re-escalates every
+            // σ further rounds of frontier progress or failure-detection
+            // timeout, so a faulty *replacement* coordinator is replaced
+            // too. The wall-clock gate keeps a frontier burst (reassigned
+            // clients refilling another instance in one pipeline flush) from
+            // deposing a coordinator whose catch-up is still in flight.
+            if now < first_requested_at + timeout {
+                wake_at(&mut wake, first_requested_at + timeout);
                 continue;
             }
-            // Stage 2: the slot was requested at least σ frontier-rounds ago
-            // and is still missing — presume the coordinator faulty and let
-            // the instance's failure handling (PBFT: a view change) replace
-            // it. Re-escalates every σ further rounds of frontier progress,
-            // so a faulty *replacement* coordinator is replaced too.
             let due = match self.lag_notified[instance.index()] {
                 None => true,
-                Some(last) => frontier >= last + sigma,
+                Some((last_frontier, last_at)) => {
+                    frontier >= last_frontier + sigma || now >= last_at + timeout
+                }
             };
-            if due {
-                self.lag_notified[instance.index()] = Some(frontier);
-                let actions = self.instances[instance.index()].on_lag_detected(now);
-                self.absorb_instance_actions(instance, actions, out);
+            if !due {
+                if let Some((_, last_at)) = self.lag_notified[instance.index()] {
+                    wake_at(&mut wake, last_at + timeout);
+                }
+                continue;
+            }
+            // While the instance is already running a view change another
+            // escalation is pure noise: its BCA refuses to start a second
+            // one, and the grace clock is reset when the view change
+            // completes (`ViewChanged` above). Keep the watchdog running,
+            // though — a wedged view change must not silence lag handling.
+            if self.instances[instance.index()].in_view_change() {
+                wake_at(&mut wake, now + timeout);
+                continue;
+            }
+            // A freshly installed coordinator additionally gets a wall-clock
+            // hold-off: frontier rounds can burst past σ long before its
+            // first catch-up commits can physically round-trip the network.
+            if now < self.escalation_holdoff[instance.index()] {
+                wake_at(&mut wake, self.escalation_holdoff[instance.index()]);
+                continue;
+            }
+            self.lag_notified[instance.index()] = Some((frontier, now));
+            wake_at(&mut wake, now + timeout);
+            let actions = self.instances[instance.index()].on_lag_detected(now);
+            self.absorb_instance_actions(now, instance, actions, out);
+        }
+        if let Some(at) = wake {
+            let rearm = match self.watchdog_armed_until {
+                None => true,
+                Some(current) => at < current || current <= now,
+            };
+            if rearm {
+                self.watchdog_armed_until = Some(at);
+                out.push(Action::SetTimer {
+                    timer: WATCHDOG_TIMER,
+                    fires_at: at,
+                });
             }
         }
     }
@@ -345,7 +565,7 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
             if actions.is_empty() {
                 break;
             }
-            self.absorb_instance_actions(instance, actions, out);
+            self.absorb_instance_actions(now, instance, actions, out);
         }
     }
 
@@ -390,7 +610,7 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         // Only solicited replies are counted: without this gate a single
         // peer could grow `sync_votes` without bound by streaming replies
         // for rounds nobody asked about.
-        if !self.sync_requested.contains(&(instance, round)) {
+        if !self.sync_requested.contains_key(&(instance, round)) {
             return;
         }
         // A reply whose digest does not match its payload is forged.
@@ -402,6 +622,13 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         }
         let digest = reply.digest;
         let votes = self.sync_votes.entry((instance, round)).or_default();
+        // One vote per replica per slot: a Byzantine peer could otherwise
+        // vote for arbitrarily many *distinct* digests (any crafted batch
+        // matches its own digest) and grow `by_digest` without bound. The
+        // first vote counts; a replica cannot revise it.
+        if !votes.voted.insert(from) {
+            return;
+        }
         let (voters, _, _) = votes
             .by_digest
             .entry(digest)
@@ -471,12 +698,43 @@ impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
         self.instances.iter().map(|i| i.view()).max().unwrap_or(0)
     }
 
+    fn in_view_change(&self) -> bool {
+        self.instances.iter().any(|i| i.in_view_change())
+    }
+
+    fn instance_statuses(&self) -> Vec<InstanceStatus> {
+        InstanceId::all(self.instances.len())
+            .map(|instance| {
+                let bca = &self.instances[instance.index()];
+                InstanceStatus {
+                    instance,
+                    coordinator: bca.primary(),
+                    view: bca.view(),
+                    in_view_change: bca.in_view_change(),
+                    progress_in_view: self.progress_in_view[instance.index()],
+                }
+            })
+            .collect()
+    }
+
     fn proposal_capacity(&self) -> usize {
         self.instances
             .iter()
             .filter(|i| i.is_primary())
             .map(|i| i.proposal_capacity())
             .sum()
+    }
+
+    fn proposal_capacity_for(&self, instance: InstanceId) -> usize {
+        if instance.index() >= self.instances.len() {
+            return 0;
+        }
+        let bca = &self.instances[instance.index()];
+        if bca.is_primary() {
+            bca.proposal_capacity()
+        } else {
+            0
+        }
     }
 
     fn committed_prefix(&self) -> Round {
@@ -511,7 +769,27 @@ impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
             });
         if let Some(instance) = target {
             let actions = self.instances[instance.index()].propose(now, batch);
-            self.absorb_instance_actions(instance, actions, &mut out);
+            self.absorb_instance_actions(now, instance, actions, &mut out);
+        }
+        self.check_lag(now, &mut out);
+        out
+    }
+
+    fn propose_for(
+        &mut self,
+        now: Time,
+        instance: InstanceId,
+        batch: Batch,
+    ) -> Vec<Action<Self::Message>> {
+        // Targeted proposals are how assigned client load reaches a specific
+        // instance (Section III-E): the embedding routes each client's
+        // batches to the instance the assignment policy mapped it to, and a
+        // replica that does not (or no longer does) coordinate that instance
+        // turns the batch away instead of silently proposing it elsewhere.
+        let mut out = Vec::new();
+        if self.proposal_capacity_for(instance) > 0 {
+            let actions = self.instances[instance.index()].propose(now, batch);
+            self.absorb_instance_actions(now, instance, actions, &mut out);
         }
         self.check_lag(now, &mut out);
         out
@@ -528,7 +806,7 @@ impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
             RccMessage::Instance { instance, message } => {
                 if instance.index() < self.instances.len() {
                     let actions = self.instances[instance.index()].on_message(now, from, message);
-                    self.absorb_instance_actions(instance, actions, &mut out);
+                    self.absorb_instance_actions(now, instance, actions, &mut out);
                 }
             }
             RccMessage::SlotRequest { instance, round } => {
@@ -557,10 +835,14 @@ impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
 
     fn on_timeout(&mut self, now: Time, timer: TimerId) -> Vec<Action<Self::Message>> {
         let mut out = Vec::new();
-        if let Some((instance, inner)) = decode_timer(timer) {
+        if timer == WATCHDOG_TIMER {
+            // The lag watchdog: no instance routing, just the check_lag pass
+            // below (which re-arms it if deadlines remain).
+            self.watchdog_armed_until = None;
+        } else if let Some((instance, inner)) = self.resolve_timer(timer) {
             if instance.index() < self.instances.len() {
                 let actions = self.instances[instance.index()].on_timeout(now, inner);
-                self.absorb_instance_actions(instance, actions, &mut out);
+                self.absorb_instance_actions(now, instance, actions, &mut out);
             }
         }
         self.check_lag(now, &mut out);
@@ -587,7 +869,8 @@ mod tests {
     fn timer_namespace_round_trips() {
         for instance in [0u32, 1, 7, 90] {
             for inner in [0u64, 1, 42, (1 << 40) + 5] {
-                let encoded = encode_timer(InstanceId(instance), TimerId(inner));
+                let encoded = encode_timer(InstanceId(instance), TimerId(inner))
+                    .expect("in-range ids must encode");
                 assert_eq!(
                     decode_timer(encoded),
                     Some((InstanceId(instance), TimerId(inner))),
@@ -599,14 +882,25 @@ mod tests {
 
     #[test]
     fn instance_timers_never_collide_across_instances() {
-        let a = encode_timer(InstanceId(0), TimerId(5));
-        let b = encode_timer(InstanceId(1), TimerId(5));
+        let a = encode_timer(InstanceId(0), TimerId(5)).unwrap();
+        let b = encode_timer(InstanceId(1), TimerId(5)).unwrap();
         assert_ne!(a, b);
         assert_eq!(
             decode_timer(TimerId(3)),
             None,
             "untagged ids are not instance timers"
         );
+    }
+
+    #[test]
+    fn out_of_range_timer_ids_are_rejected_not_misrouted() {
+        // An instance-local id of 2^48 used to *silently corrupt* the
+        // instance tag in release builds: (1 << 48) | tag bits aliased the
+        // timer into the next instance's namespace.
+        assert_eq!(encode_timer(InstanceId(0), TimerId(1 << 48)), None);
+        assert_eq!(encode_timer(InstanceId(3), TimerId(u64::MAX)), None);
+        // Instance tags that would not fit above the shift are rejected too.
+        assert_eq!(encode_timer(InstanceId(u32::MAX), TimerId(0)), None);
     }
 
     #[test]
@@ -628,5 +922,335 @@ mod tests {
         let mut config = SystemConfig::new(4);
         config.instances = 9;
         let _ = RccReplica::over_pbft(config, ReplicaId(0));
+    }
+
+    // ------------------------------------------------------------------
+    // White-box tests of the state-sync and timer plumbing, driven via a
+    // minimal scriptable BCA (full-protocol coverage lives in tests/ and in
+    // the simulator's recovery tests).
+    // ------------------------------------------------------------------
+
+    use rcc_common::{ClientId, ClientRequest, Duration, Transaction};
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum FakeMsg {
+        /// Commit `round` with an arbitrary digest tag.
+        Commit { round: Round, tag: u8 },
+        /// Arm an instance-local timer with a chosen raw id.
+        Arm { id: u64 },
+        /// Cancel an instance-local timer by raw id.
+        Cancel { id: u64 },
+    }
+
+    impl WireMessage for FakeMsg {
+        fn wire_size(&self) -> usize {
+            16
+        }
+        fn is_proposal(&self) -> bool {
+            false
+        }
+    }
+
+    /// A scriptable single-instance BCA: commits, arms, and cancels on
+    /// command, and records which timers fired.
+    struct FakeBca {
+        replica: ReplicaId,
+        primary: ReplicaId,
+        fired: Vec<TimerId>,
+    }
+
+    impl ByzantineCommitAlgorithm for FakeBca {
+        type Message = FakeMsg;
+
+        fn name(&self) -> &'static str {
+            "FAKE"
+        }
+        fn replica(&self) -> ReplicaId {
+            self.replica
+        }
+        fn primary(&self) -> ReplicaId {
+            self.primary
+        }
+        fn view(&self) -> View {
+            0
+        }
+        fn proposal_capacity(&self) -> usize {
+            0
+        }
+        fn committed_prefix(&self) -> Round {
+            0
+        }
+        fn next_proposal_round(&self) -> Round {
+            0
+        }
+        fn propose(&mut self, _now: Time, _batch: Batch) -> Vec<Action<FakeMsg>> {
+            Vec::new()
+        }
+        fn on_message(
+            &mut self,
+            _now: Time,
+            _from: ReplicaId,
+            message: FakeMsg,
+        ) -> Vec<Action<FakeMsg>> {
+            match message {
+                FakeMsg::Commit { round, tag } => vec![Action::Commit(CommittedSlot {
+                    round,
+                    digest: Digest::from_bytes([tag; 32]),
+                    batch: Batch::noop(InstanceId(0), round),
+                    speculative: false,
+                    view: 0,
+                })],
+                FakeMsg::Arm { id } => vec![Action::SetTimer {
+                    timer: TimerId(id),
+                    fires_at: Time::from_millis(1),
+                }],
+                FakeMsg::Cancel { id } => vec![Action::CancelTimer { timer: TimerId(id) }],
+            }
+        }
+        fn on_timeout(&mut self, _now: Time, timer: TimerId) -> Vec<Action<FakeMsg>> {
+            self.fired.push(timer);
+            Vec::new()
+        }
+    }
+
+    fn fake_deployment(sigma: u64) -> RccReplica<FakeBca> {
+        // Replica 3 of n = 4 with m = 2 instances: it coordinates neither,
+        // so lag handling goes through state sync and escalation.
+        let mut config = SystemConfig::new(4).with_instances(2);
+        config.sigma = sigma;
+        RccReplica::new(config, ReplicaId(3), |instance| FakeBca {
+            replica: ReplicaId(3),
+            primary: instance.primary(),
+            fired: Vec::new(),
+        })
+    }
+
+    /// Feeds `rounds` commits into instance 0 so instance 1 trails the
+    /// frontier, returning all emitted actions.
+    fn advance_instance0(
+        rcc: &mut RccReplica<FakeBca>,
+        now: Time,
+        rounds: std::ops::Range<Round>,
+    ) -> Vec<Action<RccMessage<FakeMsg>>> {
+        let mut out = Vec::new();
+        for round in rounds {
+            out.extend(rcc.on_message(
+                now,
+                ReplicaId(0),
+                RccMessage::Instance {
+                    instance: InstanceId(0),
+                    message: FakeMsg::Commit {
+                        round,
+                        tag: round as u8,
+                    },
+                },
+            ));
+        }
+        out
+    }
+
+    fn slot_requests(actions: &[Action<RccMessage<FakeMsg>>]) -> Vec<(InstanceId, Round)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Broadcast {
+                    message: RccMessage::SlotRequest { instance, round },
+                } => Some((*instance, *round)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn matching_reply(round: Round) -> (Digest, Batch) {
+        let batch = Batch::new(vec![ClientRequest::new(
+            ClientId(7),
+            round,
+            Transaction::noop(),
+        )]);
+        (digest_batch(&batch), batch)
+    }
+
+    #[test]
+    fn dropped_slot_requests_are_rerequested_after_sigma_rounds() {
+        let sigma = 2;
+        let mut rcc = fake_deployment(sigma);
+        let t0 = Time::from_millis(1);
+        let first = advance_instance0(&mut rcc, t0, 0..3);
+        assert_eq!(
+            slot_requests(&first),
+            vec![(InstanceId(1), 0)],
+            "σ-lag triggers a state-sync request for the missing slot"
+        );
+        // The broadcast was dropped (nothing arrives). After σ further
+        // rounds of frontier progress the request must be re-broadcast —
+        // the old one-shot semantics escalated a healthy instance straight
+        // to a view change instead.
+        let later = advance_instance0(&mut rcc, t0, 3..3 + sigma);
+        assert_eq!(
+            slot_requests(&later),
+            vec![(InstanceId(1), 0)],
+            "the dropped request is retried after σ rounds of progress"
+        );
+    }
+
+    #[test]
+    fn sync_state_is_pruned_once_the_slot_is_recorded() {
+        let mut rcc = fake_deployment(2);
+        let t0 = Time::from_millis(1);
+        advance_instance0(&mut rcc, t0, 0..3);
+        assert!(rcc.sync_requested.contains_key(&(InstanceId(1), 0)));
+        // f + 1 = 2 matching replies adopt the slot …
+        let (digest, batch) = matching_reply(0);
+        for from in [ReplicaId(0), ReplicaId(1)] {
+            rcc.on_message(
+                t0,
+                from,
+                RccMessage::SlotReply {
+                    instance: InstanceId(1),
+                    round: 0,
+                    digest,
+                    batch: batch.clone(),
+                    view: 0,
+                },
+            );
+        }
+        assert!(
+            rcc.orderer.has_pending(InstanceId(1), 0) || rcc.orderer.next_round() > 0,
+            "the slot was adopted"
+        );
+        // … and every trace of the request is gone: the maps are bounded by
+        // the slots still outstanding, not by the age of the run.
+        assert!(!rcc.sync_requested.contains_key(&(InstanceId(1), 0)));
+        assert!(!rcc.sync_votes.contains_key(&(InstanceId(1), 0)));
+    }
+
+    #[test]
+    fn a_multi_digest_attacker_gets_one_vote_per_slot() {
+        let mut rcc = fake_deployment(2);
+        let t0 = Time::from_millis(1);
+        advance_instance0(&mut rcc, t0, 0..3);
+        // A Byzantine peer streams replies with arbitrarily many *distinct*
+        // digests for the solicited slot (any crafted batch matches its own
+        // digest). Only its first vote may count.
+        for fake_round in 100..120 {
+            let (digest, batch) = matching_reply(fake_round);
+            rcc.on_message(
+                t0,
+                ReplicaId(2),
+                RccMessage::SlotReply {
+                    instance: InstanceId(1),
+                    round: 0,
+                    digest,
+                    batch,
+                    view: 0,
+                },
+            );
+        }
+        let votes = rcc
+            .sync_votes
+            .get(&(InstanceId(1), 0))
+            .expect("solicited replies are tracked");
+        assert_eq!(
+            votes.by_digest.len(),
+            1,
+            "one vote per replica per slot: `by_digest` must not grow with \
+             the attacker's message count"
+        );
+        assert!(
+            !rcc.orderer.has_pending(InstanceId(1), 0),
+            "a single replica never reaches the f + 1 quorum"
+        );
+        // Honest replies still win: two distinct replicas with one matching
+        // digest adopt the slot despite the attacker's earlier noise.
+        let (digest, batch) = matching_reply(0);
+        for from in [ReplicaId(0), ReplicaId(1)] {
+            rcc.on_message(
+                t0,
+                from,
+                RccMessage::SlotReply {
+                    instance: InstanceId(1),
+                    round: 0,
+                    digest,
+                    batch: batch.clone(),
+                    view: 0,
+                },
+            );
+        }
+        assert!(rcc.orderer.has_pending(InstanceId(1), 0) || rcc.orderer.next_round() > 0);
+    }
+
+    #[test]
+    fn overflowing_timer_ids_are_routed_through_the_overflow_map() {
+        let mut rcc = fake_deployment(16);
+        let t0 = Time::from_millis(1);
+        let huge = 1u64 << 50;
+        let actions = rcc.on_message(
+            t0,
+            ReplicaId(1),
+            RccMessage::Instance {
+                instance: InstanceId(1),
+                message: FakeMsg::Arm { id: huge },
+            },
+        );
+        let armed: Vec<TimerId> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::SetTimer { timer, .. } => Some(*timer),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(armed.len(), 1);
+        let mapped = armed[0];
+        assert_eq!(
+            decode_timer(mapped),
+            None,
+            "overflow ids live in the untagged namespace — never aliased \
+             into another instance's tag"
+        );
+        assert_ne!(mapped, WATCHDOG_TIMER, "id 0 is reserved for the watchdog");
+        // Firing the mapped id reaches the owning instance with the
+        // *original* id, and consumes the mapping.
+        rcc.on_timeout(t0 + Duration::from_millis(2), mapped);
+        assert_eq!(rcc.instance(InstanceId(1)).fired, vec![TimerId(huge)]);
+        assert!(rcc.overflow_timers.is_empty());
+        assert!(rcc.overflow_ids.is_empty());
+    }
+
+    #[test]
+    fn cancelled_overflow_timers_release_their_mapping() {
+        let mut rcc = fake_deployment(16);
+        let t0 = Time::from_millis(1);
+        let huge = u64::MAX;
+        let armed = rcc.on_message(
+            t0,
+            ReplicaId(1),
+            RccMessage::Instance {
+                instance: InstanceId(1),
+                message: FakeMsg::Arm { id: huge },
+            },
+        );
+        let mapped = armed
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { timer, .. } => Some(*timer),
+                _ => None,
+            })
+            .expect("timer armed");
+        let cancelled = rcc.on_message(
+            t0,
+            ReplicaId(1),
+            RccMessage::Instance {
+                instance: InstanceId(1),
+                message: FakeMsg::Cancel { id: huge },
+            },
+        );
+        assert!(
+            cancelled
+                .iter()
+                .any(|a| matches!(a, Action::CancelTimer { timer } if *timer == mapped)),
+            "the cancel is routed under the same mapped id"
+        );
+        assert!(rcc.overflow_timers.is_empty(), "mapping released on cancel");
+        assert!(rcc.overflow_ids.is_empty());
     }
 }

@@ -3,7 +3,7 @@
 //! and execution-order agreement under link drops.
 
 use rcc_common::{
-    Batch, ClientId, ClientRequest, InstanceId, ReplicaId, SystemConfig, Transaction,
+    Batch, ClientId, ClientRequest, InstanceId, ReplicaId, SystemConfig, Time, Transaction,
 };
 use rcc_core::RccReplica;
 use rcc_protocols::harness::Cluster;
@@ -111,9 +111,14 @@ fn crashed_instance_primary_stalls_only_its_instance_until_recovery() {
 
     // The remaining coordinators keep proposing. Their instances keep
     // committing (no global stall), and once instance 1 trails the frontier
-    // by σ = 2 rounds the lag detector drives an instance-local view change;
-    // the replacement coordinator fills the missed rounds with no-ops.
+    // by σ = 2 rounds — and the stall has lasted a full failure-detection
+    // timeout — the lag detector drives an instance-local view change; the
+    // replacement coordinator fills the missed rounds with no-ops.
     for round in 1..=5u64 {
+        // Virtual time passes between rounds: escalation to a view change
+        // requires the missing slot to stay missing for a failure-detection
+        // timeout, not just σ frontier rounds.
+        cluster.advance_time(Time::from_millis(300 * round));
         for primary in [0u32, 2, 3] {
             cluster.propose(ReplicaId(primary), batch(100 * round + primary as u64));
         }

@@ -8,8 +8,9 @@
 //! * [`sim`] — the event loop: a virtual-time queue over
 //!   [`rcc_common::Time`] driving any
 //!   [`rcc_protocols::bca::ByzantineCommitAlgorithm`] (including
-//!   [`rcc_core::RccReplica`]), with saturated closed-loop clients and CPU
-//!   accounting per replica.
+//!   [`rcc_core::RccReplica`]), with explicit client nodes (closed-loop
+//!   saturated or open-loop, from `rcc-workload`) assigned to instances by
+//!   the Section III-E policy, and CPU accounting per replica.
 //! * [`network`] — per-link latency/bandwidth models with the paper's LAN
 //!   and multi-region WAN settings.
 //! * [`cpu`] — non-crypto CPU costs and the sequential-consensus /
@@ -18,9 +19,11 @@
 //!   right) are measurable.
 //! * [`fault`] — seed-replayable fault scripts: crashes, partitions,
 //!   Byzantine silent primaries, and the Section-IV throttling attack.
-//! * [`workload`] — deterministic YCSB-style batch generation (90 % writes)
-//!   forked per proposer from [`rcc_common::SystemConfig::seed`].
-//! * [`rng`] — the SplitMix64 generator behind all simulated randomness.
+//! * [`workload`] — re-exports of the `rcc-workload` crate: deterministic
+//!   YCSB-style batch generation (90 % writes, seeded per client stream),
+//!   client models, and the instance-assignment policy.
+//! * [`rng`] — the SplitMix64 generator behind all simulated randomness
+//!   (re-exported from `rcc_common::rng`).
 //!
 //! Everything is deterministic: the same [`SimConfig`] produces a
 //! bit-identical event trace (witnessed by [`SimReport::trace_fingerprint`])
@@ -42,7 +45,7 @@ pub use cpu::CpuModel;
 pub use fault::{FaultEvent, FaultKind, FaultScript};
 pub use network::{LinkParams, NetworkModel};
 pub use rng::SplitMix64;
-pub use sim::{SimConfig, SimReport, Simulation};
+pub use sim::{ClientModel, SimConfig, SimReport, Simulation};
 pub use workload::WorkloadGenerator;
 
 use rcc_core::RccOverPbft;

@@ -9,9 +9,17 @@
 //!   bandwidth), link propagation latency, and seeded jitter.
 //! * **Timer** events fire the timers the protocols arm via
 //!   [`Action::SetTimer`], with cancellation handled by an armed-timer map.
-//! * **Pump** events model saturated closed-loop clients: whenever a replica
-//!   has proposal capacity it assembles the next workload batch and proposes
-//!   it (the paper measures saturated throughput).
+//! * **Pump** events drive the explicit client nodes: one
+//!   [`rcc_workload::Client`] per consensus instance, assigned to instances
+//!   by the Section III-E [`rcc_workload::InstanceAssignment`] policy and
+//!   submitting to its instance's *current* coordinator. Closed-loop clients
+//!   ([`ClientModel::Saturated`], the paper's measurement setup) keep a
+//!   window of batches in flight and wait for `f + 1` matching replies;
+//!   open-loop clients submit on a fixed interval. When an instance's
+//!   coordinator is replaced, its clients drain to a healthy instance and
+//!   return only after the replacement has demonstrated `σ` rounds of
+//!   progress — which is what restores post-recovery throughput instead of
+//!   leaving the recovered instance on catch-up no-ops forever.
 //! * **Fault** events replay the configured [`FaultScript`].
 //!
 //! CPU time is charged per the [`CpuModel`] and
@@ -33,14 +41,30 @@ use crate::cpu::CpuModel;
 use crate::fault::{FaultEvent, FaultKind, FaultScript};
 use crate::network::NetworkModel;
 use crate::rng::SplitMix64;
-use crate::workload::WorkloadGenerator;
 use rcc_common::metrics::{LatencyHistogram, ReplicaCounters, ThroughputMeter};
-use rcc_common::{Digest, Duration, ReplicaId, SystemConfig, Time};
-use rcc_crypto::hash::digest_batch;
+use rcc_common::{Digest, Duration, InstanceStatus, ReplicaId, SystemConfig, Time};
 use rcc_crypto::CryptoCostModel;
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId, WireMessage};
+use rcc_workload::{Client, ClientMode, InstanceAssignment, ReplyOutcome};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+/// How the simulated client nodes generate load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClientModel {
+    /// Closed-loop clients that keep the pipeline saturated: each client
+    /// node holds [`SystemConfig::out_of_order_window`] batches in flight
+    /// and submits a new one as soon as an outstanding batch collects its
+    /// `f + 1` matching replies (the paper measures saturated throughput).
+    Saturated,
+    /// Open-loop clients: each client node submits one batch every
+    /// `interval` of virtual time, regardless of replies — arrival rate
+    /// decoupled from service rate.
+    OpenLoop {
+        /// Virtual time between submissions per client node.
+        interval: Duration,
+    },
+}
 
 /// Complete configuration of one simulation run.
 #[derive(Clone, Debug)]
@@ -63,6 +87,8 @@ pub struct SimConfig {
     pub measure_end: Time,
     /// Scripted fault injection.
     pub faults: FaultScript,
+    /// The client arrival model.
+    pub clients: ClientModel,
     /// Safety bound on processed events; exceeding it aborts the run (it
     /// indicates a livelock, not a legitimate workload).
     pub max_events: u64,
@@ -81,6 +107,7 @@ impl SimConfig {
             measure_start: Time::ZERO,
             measure_end: Time::ZERO + horizon,
             faults: FaultScript::none(),
+            clients: ClientModel::Saturated,
             max_events: 500_000_000,
         }
     }
@@ -107,6 +134,12 @@ impl SimConfig {
     /// Sets the crypto cost model (builder style).
     pub fn with_costs(mut self, costs: CryptoCostModel) -> Self {
         self.costs = costs;
+        self
+    }
+
+    /// Sets the client arrival model (builder style).
+    pub fn with_clients(mut self, clients: ClientModel) -> Self {
+        self.clients = clients;
         self
     }
 }
@@ -136,6 +169,9 @@ pub struct SimReport {
     pub suspicions: u64,
     /// `ViewChanged` actions observed across all replicas.
     pub view_changes: u64,
+    /// Client hand-offs performed by the Section III-E assignment policy
+    /// (drains off failing instances plus σ-spaced returns).
+    pub client_handoffs: u64,
     /// Chained fingerprint over every processed event; equal fingerprints ⇒
     /// identical event traces.
     pub trace_fingerprint: u64,
@@ -164,6 +200,8 @@ struct PendingBatch {
     /// the paper's experiments).
     committers: u128,
     counted: bool,
+    /// The client node that submitted the batch (its replies go there).
+    client: usize,
 }
 
 /// Per-replica simulation state around the protocol state machine.
@@ -180,8 +218,15 @@ struct SimNode<P: ByzantineCommitAlgorithm> {
     silenced: bool,
     timers: BTreeMap<TimerId, Time>,
     pump_pending: bool,
-    workload: WorkloadGenerator,
     counters: ReplicaCounters,
+}
+
+/// One explicit client node: the workload/reply state machine from
+/// `rcc-workload` plus the coordinator it currently submits to (the observed
+/// coordinator of its assigned instance).
+struct ClientNode {
+    client: Client,
+    attached: ReplicaId,
 }
 
 enum EventKind<M> {
@@ -237,6 +282,12 @@ fn mix(h: u64, v: u64) -> u64 {
 pub struct Simulation<P: ByzantineCommitAlgorithm> {
     config: SimConfig,
     nodes: Vec<SimNode<P>>,
+    /// Explicit client nodes, one per consensus instance.
+    clients: Vec<ClientNode>,
+    /// The Section III-E client-to-instance assignment.
+    assignment: InstanceAssignment,
+    /// Number of concurrent consensus instances of the simulated protocol.
+    instance_count: usize,
     queue: BinaryHeap<Reverse<Event<P::Message>>>,
     next_seq: u64,
     faults: Vec<FaultEvent>,
@@ -253,6 +304,12 @@ pub struct Simulation<P: ByzantineCommitAlgorithm> {
     bytes_delivered: u64,
     suspicions: u64,
     view_changes: u64,
+    client_handoffs: u64,
+    /// Set when an event surfaced a failure-handling transition (suspicion
+    /// or view change): the client assignment is refreshed before the next
+    /// event so drains and σ-spaced returns happen at failure boundaries,
+    /// not only when a blocked client happens to pump.
+    client_refresh_due: bool,
     trace: u64,
     /// Virtual time of the event currently being processed; new events are
     /// never scheduled before it.
@@ -277,7 +334,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         );
         let seed = config.system.seed;
         let batch_size = config.system.batch_size;
-        let nodes = ReplicaId::all(n)
+        let nodes: Vec<SimNode<P>> = ReplicaId::all(n)
             .map(|r| SimNode {
                 bca: factory(r),
                 busy_until: Time::ZERO,
@@ -287,14 +344,36 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 silenced: false,
                 timers: BTreeMap::new(),
                 pump_pending: false,
-                workload: WorkloadGenerator::new(seed, r, batch_size),
                 counters: ReplicaCounters::default(),
             })
             .collect();
+        // One explicit client node per consensus instance, homed on it by the
+        // Section III-E assignment policy and initially attached to its view-0
+        // coordinator.
+        let statuses = nodes[0].bca.instance_statuses();
+        let instance_count = statuses.len().max(1);
+        let mode = match config.clients {
+            ClientModel::Saturated => ClientMode::Closed {
+                window: config.system.out_of_order_window,
+            },
+            ClientModel::OpenLoop { interval } => ClientMode::Open { interval },
+        };
+        let reply_quorum = config.system.client_reply_quorum();
+        let clients: Vec<ClientNode> = (0..instance_count)
+            .map(|stream| ClientNode {
+                client: Client::new(seed, stream as u64, batch_size, reply_quorum, mode),
+                attached: statuses[stream].coordinator,
+            })
+            .collect();
+        let assignment =
+            InstanceAssignment::new(instance_count, instance_count, config.system.sigma);
         let faults = config.faults.sorted();
         let mut sim = Simulation {
             jitter_rng: SplitMix64::new(seed).fork(0xFACE),
             nodes,
+            clients,
+            assignment,
+            instance_count,
             queue: BinaryHeap::new(),
             next_seq: 0,
             faults,
@@ -309,6 +388,8 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             bytes_delivered: 0,
             suspicions: 0,
             view_changes: 0,
+            client_handoffs: 0,
+            client_refresh_due: false,
             trace: 0x9E37_79B9_7F4A_7C15,
             now: Time::ZERO,
             config,
@@ -368,6 +449,13 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 EventKind::Pump { node } => self.pump(event.at, node),
                 EventKind::Fault { index } => self.apply_fault(index),
             }
+            if self.client_refresh_due {
+                self.client_refresh_due = false;
+                self.refresh_clients();
+                for node in ReplicaId::all(self.config.system.n) {
+                    self.maybe_pump(node);
+                }
+            }
         }
         let report = SimReport {
             committed_transactions: self.committed_transactions,
@@ -380,6 +468,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             bytes_delivered: self.bytes_delivered,
             suspicions: self.suspicions,
             view_changes: self.view_changes,
+            client_handoffs: self.client_handoffs,
             trace_fingerprint: self.trace,
             horizon: self.config.horizon,
         };
@@ -483,62 +572,171 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         self.maybe_pump(node);
     }
 
+    /// Merges every replica's view of the instances into one observation per
+    /// instance. Crashed replicas are excluded (clients cannot hear from
+    /// them); among the rest the most advanced view wins — views are monotone
+    /// and a view's coordinator is a deterministic function of `(instance,
+    /// view)`, so this models clients learning the new coordinator from
+    /// NEW-VIEW-carrying replies without simulating the client links.
+    fn observe_instances(&self) -> Vec<InstanceStatus> {
+        let mut merged: Vec<Option<InstanceStatus>> = vec![None; self.instance_count];
+        for node in &self.nodes {
+            if node.crashed {
+                continue;
+            }
+            for status in node.bca.instance_statuses() {
+                let slot = &mut merged[status.instance.index()];
+                match slot {
+                    Some(existing) => existing.merge(&status),
+                    None => *slot = Some(status),
+                }
+            }
+        }
+        // With every replica crashed (a legal scripted total outage) no live
+        // observation exists; fall back to the crashed replicas' last known
+        // state rather than panicking — the run then simply winds down with
+        // nothing committing.
+        for node in &self.nodes {
+            if merged.iter().all(|slot| slot.is_some()) {
+                break;
+            }
+            for status in node.bca.instance_statuses() {
+                let slot = &mut merged[status.instance.index()];
+                if slot.is_none() {
+                    *slot = Some(status);
+                }
+            }
+        }
+        merged
+            .into_iter()
+            .enumerate()
+            .map(|(i, status)| status.unwrap_or_else(|| panic!("no replica reports instance {i}")))
+            .collect()
+    }
+
+    /// Re-runs the assignment policy against the latest observations:
+    /// executes hand-offs (abandoning batches in flight through the old
+    /// instance — the client re-issues fresh work at the new coordinator) and
+    /// re-attaches every client to its assigned instance's current
+    /// coordinator.
+    fn refresh_clients(&mut self) {
+        let observations = self.observe_instances();
+        for handoff in self.assignment.update(&observations) {
+            self.client_handoffs += 1;
+            self.clients[handoff.client].client.abandon_inflight();
+        }
+        for (index, client) in self.clients.iter_mut().enumerate() {
+            let assigned = self.assignment.assignment(index);
+            client.attached = observations[assigned.index()].coordinator;
+        }
+    }
+
     fn pump(&mut self, at: Time, node: ReplicaId) {
         let idx = node.index();
         self.nodes[idx].pump_pending = false;
+        // Re-run the assignment policy only when it can actually move a
+        // client: failure-handling transitions set `client_refresh_due`
+        // (and are refreshed in the event loop), and a σ-spaced hand-back
+        // requires some client to be off its home instance — polling on
+        // every pump of a healthy steady state would recompute an identical
+        // assignment hundreds of thousands of times per run.
+        if self.client_refresh_due || !self.assignment.fully_home() {
+            self.refresh_clients();
+        }
         if self.nodes[idx].crashed || self.nodes[idx].silenced {
             return;
         }
         let crypto_mode = self.config.system.crypto;
         let mut t_cpu = at.max(self.nodes[idx].busy_until);
-        // The capacity bound makes this loop finite; the extra guard protects
+        // The client windows bound this loop; the extra guard protects
         // against a protocol whose propose() fails to consume capacity.
-        let mut guard = self.config.system.out_of_order_window * self.config.system.instances + 4;
-        while self.nodes[idx].bca.proposal_capacity() > 0 && guard > 0 {
-            guard -= 1;
-            let batch = self.nodes[idx].workload.next_batch();
-            let transactions = batch.effective_transactions() as u64;
-            let digest = digest_batch(&batch);
-            // Primary-side cost: verify the clients' signatures (parallel),
-            // digest the batch, assemble the proposal.
-            let cost = self.scaled(
-                idx,
-                self.config.cpu.proposal_overhead
-                    + self.config.costs.digest
-                    + self.config.cpu.parallelized(
-                        self.config
-                            .costs
-                            .batch_verify_cost(crypto_mode, batch.len()),
-                    ),
-            );
-            t_cpu += cost;
-            let actions = self.nodes[idx].bca.propose(t_cpu, batch);
-            if actions.is_empty() {
-                break;
+        let mut guard =
+            (self.config.system.out_of_order_window + 4) * self.clients.len().max(1) + 4;
+        for ci in 0..self.clients.len() {
+            if self.clients[ci].attached != node {
+                continue;
             }
-            self.nodes[idx].busy_until = t_cpu;
-            self.nodes[idx].counters.batches_proposed += 1;
-            self.inflight.insert(
-                digest,
-                PendingBatch {
-                    submitted: at,
-                    transactions,
-                    committers: 0,
-                    counted: false,
-                },
-            );
-            self.apply_actions(node, t_cpu, actions);
-            t_cpu = t_cpu.max(self.nodes[idx].busy_until);
+            let instance = self.assignment.assignment(ci);
+            while guard > 0
+                && self.clients[ci].client.ready(at)
+                && self.nodes[idx].bca.proposal_capacity_for(instance) > 0
+            {
+                guard -= 1;
+                let (digest, batch) = self.clients[ci].client.submit(at);
+                let transactions = batch.effective_transactions() as u64;
+                // Coordinator-side cost: verify the clients' signatures
+                // (parallel), digest the batch, assemble the proposal.
+                let cost = self.scaled(
+                    idx,
+                    self.config.cpu.proposal_overhead
+                        + self.config.costs.digest
+                        + self.config.cpu.parallelized(
+                            self.config
+                                .costs
+                                .batch_verify_cost(crypto_mode, batch.len()),
+                        ),
+                );
+                t_cpu += cost;
+                let actions = self.nodes[idx].bca.propose_for(t_cpu, instance, batch);
+                if actions.is_empty() {
+                    // The coordinator turned the batch away (lost the
+                    // instance, raced out of capacity): the client frees the
+                    // window slot and will submit fresh work later.
+                    self.clients[ci].client.forget(&digest);
+                    break;
+                }
+                self.nodes[idx].busy_until = t_cpu;
+                self.nodes[idx].counters.batches_proposed += 1;
+                self.inflight.insert(
+                    digest,
+                    PendingBatch {
+                        submitted: at,
+                        transactions,
+                        committers: 0,
+                        counted: false,
+                        client: ci,
+                    },
+                );
+                self.apply_actions(node, t_cpu, actions);
+                t_cpu = t_cpu.max(self.nodes[idx].busy_until);
+            }
+        }
+        // Open-loop clients are paced by the clock, not by replies: schedule
+        // the next submission this replica will serve.
+        if !self.nodes[idx].pump_pending {
+            let next = self
+                .clients
+                .iter()
+                .filter(|c| c.attached == node)
+                .filter_map(|c| c.client.next_ready_at())
+                .filter(|&t| t > at)
+                .min();
+            if let Some(t) = next {
+                self.nodes[idx].pump_pending = true;
+                self.push(t.max(self.now), EventKind::Pump { node });
+            }
         }
     }
 
     fn maybe_pump(&mut self, node: ReplicaId) {
         let idx = node.index();
-        if self.nodes[idx].pump_pending
-            || self.nodes[idx].crashed
-            || self.nodes[idx].silenced
-            || self.nodes[idx].bca.proposal_capacity() == 0
-        {
+        if self.nodes[idx].pump_pending || self.nodes[idx].crashed || self.nodes[idx].silenced {
+            return;
+        }
+        // Only schedule a pump that can do work: some client attached to this
+        // replica is ready and its assigned instance has capacity here.
+        // (Attachments refresh inside pump, so a just-taken-over coordinator
+        // is picked up one pump cycle later.)
+        let now = self.now;
+        let ready = self.clients.iter().enumerate().any(|(ci, c)| {
+            c.attached == node
+                && c.client.ready(now)
+                && self.nodes[idx]
+                    .bca
+                    .proposal_capacity_for(self.assignment.assignment(ci))
+                    > 0
+        });
+        if !ready {
             return;
         }
         self.nodes[idx].pump_pending = true;
@@ -614,9 +812,11 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 }
                 Action::SuspectPrimary { .. } => {
                     self.suspicions += 1;
+                    self.client_refresh_due = true;
                 }
                 Action::ViewChanged { .. } => {
                     self.view_changes += 1;
+                    self.client_refresh_due = true;
                 }
             }
         }
@@ -667,7 +867,9 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         let Some(pending) = self.inflight.get_mut(&digest) else {
             return;
         };
-        pending.committers |= 1u128 << (node.index() as u32 % 128);
+        let bit = 1u128 << (node.index() as u32 % 128);
+        let new_committer = pending.committers & bit == 0;
+        pending.committers |= bit;
         let commits = pending.committers.count_ones() as usize;
         if !pending.counted && commits >= self.config.system.client_reply_quorum() {
             pending.counted = true;
@@ -680,8 +882,20 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 self.latency.record(t.saturating_since(pending.submitted));
             }
         }
+        let client = pending.client;
         if commits >= self.config.system.n {
             self.inflight.remove(&digest);
+        }
+        if new_committer {
+            // The replica's release doubles as its (free) reply to the
+            // submitting client; a completed f + 1 matching quorum unblocks a
+            // closed-loop window slot, so give its coordinator a chance to
+            // pump.
+            let outcome = self.clients[client].client.on_reply(node, digest);
+            if outcome == ReplyOutcome::Completed {
+                let attached = self.clients[client].attached;
+                self.maybe_pump(attached);
+            }
         }
     }
 

@@ -1,130 +1,14 @@
-//! Deterministic client-workload generation for the simulator.
+//! Workload generation for the simulator.
 //!
-//! Follows the paper's evaluation setup (Section V-A, the Blockbench YCSB
-//! macro benchmark): a large key space of small records with a 90 % write
-//! mix, grouped into batches of [`rcc_common::SystemConfig::batch_size`]
-//! transactions. Each proposing replica owns an independent random stream
-//! forked from the run seed, so the workload contents do not depend on
-//! event-processing order and two runs with the same seed propose identical
-//! batches.
-//!
-//! Fidelity caveat: the paper's clients issue 512 B signed transactions; the
-//! simulator charges their *wire* and *verification* costs through
-//! [`rcc_common::WireCosts`] and [`rcc_crypto::CryptoCostModel`], while the
-//! in-memory record payloads generated here are kept small (`value_bytes`)
-//! so that digesting millions of simulated transactions stays cheap.
+//! The generator and client models live in the `rcc-workload` crate (they
+//! are the client side of a deployment, not a simulator detail); this module
+//! re-exports them so existing `rcc_sim::workload` paths keep working. The
+//! simulator's client nodes (`rcc_workload::Client` under the
+//! [`crate::sim::ClientModel`] arrival models, assigned to instances by
+//! `rcc_workload::InstanceAssignment`) consume them.
 
-use crate::rng::SplitMix64;
-use rcc_common::{Batch, ClientId, ClientRequest, ReplicaId, Transaction, TransactionKind};
+pub use rcc_workload::ycsb::YcsbGenerator;
+pub use rcc_workload::{Client, ClientMode, InstanceAssignment, ReplyOutcome};
 
-/// Number of distinct pseudo-clients attributed to each proposing replica.
-const CLIENTS_PER_PROPOSER: u64 = 64;
-
-/// A deterministic per-proposer batch generator.
-#[derive(Clone, Debug)]
-pub struct WorkloadGenerator {
-    rng: SplitMix64,
-    client_base: u64,
-    next_sequence: u64,
-    batch_size: usize,
-    /// Size of generated record payloads in bytes.
-    value_bytes: usize,
-    /// Fraction of write transactions (the paper's YCSB mix uses 0.9).
-    write_fraction: f64,
-    /// Number of distinct record keys (the paper loads 500 k records).
-    keyspace: u64,
-}
-
-impl WorkloadGenerator {
-    /// Creates the generator for batches proposed by `proposer`, forked from
-    /// the run-wide `seed`.
-    pub fn new(seed: u64, proposer: ReplicaId, batch_size: usize) -> Self {
-        WorkloadGenerator {
-            rng: SplitMix64::new(seed).fork(proposer.0 as u64 + 1),
-            client_base: (proposer.0 as u64 + 1) << 32,
-            next_sequence: 0,
-            batch_size: batch_size.max(1),
-            value_bytes: 8,
-            write_fraction: 0.9,
-            keyspace: 500_000,
-        }
-    }
-
-    /// The next batch of client requests. Every request is unique across the
-    /// whole run (clients are partitioned per proposer, sequence numbers
-    /// increase monotonically), so batch digests never collide.
-    pub fn next_batch(&mut self) -> Batch {
-        let mut requests = Vec::with_capacity(self.batch_size);
-        for _ in 0..self.batch_size {
-            let sequence = self.next_sequence;
-            self.next_sequence += 1;
-            let client = ClientId(self.client_base + sequence % CLIENTS_PER_PROPOSER);
-            let key = self.rng.next_below(self.keyspace);
-            let kind = if self.rng.next_f64() < self.write_fraction {
-                let mut value = vec![0u8; self.value_bytes];
-                let fill = self.rng.next_u64().to_be_bytes();
-                for (i, byte) in value.iter_mut().enumerate() {
-                    *byte = fill[i % fill.len()];
-                }
-                TransactionKind::YcsbWrite { key, value }
-            } else {
-                TransactionKind::YcsbRead { key }
-            };
-            requests.push(ClientRequest::new(client, sequence, Transaction::new(kind)));
-        }
-        Batch::new(requests)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn batches_are_deterministic_per_seed_and_proposer() {
-        let mut a = WorkloadGenerator::new(7, ReplicaId(1), 10);
-        let mut b = WorkloadGenerator::new(7, ReplicaId(1), 10);
-        assert_eq!(a.next_batch(), b.next_batch());
-        assert_eq!(a.next_batch(), b.next_batch());
-    }
-
-    #[test]
-    fn different_proposers_generate_different_batches() {
-        let mut a = WorkloadGenerator::new(7, ReplicaId(0), 10);
-        let mut b = WorkloadGenerator::new(7, ReplicaId(1), 10);
-        assert_ne!(a.next_batch(), b.next_batch());
-    }
-
-    #[test]
-    fn batches_have_the_requested_size_and_are_real_transactions() {
-        let mut g = WorkloadGenerator::new(7, ReplicaId(0), 100);
-        let batch = g.next_batch();
-        assert_eq!(batch.len(), 100);
-        assert_eq!(batch.effective_transactions(), 100);
-        assert!(!batch.is_noop());
-    }
-
-    #[test]
-    fn successive_batches_never_repeat_requests() {
-        let mut g = WorkloadGenerator::new(7, ReplicaId(0), 50);
-        let a = g.next_batch();
-        let b = g.next_batch();
-        for ra in &a.requests {
-            for rb in &b.requests {
-                assert_ne!(ra.id, rb.id);
-            }
-        }
-    }
-
-    #[test]
-    fn write_mix_is_roughly_ninety_percent() {
-        let mut g = WorkloadGenerator::new(7, ReplicaId(0), 1000);
-        let batch = g.next_batch();
-        let writes = batch
-            .requests
-            .iter()
-            .filter(|r| r.transaction.kind.is_write())
-            .count();
-        assert!((850..=950).contains(&writes), "writes = {writes}");
-    }
-}
+/// Backwards-compatible alias for the YCSB generator that used to live here.
+pub type WorkloadGenerator = YcsbGenerator;

@@ -1,0 +1,275 @@
+//! Open-loop and closed-loop client models.
+//!
+//! A [`Client`] is one client node: a group of co-located clients sharing a
+//! [`YcsbGenerator`] stream and submitting pre-assembled
+//! batches to the coordinator of their assigned consensus instance. Two
+//! standard arrival models are supported:
+//!
+//! * **Closed loop** — at most `window` batches in flight; a new batch may be
+//!   submitted only after an outstanding one completes. A batch completes
+//!   when `f + 1` *matching* replies (same digest, distinct replicas) have
+//!   arrived — the smallest number that guarantees at least one reply came
+//!   from a non-faulty replica, so fewer (or conflicting) replies from
+//!   Byzantine replicas never convince the client. This is the paper's
+//!   saturated-measurement client.
+//! * **Open loop** — batches are submitted at a fixed interval regardless of
+//!   replies (arrival rate decoupled from service rate), which is what
+//!   exposes queueing collapse under overload.
+//!
+//! Clients are deterministic: no wall clock, no randomness beyond the seeded
+//! generator, so a simulation embedding them stays bit-reproducible.
+
+use crate::ycsb::YcsbGenerator;
+use rcc_common::{Batch, Digest, Duration, ReplicaId, Time};
+use rcc_crypto::hash::digest_batch;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The arrival model of a client node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ClientMode {
+    /// Closed loop: at most `window` batches in flight, submission unblocked
+    /// by completed replies.
+    Closed {
+        /// Maximum batches in flight.
+        window: usize,
+    },
+    /// Open loop: one batch every `interval` of virtual time, independent of
+    /// replies.
+    Open {
+        /// Time between submissions.
+        interval: Duration,
+    },
+}
+
+/// What a reply contributed to the client's state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplyOutcome {
+    /// The reply references no batch this client is waiting on (a stale,
+    /// duplicate, or fabricated digest) and was ignored.
+    Unknown,
+    /// The reply was counted; the batch still needs more matching replies.
+    Pending,
+    /// The reply completed the `f + 1` matching quorum; the batch is done.
+    Completed,
+}
+
+/// One client node: a seeded workload stream plus reply tracking.
+#[derive(Clone, Debug)]
+pub struct Client {
+    generator: YcsbGenerator,
+    mode: ClientMode,
+    reply_quorum: usize,
+    /// Outstanding batches: digest → replicas whose replies matched it.
+    pending: BTreeMap<Digest, BTreeSet<ReplicaId>>,
+    next_open_submission: Time,
+    submitted: u64,
+    completed: u64,
+    abandoned: u64,
+}
+
+impl Client {
+    /// Creates a client node over workload stream `stream` of the run seeded
+    /// with `seed`. `reply_quorum` is the number of matching replies required
+    /// to accept an outcome (`f + 1` in a deployment tolerating `f` faults).
+    pub fn new(
+        seed: u64,
+        stream: u64,
+        batch_size: usize,
+        reply_quorum: usize,
+        mode: ClientMode,
+    ) -> Self {
+        Client {
+            generator: YcsbGenerator::new(seed, stream, batch_size),
+            mode,
+            reply_quorum: reply_quorum.max(1),
+            pending: BTreeMap::new(),
+            next_open_submission: Time::ZERO,
+            submitted: 0,
+            completed: 0,
+            abandoned: 0,
+        }
+    }
+
+    /// The client's arrival model.
+    pub fn mode(&self) -> ClientMode {
+        self.mode
+    }
+
+    /// `true` when the client may submit a batch at `now`.
+    pub fn ready(&self, now: Time) -> bool {
+        match self.mode {
+            ClientMode::Closed { window } => self.pending.len() < window.max(1),
+            ClientMode::Open { .. } => now >= self.next_open_submission,
+        }
+    }
+
+    /// When the client next becomes ready by the *clock* alone: open-loop
+    /// clients return their next scheduled submission; closed-loop clients
+    /// return `None` (they are unblocked by replies, not by time).
+    pub fn next_ready_at(&self) -> Option<Time> {
+        match self.mode {
+            ClientMode::Closed { .. } => None,
+            ClientMode::Open { .. } => Some(self.next_open_submission),
+        }
+    }
+
+    /// Assembles and registers the next batch. The returned digest identifies
+    /// the batch in subsequent [`Client::on_reply`] calls.
+    ///
+    /// Call only when [`Client::ready`]; the caller then hands the batch to
+    /// the coordinator of the client's assigned instance (and calls
+    /// [`Client::forget`] if the coordinator turned it away).
+    pub fn submit(&mut self, now: Time) -> (Digest, Batch) {
+        let batch = self.generator.next_batch();
+        let digest = digest_batch(&batch);
+        self.pending.insert(digest, BTreeSet::new());
+        self.submitted += 1;
+        if let ClientMode::Open { interval } = self.mode {
+            self.next_open_submission = self.next_open_submission.max(now) + interval;
+        }
+        (digest, batch)
+    }
+
+    /// Unregisters a batch the coordinator did not accept (no capacity, not
+    /// the primary any more). The client will regenerate fresh work later —
+    /// rejected batches are not replayed.
+    pub fn forget(&mut self, digest: &Digest) {
+        if self.pending.remove(digest).is_some() {
+            self.submitted = self.submitted.saturating_sub(1);
+        }
+    }
+
+    /// Records a reply from `from` reporting outcome digest `digest`.
+    /// Replies only count toward the matching quorum once per replica, so a
+    /// Byzantine replica cannot complete a batch by repeating itself.
+    pub fn on_reply(&mut self, from: ReplicaId, digest: Digest) -> ReplyOutcome {
+        let Some(replicas) = self.pending.get_mut(&digest) else {
+            return ReplyOutcome::Unknown;
+        };
+        replicas.insert(from);
+        if replicas.len() >= self.reply_quorum {
+            self.pending.remove(&digest);
+            self.completed += 1;
+            ReplyOutcome::Completed
+        } else {
+            ReplyOutcome::Pending
+        }
+    }
+
+    /// Drops every outstanding batch, e.g. when the client hands off to a
+    /// different instance and will not wait for replies routed through the
+    /// old coordinator. Returns how many batches were abandoned.
+    pub fn abandon_inflight(&mut self) -> usize {
+        let dropped = self.pending.len();
+        self.abandoned += dropped as u64;
+        self.pending.clear();
+        dropped
+    }
+
+    /// Batches currently awaiting their reply quorum.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Batches submitted over the client's lifetime (net of rejections).
+    pub fn submitted_batches(&self) -> u64 {
+        self.submitted
+    }
+
+    /// Batches that reached the matching-reply quorum.
+    pub fn completed_batches(&self) -> u64 {
+        self.completed
+    }
+
+    /// Batches abandoned by [`Client::abandon_inflight`].
+    pub fn abandoned_batches(&self) -> u64 {
+        self.abandoned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn closed(window: usize) -> Client {
+        Client::new(7, 0, 10, 2, ClientMode::Closed { window })
+    }
+
+    #[test]
+    fn closed_loop_blocks_at_the_window_and_unblocks_on_quorum() {
+        let mut c = closed(2);
+        let now = Time::ZERO;
+        assert!(c.ready(now));
+        let (d0, _) = c.submit(now);
+        let (_d1, _) = c.submit(now);
+        assert!(!c.ready(now), "window of 2 is full");
+        // One matching reply is not enough for quorum 2.
+        assert_eq!(c.on_reply(ReplicaId(0), d0), ReplyOutcome::Pending);
+        assert!(!c.ready(now));
+        // The second distinct replica completes the batch.
+        assert_eq!(c.on_reply(ReplicaId(1), d0), ReplyOutcome::Completed);
+        assert!(c.ready(now));
+        assert_eq!(c.completed_batches(), 1);
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn repeated_replies_from_one_replica_do_not_reach_quorum() {
+        let mut c = closed(1);
+        let (d, _) = c.submit(Time::ZERO);
+        for _ in 0..10 {
+            assert_eq!(c.on_reply(ReplicaId(3), d), ReplyOutcome::Pending);
+        }
+        assert_eq!(c.completed_batches(), 0, "one replica is below f + 1");
+    }
+
+    #[test]
+    fn mismatched_digests_are_not_counted() {
+        let mut c = closed(1);
+        let (_d, _) = c.submit(Time::ZERO);
+        let forged = Digest::from_bytes([9u8; 32]);
+        assert_eq!(c.on_reply(ReplicaId(0), forged), ReplyOutcome::Unknown);
+        assert_eq!(c.in_flight(), 1);
+    }
+
+    #[test]
+    fn open_loop_is_paced_by_the_clock_not_by_replies() {
+        let interval = Duration::from_millis(10);
+        let mut c = Client::new(7, 0, 10, 2, ClientMode::Open { interval });
+        let t0 = Time::ZERO;
+        assert!(c.ready(t0));
+        c.submit(t0);
+        assert!(!c.ready(t0), "next slot is one interval away");
+        assert_eq!(c.next_ready_at(), Some(t0 + interval));
+        assert!(c.ready(t0 + interval));
+        c.submit(t0 + interval);
+        // No replies arrived, yet the client keeps submitting on schedule.
+        assert_eq!(c.in_flight(), 2);
+        assert!(c.ready(t0 + interval + interval));
+    }
+
+    #[test]
+    fn forget_and_abandon_release_window_slots() {
+        let mut c = closed(1);
+        let (d, _) = c.submit(Time::ZERO);
+        assert!(!c.ready(Time::ZERO));
+        c.forget(&d);
+        assert!(c.ready(Time::ZERO), "rejected batches free their slot");
+        let (_d, _) = c.submit(Time::ZERO);
+        assert_eq!(c.abandon_inflight(), 1);
+        assert_eq!(c.abandoned_batches(), 1);
+        assert!(c.ready(Time::ZERO));
+    }
+
+    #[test]
+    fn submissions_are_deterministic_per_seed_and_stream() {
+        let mut a = closed(4);
+        let mut b = closed(4);
+        for _ in 0..3 {
+            let (da, ba) = a.submit(Time::ZERO);
+            let (db, bb) = b.submit(Time::ZERO);
+            assert_eq!(da, db);
+            assert_eq!(ba, bb);
+        }
+    }
+}

@@ -1,23 +1,35 @@
-//! Workload generation — **placeholder, not yet implemented**.
+//! The client side of an RCC deployment: workload generation, client models,
+//! and the Section III-E client-to-instance assignment policy.
 //!
-//! Intended scope: the client side of the paper's experiments (Section V-A):
+//! * [`ycsb`] — the deterministic YCSB-style generator of the Blockbench
+//!   macro benchmark the paper evaluates with (Section V-A): a 500 k-record
+//!   key space, 90 % writes, batches of
+//!   [`rcc_common::SystemConfig::batch_size`] transactions, seeded per
+//!   workload stream so runs are bit-reproducible.
+//! * [`client`] — client nodes: **closed-loop** clients that keep at most a
+//!   window of batches in flight and wait for `f + 1` *matching* replies per
+//!   batch, and **open-loop** clients that submit on a fixed interval
+//!   regardless of replies.
+//! * [`assignment`] — the [`InstanceAssignment`] policy: each client is homed
+//!   on one consensus instance, drains off it when the instance enters a view
+//!   change, and hands back only after the replacement coordinator has
+//!   demonstrated σ rounds of progress (the paper's σ-spaced hand-offs,
+//!   Section III-E). This is what restores throughput after a coordinator
+//!   crash instead of leaving the recovered instance on catch-up no-ops
+//!   forever.
 //!
-//! * the YCSB-style workload of the Blockbench macro benchmark — half a
-//!   million 1 KB records, 90 % write transactions, 512 B client
-//!   transactions — generated deterministically from
-//!   [`rcc_common::SystemConfig::seed`];
-//! * the bank-transfer workload behind the ordering-attack discussion of
-//!   Section IV (Example IV.1);
-//! * client models: open-loop arrival rates and closed-loop clients waiting
-//!   for `f + 1` matching replies, plus the client-to-instance assignment
-//!   policy with `σ`-spaced hand-offs (Section III-E);
-//! * batch assembly into [`rcc_common::Batch`]es of
-//!   [`rcc_common::SystemConfig::batch_size`] transactions.
-//!
-//! A first deterministic YCSB-style generator (90 % writes, seeded per
-//! proposer) currently lives in `rcc_sim::workload`, where the simulator's
-//! saturated clients consume it; open-loop/closed-loop client models and the
-//! σ-spaced instance-assignment policy belong here when implemented.
+//! The crate is sans-io and deterministic: replicas expose
+//! [`rcc_common::InstanceStatus`] observations, the policy maps clients to
+//! instances, and the embedding (the discrete-event simulator in `rcc-sim`,
+//! or a real client runtime later) moves the batches.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod assignment;
+pub mod client;
+pub mod ycsb;
+
+pub use assignment::{Handoff, InstanceAssignment};
+pub use client::{Client, ClientMode, ReplyOutcome};
+pub use ycsb::YcsbGenerator;
