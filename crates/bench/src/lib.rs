@@ -87,6 +87,12 @@ pub enum FaultScenario {
     SilenceCoordinator,
     /// Replica 1 throttles its own CPU by 8× (the Section-IV attack).
     ThrottleCoordinator,
+    /// The highest-numbered replica crashes at the start of measurement and
+    /// *recovers* a third of the way into the window. By then the survivors
+    /// have checkpointed and pruned far past its frontier, so the rejoining
+    /// replica must catch up through the §III-D checkpoint-transfer path —
+    /// the scenario the `long-horizon` preset measures.
+    CrashRecoverReplica,
 }
 
 impl FaultScenario {
@@ -97,12 +103,13 @@ impl FaultScenario {
             FaultScenario::CrashReplica => "crash-replica",
             FaultScenario::SilenceCoordinator => "silence-coordinator",
             FaultScenario::ThrottleCoordinator => "throttle-coordinator",
+            FaultScenario::CrashRecoverReplica => "crash-recover",
         }
     }
 
     /// The concrete fault script for a deployment of `n` replicas whose
-    /// measurement starts at `measure_start`.
-    pub fn script(self, n: usize, measure_start: Time) -> FaultScript {
+    /// measurement window starts at `measure_start` and lasts `measure`.
+    pub fn script(self, n: usize, measure_start: Time, measure: Duration) -> FaultScript {
         // Inject just after measurement begins so the fault's effect is
         // inside the measured window.
         let at = measure_start + Duration::from_millis(50);
@@ -117,6 +124,13 @@ impl FaultScenario {
                     factor: 8.0,
                 },
             ),
+            FaultScenario::CrashRecoverReplica => {
+                let replica = ReplicaId(n as u32 - 1);
+                FaultScript::crash_at(at, replica).with(
+                    measure_start + Duration::from_nanos(measure.as_nanos() / 3),
+                    FaultKind::Recover { replica },
+                )
+            }
         }
     }
 }
@@ -268,6 +282,11 @@ pub struct RunResult {
     pub view_changes: u64,
     /// Client hand-offs performed by the Section III-E assignment policy.
     pub client_handoffs: u64,
+    /// Peak per-slot log entries retained by any single replica at any
+    /// point of the run — the memory-pressure column. Bounded by
+    /// O(`checkpoint_interval` × m) with §III-D checkpointing; the
+    /// `long-horizon` preset gates it in CI via `rcc-bench --max-retained`.
+    pub peak_retained_log: u64,
     /// The run's event-trace fingerprint (equal ⇒ identical run).
     pub trace_fingerprint: u64,
 }
@@ -285,7 +304,10 @@ pub fn run_spec(spec: &ExperimentSpec, phases: &Phases) -> RunResult {
     }
     let config = SimConfig::new(spec.system(), spec.network.model(), phases.total())
         .with_measure_window(phases.measure_start(), phases.measure_end())
-        .with_faults(spec.fault.script(spec.n, phases.measure_start()));
+        .with_faults(
+            spec.fault
+                .script(spec.n, phases.measure_start(), phases.measure),
+        );
     let report: SimReport = match spec.protocol {
         ProtocolKind::RccPbft => simulate_rcc_over_pbft(config),
         ProtocolKind::Pbft => simulate_pbft(config),
@@ -304,6 +326,7 @@ pub fn run_spec(spec: &ExperimentSpec, phases: &Phases) -> RunResult {
         suspicions: report.suspicions,
         view_changes: report.view_changes,
         client_handoffs: report.client_handoffs,
+        peak_retained_log: report.peak_retained_log,
         trace_fingerprint: report.trace_fingerprint,
         spec,
     }
@@ -362,13 +385,14 @@ impl CampaignResults {
         out.push_str(
             "protocol,network,fault,n,f,m,batch_size,crypto,seed,throughput_tps,tail_tps,\
              latency_mean_ms,latency_p50_ms,latency_p99_ms,committed_txns,committed_batches,\
-             messages,bytes,events,suspicions,view_changes,handoffs,trace_fingerprint\n",
+             messages,bytes,events,suspicions,view_changes,handoffs,peak_retained,\
+             trace_fingerprint\n",
         );
         for row in &self.rows {
             let s = &row.spec;
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{:016x}",
+                "{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{:016x}",
                 s.protocol.name(),
                 s.network.name(),
                 s.fault.name(),
@@ -391,6 +415,7 @@ impl CampaignResults {
                 row.suspicions,
                 row.view_changes,
                 row.client_handoffs,
+                row.peak_retained_log,
                 row.trace_fingerprint,
             );
         }
@@ -402,14 +427,14 @@ impl CampaignResults {
         let mut out = String::new();
         let _ = writeln!(out, "### Campaign `{}`\n", self.name);
         out.push_str(
-            "| protocol | network | fault | n | m | batch | crypto | throughput (txn/s) | tail (txn/s) | p50 (ms) | p99 (ms) | view changes | hand-offs |\n\
-             |---|---|---|---:|---:|---:|---|---:|---:|---:|---:|---:|---:|\n",
+            "| protocol | network | fault | n | m | batch | crypto | throughput (txn/s) | tail (txn/s) | p50 (ms) | p99 (ms) | view changes | hand-offs | peak log |\n\
+             |---|---|---|---:|---:|---:|---|---:|---:|---:|---:|---:|---:|---:|\n",
         );
         for row in &self.rows {
             let s = &row.spec;
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.1} | {:.1} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.1} | {:.1} | {} | {} | {} |",
                 s.protocol.name(),
                 s.network.name(),
                 s.fault.name(),
@@ -423,6 +448,7 @@ impl CampaignResults {
                 row.latency_p99_ms,
                 row.view_changes,
                 row.client_handoffs,
+                row.peak_retained_log,
             );
         }
         out
@@ -605,6 +631,42 @@ pub fn recovery_campaign(seed: u64) -> Campaign {
     }
 }
 
+/// The long-horizon campaign: §III-D checkpointing/GC made measurable. RCC
+/// n = 4, m = 4 (WAN, MACs) over a **60 s** measurement window — ~40× the
+/// `recovery` preset, a horizon that was documented as unusable before
+/// checkpointing landed ("keep horizons in the seconds") — with a
+/// failure-free row and a crash-*and-recovery* row: the crashed coordinator
+/// rejoins 20 s in, long after the survivors pruned its missing rounds, and
+/// must catch up through a checkpoint transfer. Read `peak_retained` against
+/// `committed_batches`: bounded by O(`checkpoint_interval` × m) versus
+/// hundreds of thousands of batches committed. CI gates both directions:
+/// `--floor` on the tail throughput (the recovered steady state must match
+/// the short `recovery` preset) and `--max-retained` on the memory column.
+pub fn long_horizon_campaign(seed: u64) -> Campaign {
+    let specs = [FaultScenario::None, FaultScenario::CrashRecoverReplica]
+        .into_iter()
+        .map(|fault| ExperimentSpec {
+            protocol: ProtocolKind::RccPbft,
+            network: NetworkKind::Wan,
+            fault,
+            n: 4,
+            m: 4,
+            batch_size: 100,
+            crypto: CryptoMode::Mac,
+            seed,
+        })
+        .collect();
+    Campaign {
+        name: "long-horizon".into(),
+        specs,
+        phases: Phases {
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(60),
+            cooldown: Duration::from_millis(500),
+        },
+    }
+}
+
 /// Looks a campaign preset up by name.
 pub fn campaign_by_name(name: &str, seed: u64) -> Option<Campaign> {
     match name {
@@ -614,12 +676,21 @@ pub fn campaign_by_name(name: &str, seed: u64) -> Option<Campaign> {
         "fig8" => Some(fig8_campaign(seed)),
         "faults" => Some(faults_campaign(seed)),
         "recovery" => Some(recovery_campaign(seed)),
+        "long-horizon" => Some(long_horizon_campaign(seed)),
         _ => None,
     }
 }
 
 /// The names accepted by [`campaign_by_name`].
-pub const CAMPAIGN_NAMES: [&str; 6] = ["smoke", "fig7", "fig7-auth", "fig8", "faults", "recovery"];
+pub const CAMPAIGN_NAMES: [&str; 7] = [
+    "smoke",
+    "fig7",
+    "fig7-auth",
+    "fig8",
+    "faults",
+    "recovery",
+    "long-horizon",
+];
 
 #[cfg(test)]
 mod tests {

@@ -6,8 +6,8 @@
 //! printed to stdout; progress goes to stderr so stdout stays deterministic.
 //!
 //! ```text
-//! rcc-bench [--preset smoke|fig7|fig7-auth|fig8|faults|recovery] [--seed N]
-//!           [--out DIR] [--floor TPS] [--quiet]
+//! rcc-bench [--preset smoke|fig7|fig7-auth|fig8|faults|recovery|long-horizon]
+//!           [--seed N] [--out DIR] [--floor TPS] [--max-retained N] [--quiet]
 //! ```
 //!
 //! `--floor TPS` turns the run into a regression gate: the process exits
@@ -16,6 +16,12 @@
 //! fault runs) falls below the floor. CI runs the `recovery` preset this
 //! way so a regression in client reassignment (Section III-E) fails the
 //! build instead of silently shipping a post-crash throughput collapse.
+//!
+//! `--max-retained N` is the memory-side gate: exit non-zero when any row's
+//! peak retained per-slot log (`peak_retained`) exceeds `N` entries. CI runs
+//! the `long-horizon` preset this way so a regression in §III-D
+//! checkpointing/garbage collection — logs quietly growing with the horizon
+//! again — fails the build.
 //!
 //! See `docs/EVALUATION.md` for what each campaign measures and how the
 //! output columns map back to the paper's figures.
@@ -29,15 +35,18 @@ struct Args {
     seed: u64,
     out: PathBuf,
     floor: Option<f64>,
+    max_retained: Option<u64>,
     quiet: bool,
 }
 
 fn usage() -> String {
     format!(
-        "usage: rcc-bench [--preset NAME] [--seed N] [--out DIR] [--floor TPS] [--quiet]\n\
+        "usage: rcc-bench [--preset NAME] [--seed N] [--out DIR] [--floor TPS] \
+         [--max-retained N] [--quiet]\n\
          presets: {}\n\
          defaults: --preset smoke --seed {} --out bench-results\n\
-         --floor TPS: exit non-zero when any row's tail-window throughput falls below TPS",
+         --floor TPS: exit non-zero when any row's tail-window throughput falls below TPS\n\
+         --max-retained N: exit non-zero when any row's peak retained log exceeds N entries",
         CAMPAIGN_NAMES.join(", "),
         rcc_common::config::DEFAULT_SEED,
     )
@@ -55,6 +64,7 @@ fn parse_args() -> Result<Cli, String> {
         seed: rcc_common::config::DEFAULT_SEED,
         out: PathBuf::from("bench-results"),
         floor: None,
+        max_retained: None,
         quiet: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -73,6 +83,13 @@ fn parse_args() -> Result<Cli, String> {
             "--floor" => {
                 let v = iter.next().ok_or("--floor needs a value")?;
                 args.floor = Some(v.parse().map_err(|_| format!("invalid floor: {v}"))?);
+            }
+            "--max-retained" => {
+                let v = iter.next().ok_or("--max-retained needs a value")?;
+                args.max_retained = Some(
+                    v.parse()
+                        .map_err(|_| format!("invalid max-retained: {v}"))?,
+                );
             }
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Cli::Help),
@@ -151,6 +168,25 @@ fn main() -> ExitCode {
                     row.spec.network.name(),
                     row.spec.fault.name(),
                     row.tail_tps,
+                );
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(cap) = args.max_retained {
+        let mut failed = false;
+        for row in &results.rows {
+            if row.peak_retained_log > cap {
+                failed = true;
+                eprintln!(
+                    "error: peak retained log above the cap: {} {} fault={} \
+                     peak_retained={} > {cap} (checkpointing/GC regressed?)",
+                    row.spec.protocol.name(),
+                    row.spec.network.name(),
+                    row.spec.fault.name(),
+                    row.peak_retained_log,
                 );
             }
         }

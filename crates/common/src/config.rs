@@ -92,9 +92,21 @@ pub struct SystemConfig {
     /// detection, Section IV) and client reassignment hand-offs are spaced
     /// `σ` rounds apart (Section III-E).
     pub sigma: u64,
-    /// Rounds between periodic checkpoints of the baselines; RCC additionally
-    /// performs dynamic per-need checkpoints.
+    /// Rounds between periodic checkpoints: replicas snapshot their executed
+    /// state at every multiple of this interval, exchange checkpoint votes,
+    /// and garbage-collect all per-slot state below the highest checkpoint
+    /// with `f + 1` matching votes (Section III-D). RCC additionally
+    /// performs dynamic per-need checkpoints when `nf − f` failure claims
+    /// arrive for rounds a replica has already finished. `0` disables
+    /// checkpointing (logs then grow without bound — testing only).
     pub checkpoint_interval: u64,
+    /// Enables the Section IV unpredictable cross-instance execution order:
+    /// within a released round, batches are permuted by
+    /// `h = digest(S) mod (m! − 1)` over the round's certified digests
+    /// instead of instance-id order, so no coordinator can predict its
+    /// batch's position before the round is fixed. Off by default to keep
+    /// the deterministic instance-id order of existing fingerprints.
+    pub unpredictable_ordering: bool,
     /// Timeout after which a replica that has not observed progress from a
     /// primary detects its failure.
     pub failure_detection_timeout: Duration,
@@ -132,6 +144,7 @@ impl SystemConfig {
             instances: n,
             sigma: 16,
             checkpoint_interval: 64,
+            unpredictable_ordering: false,
             failure_detection_timeout: Duration::from_millis(500),
             recovery_leader_timeout: Duration::from_millis(500),
             failure_rebroadcast_base: Duration::from_millis(100),
@@ -218,6 +231,20 @@ impl SystemConfig {
     /// Sets the message authentication mode (builder style).
     pub fn with_crypto(mut self, crypto: CryptoMode) -> Self {
         self.crypto = crypto;
+        self
+    }
+
+    /// Sets the periodic checkpoint interval in rounds (builder style);
+    /// `0` disables checkpointing and garbage collection.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Enables the Section IV unpredictable cross-instance execution order
+    /// (builder style).
+    pub fn with_unpredictable_ordering(mut self, on: bool) -> Self {
+        self.unpredictable_ordering = on;
         self
     }
 

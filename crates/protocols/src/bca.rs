@@ -218,6 +218,53 @@ pub trait ByzantineCommitAlgorithm {
     /// lagging instance's primary must still propose.
     fn next_proposal_round(&self) -> Round;
 
+    /// The round below which this state machine has discarded (garbage-
+    /// collected) its per-slot state — the low watermark of its latest stable
+    /// checkpoint (Section III-D). Rounds below it can no longer be served or
+    /// re-processed; requests for them must be answered from a checkpoint
+    /// instead. Protocols without checkpointing report 0.
+    fn stable_round(&self) -> Round {
+        0
+    }
+
+    /// Notification that a checkpoint covering every round below `round`
+    /// became stable: the protocol must discard its per-slot state below
+    /// `round` and may treat those rounds as finally agreed (the PBFT low
+    /// watermark moves up). The default is a no-op for protocols without
+    /// per-slot state to prune; implementations must be idempotent and
+    /// ignore rounds at or below their current [`stable_round`].
+    ///
+    /// [`stable_round`]: ByzantineCommitAlgorithm::stable_round
+    fn truncate_below(&mut self, _round: Round) {}
+
+    /// Ingests a peer's checkpoint vote: `from` claims that its state after
+    /// executing every round below `round` digests to `digest` (Section
+    /// III-D). Embeddings that exchange checkpoint votes out of band feed
+    /// them in here; `f + 1` matching digests make the checkpoint stable and
+    /// trigger [`truncate_below`]. Protocols that do not checkpoint ignore
+    /// the vote.
+    ///
+    /// [`truncate_below`]: ByzantineCommitAlgorithm::truncate_below
+    fn on_checkpoint_vote(
+        &mut self,
+        _now: Time,
+        _from: ReplicaId,
+        _round: Round,
+        _digest: Digest,
+    ) -> Vec<Action<Self::Message>> {
+        Vec::new()
+    }
+
+    /// Number of per-slot log entries this state machine currently retains
+    /// (consensus slots, buffered commits, retained execution history,
+    /// outstanding sync votes). The simulator samples this after every event
+    /// to report peak memory pressure; checkpoint-based garbage collection is
+    /// what keeps it bounded over long horizons. The default reports 0 (no
+    /// retained log).
+    fn retained_log_entries(&self) -> u64 {
+        0
+    }
+
     /// Notification from the embedding layer that this instance has fallen
     /// more than the lag bound `σ` behind the other instances of an RCC
     /// deployment (the throttling/lagging detection of Sections III-E and IV

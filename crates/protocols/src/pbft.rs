@@ -148,11 +148,26 @@ pub struct Pbft {
     next_proposal_round: Round,
     committed_prefix: Round,
     slots: BTreeMap<Round, Slot>,
+    /// The low watermark: every round below it is covered by a stable
+    /// checkpoint and its per-slot state has been discarded
+    /// ([`ByzantineCommitAlgorithm::truncate_below`]). Consensus messages
+    /// for rounds below the watermark are ignored — re-creating a pruned
+    /// slot would re-vote on state that is already final.
+    stable_round: Round,
     in_view_change: bool,
     view_change_votes: BTreeMap<View, BTreeMap<ReplicaId, ViewChangeVote>>,
     entered_new_view: BTreeMap<View, bool>,
     next_timer: u64,
     progress_timer: Option<(TimerId, Round)>,
+    /// The view-change abort/retry timer: armed when this replica starts a
+    /// view change, carrying the view it is trying to reach. If it fires
+    /// while the view change is still incomplete — nobody else joined — the
+    /// replica *aborts* the attempt (clearing `in_view_change`, which
+    /// otherwise suppresses proposals and the RCC lag escalation forever)
+    /// and re-broadcasts its vote so peers whose copy was lost can still
+    /// accumulate evidence. Retries back off exponentially.
+    view_change_timer: Option<(TimerId, View)>,
+    view_change_attempts: u32,
     /// Slots committed under the *current* view — the demonstrated progress
     /// of the current primary, reset on every view change. Reported via
     /// [`ByzantineCommitAlgorithm::instance_statuses`] for the Section III-E
@@ -187,11 +202,14 @@ impl Pbft {
             next_proposal_round: 0,
             committed_prefix: 0,
             slots: BTreeMap::new(),
+            stable_round: 0,
             in_view_change: false,
             view_change_votes: BTreeMap::new(),
             entered_new_view: BTreeMap::new(),
             next_timer: 0,
             progress_timer: None,
+            view_change_timer: None,
+            view_change_attempts: 0,
             committed_in_view: 0,
             early_messages: Vec::new(),
             suppress_view_changes: false,
@@ -429,7 +447,24 @@ impl Pbft {
             .or_default()
             .insert(self.replica, (self.committed_prefix, prepared));
         actions.push(Action::Broadcast { message });
-        let _ = now;
+        // Arm the abort/retry timer: if the view change does not complete
+        // before it fires — this replica voted alone and nobody joined — the
+        // attempt is abandoned instead of wedging the replica in
+        // `in_view_change` forever. Exponential back-off keeps a persistently
+        // lonely voter from spamming.
+        if let Some((timer, _)) = self.view_change_timer.take() {
+            actions.push(Action::CancelTimer { timer });
+        }
+        let timer = self.alloc_timer();
+        let backoff = self
+            .config
+            .recovery_leader_timeout
+            .saturating_mul(1u64 << self.view_change_attempts.min(6));
+        self.view_change_timer = Some((timer, new_view));
+        actions.push(Action::SetTimer {
+            timer,
+            fires_at: now + backoff,
+        });
     }
 
     fn maybe_enter_new_view(&mut self, now: Time, actions: &mut Vec<Action<PbftMessage>>) {
@@ -481,6 +516,16 @@ impl Pbft {
         self.view = view;
         self.in_view_change = false;
         self.committed_in_view = 0;
+        // The view change completed: the abort/retry machinery resets, and
+        // vote bookkeeping for views at or below the one just entered is
+        // garbage — prune it so the maps stay bounded by the views still
+        // reachable instead of growing with the instance's lifetime.
+        self.view_change_attempts = 0;
+        if let Some((timer, _)) = self.view_change_timer.take() {
+            actions.push(Action::CancelTimer { timer });
+        }
+        self.view_change_votes = self.view_change_votes.split_off(&(view + 1));
+        self.entered_new_view = self.entered_new_view.split_off(&view);
         actions.push(Action::ViewChanged {
             view,
             new_primary: self.primary_of(view),
@@ -496,6 +541,11 @@ impl Pbft {
         // Apply the re-proposals.
         let mut reproposals: Vec<Round> = Vec::with_capacity(preprepares.len());
         for (round, digest, batch) in preprepares {
+            if round < self.stable_round {
+                // The round is behind the stable checkpoint: already final
+                // everywhere, nothing to re-propose.
+                continue;
+            }
             if let Some(slot) = self.slots.get(&round) {
                 if slot.committed {
                     if slot.digest == Some(digest) {
@@ -647,6 +697,36 @@ impl ByzantineCommitAlgorithm for Pbft {
         self.next_proposal_round
     }
 
+    fn stable_round(&self) -> Round {
+        self.stable_round
+    }
+
+    fn truncate_below(&mut self, round: Round) {
+        if round <= self.stable_round {
+            return;
+        }
+        self.stable_round = round;
+        // A stable checkpoint at `round` certifies the whole deployment's
+        // state below it — including slots this instance never committed
+        // locally (the embedding adopted them via state sync). The low
+        // watermark therefore moves the committed prefix up too: those
+        // rounds are final, this instance will never vote on them again.
+        self.committed_prefix = self.committed_prefix.max(round);
+        self.next_proposal_round = self.next_proposal_round.max(round);
+        self.slots = self.slots.split_off(&round);
+        self.advance_committed_prefix();
+    }
+
+    fn retained_log_entries(&self) -> u64 {
+        self.slots.len() as u64
+            + self.early_messages.len() as u64
+            + self
+                .view_change_votes
+                .values()
+                .map(|votes| votes.len() as u64)
+                .sum::<u64>()
+    }
+
     fn on_lag_detected(&mut self, now: Time) -> Vec<Action<PbftMessage>> {
         let mut actions = vec![Action::SuspectPrimary {
             primary: self.primary(),
@@ -704,6 +784,11 @@ impl ByzantineCommitAlgorithm for Pbft {
                 digest,
                 batch,
             } => {
+                // Rounds below the stable checkpoint are final and their
+                // slots pruned; re-creating one would re-vote settled state.
+                if round < self.stable_round {
+                    return actions;
+                }
                 if self.is_early(view) {
                     self.buffer_early(
                         from,
@@ -783,6 +868,9 @@ impl ByzantineCommitAlgorithm for Pbft {
                 round,
                 digest,
             } => {
+                if round < self.stable_round {
+                    return actions;
+                }
                 if self.is_early(view) {
                     self.buffer_early(
                         from,
@@ -806,6 +894,9 @@ impl ByzantineCommitAlgorithm for Pbft {
                 round,
                 digest,
             } => {
+                if round < self.stable_round {
+                    return actions;
+                }
                 if self.is_early(view) {
                     self.buffer_early(
                         from,
@@ -830,6 +921,14 @@ impl ByzantineCommitAlgorithm for Pbft {
                 prepared,
             } => {
                 if self.suppress_view_changes || new_view <= self.view {
+                    return actions;
+                }
+                // Bound the vote bookkeeping the same way early messages are
+                // bounded: views more than two ahead cannot become current
+                // before an `enter_view` prunes them, and without the bound a
+                // Byzantine peer could grow `view_change_votes` one entry per
+                // forged view number.
+                if !self.bufferable(new_view) {
                     return actions;
                 }
                 self.view_change_votes
@@ -919,6 +1018,36 @@ impl ByzantineCommitAlgorithm for Pbft {
 
     fn on_timeout(&mut self, now: Time, timer: TimerId) -> Vec<Action<PbftMessage>> {
         let mut actions = Vec::new();
+        if let Some((armed, target_view)) = self.view_change_timer {
+            if armed == timer {
+                self.view_change_timer = None;
+                if self.in_view_change && self.view < target_view {
+                    // The view change never completed — this replica's vote
+                    // found no quorum. Abort the attempt so proposals and the
+                    // RCC lag escalation resume (staying `in_view_change`
+                    // forever suppresses both), and retry by re-broadcasting
+                    // the vote: the original may simply have been lost.
+                    self.in_view_change = false;
+                    self.view_change_attempts += 1;
+                    if let Some((committed_prefix, prepared)) = self
+                        .view_change_votes
+                        .get(&target_view)
+                        .and_then(|votes| votes.get(&self.replica))
+                        .cloned()
+                    {
+                        actions.push(Action::Broadcast {
+                            message: PbftMessage::ViewChange {
+                                new_view: target_view,
+                                committed_prefix,
+                                prepared,
+                            },
+                        });
+                    }
+                    self.rearm_progress_timer(now, &mut actions);
+                }
+                return actions;
+            }
+        }
         let Some((armed, watched_prefix)) = self.progress_timer else {
             return actions;
         };
@@ -949,6 +1078,7 @@ impl ByzantineCommitAlgorithm for Pbft {
 mod tests {
     use super::*;
     use crate::harness::Cluster;
+    use rcc_common::Duration;
 
     fn config(n: usize) -> SystemConfig {
         SystemConfig::new(n)
@@ -1233,6 +1363,116 @@ mod tests {
             ReplicaId(0),
             "coordinator never rotates inside RCC"
         );
+    }
+
+    #[test]
+    fn a_view_change_nobody_joins_aborts_and_retries() {
+        let cfg = config(4);
+        let mut replica = Pbft::standalone(cfg, ReplicaId(1));
+        let t0 = Time::from_millis(1);
+        let actions = replica.on_lag_detected(t0);
+        assert!(replica.in_view_change(), "a lone vote starts a view change");
+        let (timer, fires_at) = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { timer, fires_at } => Some((*timer, *fires_at)),
+                _ => None,
+            })
+            .expect("the abort/retry timer is armed");
+        // Nobody joins. Firing the timer abandons the attempt — previously
+        // the replica stayed `in_view_change` forever, refusing proposals
+        // and suppressing the RCC lag escalation — and re-broadcasts the
+        // vote in case the original was lost.
+        let actions = replica.on_timeout(fires_at, timer);
+        assert!(!replica.in_view_change(), "the abort clears the wedge");
+        assert_eq!(replica.view(), 0, "no quorum, no view change");
+        assert!(
+            actions.iter().any(|a| matches!(
+                a,
+                Action::Broadcast {
+                    message: PbftMessage::ViewChange { new_view: 1, .. }
+                }
+            )),
+            "the vote is retried"
+        );
+        // A later escalation starts a fresh attempt with a backed-off abort
+        // deadline.
+        let t1 = fires_at + Duration::from_millis(1);
+        let actions = replica.on_lag_detected(t1);
+        assert!(replica.in_view_change());
+        let (_, refires_at) = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::SetTimer { timer, fires_at } => Some((*timer, *fires_at)),
+                _ => None,
+            })
+            .expect("a fresh abort timer");
+        assert!(
+            refires_at.saturating_since(t1) > fires_at.saturating_since(t0),
+            "retries back off exponentially"
+        );
+    }
+
+    #[test]
+    fn completed_view_changes_cancel_the_abort_timer() {
+        // Replay the progress-timeout view change of the cluster test and
+        // check no abort timer stays armed once the new view is entered —
+        // firing one later must not abort a *completed* view change.
+        let mut cluster = cluster(4);
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(2), true);
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(3), true);
+        cluster.propose(ReplicaId(0), batch(1));
+        cluster.run_to_quiescence();
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(2), false);
+        cluster.set_drop_link(ReplicaId(0), ReplicaId(3), false);
+        cluster.fire_all_timers();
+        for r in 1..4 {
+            assert_eq!(cluster.node(ReplicaId(r)).view(), 1, "replica {r}");
+            assert!(!cluster.node(ReplicaId(r)).in_view_change());
+        }
+        // Any timer still armed fires as a no-op: views stay put.
+        cluster.fire_all_timers();
+        for r in 1..4 {
+            assert_eq!(cluster.node(ReplicaId(r)).view(), 1, "replica {r}");
+            assert!(!cluster.node(ReplicaId(r)).in_view_change());
+        }
+    }
+
+    #[test]
+    fn truncate_below_prunes_slots_and_refuses_pruned_rounds() {
+        let mut cluster = cluster(4);
+        for i in 0..5 {
+            cluster.propose(ReplicaId(0), batch(i));
+        }
+        cluster.run_to_quiescence();
+        let node = cluster.node_mut(ReplicaId(1));
+        assert_eq!(node.retained_log_entries(), 5);
+        node.truncate_below(3);
+        assert_eq!(node.stable_round(), 3);
+        assert_eq!(node.retained_log_entries(), 2, "slots below 3 pruned");
+        assert_eq!(
+            node.committed_prefix(),
+            5,
+            "prefix unaffected above the cut"
+        );
+        // A consensus message for a pruned round is ignored — re-creating
+        // the slot would re-vote on checkpoint-certified state.
+        let b = batch(9);
+        let actions = node.on_message(
+            Time::ZERO,
+            ReplicaId(0),
+            PbftMessage::PrePrepare {
+                view: 0,
+                round: 1,
+                digest: digest_batch(&b),
+                batch: b,
+            },
+        );
+        assert!(actions.is_empty(), "pruned rounds draw no reaction");
+        assert_eq!(node.retained_log_entries(), 2);
+        // Truncation is idempotent and monotone.
+        node.truncate_below(2);
+        assert_eq!(node.stable_round(), 3);
     }
 
     #[test]

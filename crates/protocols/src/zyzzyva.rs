@@ -276,6 +276,10 @@ impl ByzantineCommitAlgorithm for Zyzzyva {
         self.next_proposal_round
     }
 
+    fn retained_log_entries(&self) -> u64 {
+        self.slots.len() as u64
+    }
+
     fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<ZyzzyvaMessage>> {
         let mut actions = Vec::new();
         if self.proposal_capacity() == 0 {

@@ -8,6 +8,7 @@
 
 use rcc_common::{Batch, Digest, InstanceId, Round, View};
 use rcc_protocols::bca::WireMessage;
+use rcc_storage::Checkpoint;
 use serde::{Deserialize, Serialize};
 
 /// A message exchanged between two RCC replicas.
@@ -45,6 +46,27 @@ pub enum RccMessage<M> {
         /// The view the slot committed in.
         view: View,
     },
+    /// A replica's vote for its checkpoint covering every round below
+    /// `round` (Section III-D): broadcast at every `checkpoint_interval`
+    /// boundary, and re-broadcast as a dynamic per-need checkpoint when
+    /// `nf − f` failure claims arrive. `f + 1` matching digests make the
+    /// checkpoint stable, after which all per-slot state below `round` is
+    /// garbage-collected.
+    CheckpointVote {
+        /// One past the last round covered by the checkpoint.
+        round: Round,
+        /// [`Checkpoint::digest`] of the sender's snapshot.
+        digest: Digest,
+    },
+    /// A stable checkpoint (snapshot digest + ledger head) served in
+    /// response to a [`RccMessage::SlotRequest`] for a round that has been
+    /// garbage-collected — the second state-sync path: the requester cannot
+    /// replay pruned slots, so it catches up by adopting the checkpoint once
+    /// `f + 1` distinct replicas transfer the same one.
+    CheckpointTransfer {
+        /// The sender's highest stable checkpoint.
+        checkpoint: Checkpoint,
+    },
 }
 
 impl<M: WireMessage> WireMessage for RccMessage<M> {
@@ -54,6 +76,11 @@ impl<M: WireMessage> WireMessage for RccMessage<M> {
             RccMessage::Instance { message, .. } => 8 + message.wire_size(),
             RccMessage::SlotRequest { .. } => 64,
             RccMessage::SlotReply { batch, .. } => 128 + batch.wire_size(),
+            // Round + 32-byte digest + framing.
+            RccMessage::CheckpointVote { .. } => 96,
+            // Round + ledger head + state fingerprints + framing; the
+            // snapshot itself is digests, not bulk state.
+            RccMessage::CheckpointTransfer { .. } => 192,
         }
     }
 
@@ -63,6 +90,7 @@ impl<M: WireMessage> WireMessage for RccMessage<M> {
             RccMessage::SlotRequest { .. } => false,
             // Slot replies carry a full batch payload.
             RccMessage::SlotReply { .. } => true,
+            RccMessage::CheckpointVote { .. } | RccMessage::CheckpointTransfer { .. } => false,
         }
     }
 
@@ -71,6 +99,7 @@ impl<M: WireMessage> WireMessage for RccMessage<M> {
             RccMessage::Instance { message, .. } => message.payload_transactions(),
             RccMessage::SlotRequest { .. } => 0,
             RccMessage::SlotReply { batch, .. } => batch.len(),
+            RccMessage::CheckpointVote { .. } | RccMessage::CheckpointTransfer { .. } => 0,
         }
     }
 }
@@ -123,5 +152,26 @@ mod tests {
         };
         assert!(reply.is_proposal());
         assert!(reply.wire_size() > 128);
+    }
+
+    #[test]
+    fn checkpoint_messages_are_small_metadata() {
+        let vote: RccMessage<Dummy> = RccMessage::CheckpointVote {
+            round: 64,
+            digest: Digest::ZERO,
+        };
+        assert!(!vote.is_proposal());
+        assert_eq!(vote.payload_transactions(), 0);
+        assert_eq!(vote.wire_size(), 96);
+        let transfer: RccMessage<Dummy> = RccMessage::CheckpointTransfer {
+            checkpoint: rcc_storage::Checkpoint {
+                round: 64,
+                ledger_head: Digest::ZERO,
+                table_fingerprint: 0,
+                accounts_fingerprint: 0,
+            },
+        };
+        assert!(!transfer.is_proposal());
+        assert_eq!(transfer.wire_size(), 192);
     }
 }

@@ -12,8 +12,21 @@
 //! first missing round trails the most advanced committed round across all
 //! instances. The replica layer compares this against the lag bound `σ` to
 //! drive failure handling (Sections III-E and IV).
+//!
+//! # Unpredictable cross-instance ordering (Section IV)
+//!
+//! With the default instance-id order, an adversary that controls one
+//! coordinator knows *in advance* where its batch will land inside every
+//! round and can front-run the other instances' transactions (Example IV.1).
+//! With [`ExecutionOrderer::with_unpredictable_ordering`] enabled, the
+//! within-round order is instead the `h`-th permutation of the `m` batches,
+//! where `h = digest(S) mod (m! − 1)` and `S` is the sequence of the round's
+//! certified batch digests — a value no coordinator can predict before the
+//! whole round is fixed, yet every replica computes identically.
 
+use rcc_common::rng::SplitMix64;
 use rcc_common::{Batch, BatchId, Digest, InstanceId, Round, View};
+use rcc_crypto::hash::digest_sequence;
 
 /// A batch accepted by one instance in one round, as buffered and released by
 /// the orderer.
@@ -50,6 +63,13 @@ pub struct ExecutionOrderer {
     pending:
         std::collections::BTreeMap<Round, std::collections::BTreeMap<InstanceId, OrderedBatch>>,
     max_committed: Option<Round>,
+    /// Running count of buffered slots across `pending` (kept so
+    /// [`ExecutionOrderer::pending_entries`] is O(1) — it is sampled after
+    /// every simulation event).
+    pending_count: u64,
+    /// When set, released rounds use the Section IV unpredictable
+    /// permutation instead of instance-id order.
+    unpredictable: bool,
 }
 
 impl ExecutionOrderer {
@@ -61,7 +81,22 @@ impl ExecutionOrderer {
             next_round: 0,
             pending: std::collections::BTreeMap::new(),
             max_committed: None,
+            pending_count: 0,
+            unpredictable: false,
         }
+    }
+
+    /// Enables (or disables) the Section IV unpredictable within-round
+    /// permutation (builder style). Off by default: instance-id order keeps
+    /// existing fingerprints and examples deterministic in the obvious way.
+    pub fn with_unpredictable_ordering(mut self, on: bool) -> Self {
+        self.unpredictable = on;
+        self
+    }
+
+    /// `true` when released rounds are permuted per Section IV.
+    pub fn unpredictable_ordering(&self) -> bool {
+        self.unpredictable
     }
 
     /// Number of concurrent instances.
@@ -95,6 +130,7 @@ impl ExecutionOrderer {
             return false;
         }
         per_round.insert(slot.id.instance, slot);
+        self.pending_count += 1;
         self.max_committed = Some(self.max_committed.map_or(round, |m| m.max(round)));
         true
     }
@@ -114,14 +150,44 @@ impl ExecutionOrderer {
                 .pending
                 .remove(&self.next_round)
                 .expect("checked above");
+            self.pending_count -= per_round.len() as u64;
             // BTreeMap iteration yields instance-id order.
+            let mut batches: Vec<OrderedBatch> = per_round.into_values().collect();
+            if self.unpredictable {
+                permute_round(&mut batches);
+            }
             released.push(ReleasedRound {
                 round: self.next_round,
-                batches: per_round.into_values().collect(),
+                batches,
             });
             self.next_round += 1;
         }
         released
+    }
+
+    /// Fast-forwards the release frontier to `round` on the strength of an
+    /// adopted stable checkpoint: every round below it is covered by the
+    /// checkpoint's certified state, so buffered commits below it are
+    /// dropped and will never be released locally. No-op when `round` is not
+    /// ahead of the frontier.
+    pub fn fast_forward(&mut self, round: Round) {
+        if round <= self.next_round {
+            return;
+        }
+        self.next_round = round;
+        self.pending = self.pending.split_off(&round);
+        self.pending_count = self.pending.values().map(|r| r.len() as u64).sum();
+        // The checkpoint proves the deployment committed everything below
+        // `round`; reflect that in the frontier so lag accounting does not
+        // restart from scratch.
+        let covered = round - 1;
+        self.max_committed = Some(self.max_committed.map_or(covered, |m| m.max(covered)));
+    }
+
+    /// Total buffered (recorded but not yet released) slots across all
+    /// rounds — the orderer's contribution to the replica's retained log.
+    pub fn pending_entries(&self) -> u64 {
+        self.pending_count
     }
 
     /// The first round at or above the release frontier for which `instance`
@@ -158,6 +224,76 @@ impl ExecutionOrderer {
             .map(|r| r.contains_key(&instance))
             .unwrap_or(false)
     }
+}
+
+/// Applies the Section IV unpredictable permutation to one round's batches
+/// (given in instance-id order).
+///
+/// The permutation index is `h = digest(S) mod (k! − 1)` — the paper's
+/// formula — over the sequence `S` of the round's certified batch digests,
+/// decoded as the `h`-th permutation in lexicographic (Lehmer) order. `h`
+/// depends on *every* instance's certified digest, so no single coordinator
+/// can predict its batch's position before the whole round is fixed, yet the
+/// result is a pure function of agreed values and identical on every
+/// replica. `k!` fits a `u128` up to `k = 34`; wider deployments fall back
+/// to a Fisher–Yates shuffle driven by a digest-seeded [`SplitMix64`] stream
+/// (the same agreed-input purity, without the factorial).
+fn permute_round(batches: &mut Vec<OrderedBatch>) {
+    let k = batches.len();
+    if k < 2 {
+        return;
+    }
+    let digests: Vec<Digest> = batches.iter().map(|b| b.digest).collect();
+    let seed = digest_sequence(&digests);
+    match factorial_u128(k) {
+        Some(fact) => {
+            // The paper's modulus is k! − 1, which merely makes the
+            // lexicographically-last permutation unreachable — except at
+            // k = 2, where it degenerates to 1 and would pin every round to
+            // the identity order, silently disabling the protection for
+            // two-instance deployments. Use the full k! there instead.
+            let modulus = if k == 2 { fact } else { fact - 1 };
+            let h = seed.as_u128() % modulus;
+            let order = lehmer_order(k, h);
+            let mut taken: Vec<Option<OrderedBatch>> = batches.drain(..).map(Some).collect();
+            batches.extend(
+                order
+                    .into_iter()
+                    .map(|i| taken[i].take().expect("each source index used once")),
+            );
+        }
+        None => {
+            let mut rng = SplitMix64::new(seed.as_u64());
+            for i in (1..k).rev() {
+                let j = rng.next_below(i as u64 + 1) as usize;
+                batches.swap(i, j);
+            }
+        }
+    }
+}
+
+/// `k!` when it fits a `u128` (`k ≤ 34`).
+fn factorial_u128(k: usize) -> Option<u128> {
+    let mut fact: u128 = 1;
+    for i in 2..=(k as u128) {
+        fact = fact.checked_mul(i)?;
+    }
+    Some(fact)
+}
+
+/// The `h`-th permutation of `0..k` in lexicographic order (Lehmer
+/// decoding): position by position, `h` selects which of the remaining
+/// source indices comes next.
+fn lehmer_order(k: usize, mut h: u128) -> Vec<usize> {
+    let mut remaining: Vec<usize> = (0..k).collect();
+    let mut order = Vec::with_capacity(k);
+    for placed in 0..k {
+        let fact = factorial_u128(k - 1 - placed).expect("k! fits, so (k-1)! does too");
+        let idx = ((h / fact) as usize).min(remaining.len() - 1);
+        h %= fact;
+        order.push(remaining.remove(idx));
+    }
+    order
 }
 
 #[cfg(test)]
@@ -247,6 +383,112 @@ mod tests {
         orderer.record(slot(1, 0, 9));
         orderer.release_ready();
         assert_eq!(orderer.lag(InstanceId(1)), 4);
+    }
+
+    #[test]
+    fn fast_forward_skips_to_the_checkpoint_round() {
+        let mut orderer = ExecutionOrderer::new(2);
+        orderer.record(slot(0, 0, 1));
+        orderer.record(slot(0, 12, 2));
+        orderer.fast_forward(10);
+        assert_eq!(orderer.next_round(), 10);
+        assert!(
+            !orderer.has_pending(InstanceId(0), 0),
+            "buffered commits below the checkpoint are dropped"
+        );
+        assert!(orderer.has_pending(InstanceId(0), 12), "later ones survive");
+        assert_eq!(orderer.max_committed_round(), Some(12));
+        assert_eq!(
+            orderer.lag(InstanceId(1)),
+            3,
+            "lag restarts at the frontier"
+        );
+        // Not ahead of the frontier: a no-op.
+        orderer.fast_forward(5);
+        assert_eq!(orderer.next_round(), 10);
+    }
+
+    #[test]
+    fn pending_entries_counts_buffered_slots() {
+        let mut orderer = ExecutionOrderer::new(2);
+        assert_eq!(orderer.pending_entries(), 0);
+        orderer.record(slot(0, 0, 1));
+        orderer.record(slot(0, 1, 2));
+        orderer.record(slot(1, 0, 3));
+        assert_eq!(orderer.pending_entries(), 3);
+        orderer.release_ready();
+        assert_eq!(orderer.pending_entries(), 1);
+    }
+
+    #[test]
+    fn lehmer_orders_are_permutations_in_lexicographic_order() {
+        assert_eq!(lehmer_order(3, 0), vec![0, 1, 2]);
+        assert_eq!(lehmer_order(3, 1), vec![0, 2, 1]);
+        assert_eq!(lehmer_order(3, 5), vec![2, 1, 0]);
+        for h in 0..24u128 {
+            let mut order = lehmer_order(4, h);
+            order.sort_unstable();
+            assert_eq!(order, vec![0, 1, 2, 3], "h = {h} is a permutation");
+        }
+    }
+
+    #[test]
+    fn two_instance_deployments_are_permuted_too() {
+        // The paper's `mod (k! − 1)` degenerates to modulus 1 at k = 2,
+        // which would pin every two-instance round to the identity order;
+        // the implementation must still reach both orders.
+        let mut orderer = ExecutionOrderer::new(2).with_unpredictable_ordering(true);
+        let mut swapped = 0;
+        for round in 0..32 {
+            for instance in 0..2 {
+                orderer.record(slot(instance, round, (round * 2 + instance as u64) as u8));
+            }
+            for released in orderer.release_ready() {
+                if released.batches[0].id.instance != InstanceId(0) {
+                    swapped += 1;
+                }
+            }
+        }
+        assert!(
+            swapped > 0,
+            "32 rounds of distinct digests must swap a two-instance round"
+        );
+    }
+
+    #[test]
+    fn unpredictable_ordering_permutes_identically_and_completely() {
+        let release_all = |unpredictable: bool| -> Vec<ReleasedRound> {
+            let mut orderer = ExecutionOrderer::new(4).with_unpredictable_ordering(unpredictable);
+            let mut out = Vec::new();
+            for round in 0..16 {
+                for instance in 0..4 {
+                    orderer.record(slot(instance, round, (round * 4 + instance as u64) as u8));
+                }
+                out.extend(orderer.release_ready());
+            }
+            out
+        };
+        let plain = release_all(false);
+        let a = release_all(true);
+        let b = release_all(true);
+        assert_eq!(a, b, "the permutation is a pure function of the digests");
+        let mut permuted_rounds = 0;
+        for (plain_round, permuted) in plain.iter().zip(a.iter()) {
+            // Same batches per round…
+            let mut x: Vec<_> = plain_round.batches.iter().map(|s| s.id).collect();
+            let mut y: Vec<_> = permuted.batches.iter().map(|s| s.id).collect();
+            if x != y {
+                permuted_rounds += 1;
+            }
+            x.sort_unstable();
+            y.sort_unstable();
+            assert_eq!(x, y, "round {} is a permutation", plain_round.round);
+        }
+        // …but not always in instance-id order.
+        assert!(
+            permuted_rounds > 0,
+            "16 rounds of distinct digests must hit a non-identity permutation"
+        );
     }
 
     #[test]

@@ -32,15 +32,37 @@
 //!    (dropped links) recovers it via `SlotRequest`/`SlotReply` state sync:
 //!    `f + 1` matching replies prove at least one non-faulty sender
 //!    (assumption A3).
+//!
+//! # Checkpointing and garbage collection (Section III-D)
+//!
+//! Without checkpoints every map above grows with the age of the run. The
+//! replica therefore snapshots its executed state at every
+//! [`rcc_common::SystemConfig::checkpoint_interval`] release boundary (the
+//! ledger-head digest chain over the released batches plus state
+//! fingerprints), broadcasts a [`RccMessage::CheckpointVote`], and collects
+//! peers' votes in a [`rcc_storage::CheckpointStore`]. Once `f + 1` distinct
+//! replicas vote the same digest the checkpoint is *stable* and everything
+//! below its round is pruned: the per-instance commit logs, the retained
+//! execution window, outstanding sync state, and — via
+//! [`ByzantineCommitAlgorithm::truncate_below`] — each instance BCA's slot
+//! map. Dynamic *per-need* checkpoints (vote re-broadcasts) fire when
+//! `nf − f` distinct replicas claim slots this replica already finished.
+//! State sync gains a second path: a `SlotRequest` for a *pruned* round
+//! (surfaced internally as [`rcc_common::Error::Pruned`]) is answered with a
+//! [`RccMessage::CheckpointTransfer`]; `f + 1` matching transfers let the
+//! laggard fast-forward its release frontier to the checkpoint instead of
+//! replaying every slot.
 
 use crate::message::RccMessage;
 use crate::orderer::{ExecutionOrderer, OrderedBatch, ReleasedRound};
 use rcc_common::{
-    Batch, BatchId, Digest, InstanceId, InstanceStatus, ReplicaId, Round, SystemConfig, Time, View,
+    Batch, BatchId, Digest, Error, InstanceId, InstanceStatus, ReplicaId, Result, Round,
+    SystemConfig, Time, View,
 };
-use rcc_crypto::hash::digest_batch;
+use rcc_crypto::hash::{digest_batch, digest_chain};
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, CommittedSlot, TimerId, WireMessage};
 use rcc_protocols::pbft::Pbft;
+use rcc_storage::{Checkpoint, CheckpointStore};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Convenience alias: RCC running `m` concurrent PBFT instances (the
@@ -104,13 +126,33 @@ pub struct RccReplica<P: ByzantineCommitAlgorithm> {
     instances: Vec<P>,
     orderer: ExecutionOrderer,
     /// Every slot this replica has seen commit, per instance, kept to serve
-    /// state-sync requests (pruning via checkpoints is future work).
+    /// state-sync requests. Pruned below [`RccReplica::stable_round`] once a
+    /// checkpoint stabilizes; requests for pruned slots are answered with a
+    /// checkpoint transfer instead.
     committed_log: Vec<BTreeMap<Round, OrderedBatch>>,
-    /// Fully released rounds in execution order (what an execution engine
-    /// consumes).
+    /// The retained window of fully released rounds in execution order (what
+    /// an execution engine consumes). Starts at the stable checkpoint round;
+    /// earlier rounds are summarized by [`RccReplica::ledger_head`].
     execution_log: Vec<ReleasedRound>,
-    /// Global execution sequence: number of batches released so far.
+    /// Global execution sequence: number of batches released so far
+    /// (including batches below the stable checkpoint).
     executed: u64,
+    /// Chained digest over every released batch in execution order — the
+    /// replica-level ledger head that checkpoints certify. Replicas with
+    /// equal release histories have equal heads.
+    ledger_head: Digest,
+    /// Checkpoint vote exchange and the highest stable checkpoint.
+    checkpoints: CheckpointStore,
+    /// The round below which all per-slot state has been garbage-collected
+    /// (0 until the first checkpoint stabilizes).
+    stable_round: Round,
+    /// The boundary of the most recent *local* checkpoint (one past its last
+    /// covered round; 0 before the first).
+    last_local_checkpoint: Round,
+    /// Replicas that requested a slot this replica had already released —
+    /// the Section III-D failure claims. `nf − f` distinct claimants trigger
+    /// a dynamic per-need checkpoint; cleared on every local checkpoint.
+    checkpoint_claims: BTreeSet<ReplicaId>,
     /// Lag-notification memo: the frontier round and time at which each
     /// instance was last notified, so notifications repeat only after σ
     /// further rounds of frontier progress *or* a further failure-detection
@@ -180,14 +222,21 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         config.validate().expect("invalid RCC configuration");
         let m = config.instances;
         let instances: Vec<P> = InstanceId::all(m).map(&mut factory).collect();
+        let orderer =
+            ExecutionOrderer::new(m).with_unpredictable_ordering(config.unpredictable_ordering);
         RccReplica {
-            config,
             replica,
             instances,
-            orderer: ExecutionOrderer::new(m),
+            orderer,
             committed_log: vec![BTreeMap::new(); m],
             execution_log: Vec::new(),
             executed: 0,
+            ledger_head: Digest::ZERO,
+            checkpoints: CheckpointStore::new(),
+            stable_round: 0,
+            last_local_checkpoint: 0,
+            checkpoint_claims: BTreeSet::new(),
+            config,
             lag_notified: vec![None; m],
             progress_in_view: vec![0; m],
             escalation_holdoff: vec![Time::ZERO; m],
@@ -215,20 +264,43 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         &self.instances[instance.index()]
     }
 
-    /// The rounds released for execution so far, in execution order. Each
-    /// entry carries the `m` batches of one round in instance-id order with
-    /// their full [`BatchId`]s — this is what an execution engine consumes.
+    /// The *retained* rounds released for execution, in execution order —
+    /// the window `[execution_window_start, next_round)`. Each entry carries
+    /// the `m` batches of one round in execution order with their full
+    /// [`BatchId`]s — this is what an execution engine consumes. Rounds
+    /// below the stable checkpoint have been garbage-collected and are
+    /// summarized by [`RccReplica::ledger_head`].
     pub fn execution_log(&self) -> &[ReleasedRound] {
         &self.execution_log
     }
 
-    /// Digest sequence of the execution order (convenient for comparing
-    /// replicas in tests and examples).
+    /// First released round still retained in [`RccReplica::execution_log`]
+    /// (the stable checkpoint round; 0 until one stabilizes). Two replicas'
+    /// logs are comparable only on the overlap of their windows.
+    pub fn execution_window_start(&self) -> Round {
+        self.stable_round
+    }
+
+    /// Digest sequence of the *retained* execution order (convenient for
+    /// comparing replicas in tests and examples — compare only on
+    /// overlapping windows once checkpoints have pruned).
     pub fn execution_digests(&self) -> Vec<Digest> {
         self.execution_log
             .iter()
             .flat_map(|round| round.batches.iter().map(|b| b.digest))
             .collect()
+    }
+
+    /// Chained digest over every released batch in execution order,
+    /// including pruned rounds — equal release histories have equal heads,
+    /// which is what checkpoint votes certify.
+    pub fn ledger_head(&self) -> Digest {
+        self.ledger_head
+    }
+
+    /// The highest stable (quorum-certified) checkpoint, if any.
+    pub fn stable_checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoints.stable()
     }
 
     /// The round-based orderer (read access, for tests and tooling).
@@ -249,12 +321,29 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         self.progress_in_view[instance.index()]
     }
 
-    /// Every slot this replica has seen commit for `instance`, by round —
-    /// what state-sync requests are served from. Exposed so tests and tools
-    /// can distinguish real batches from no-op filler per instance (e.g. to
-    /// verify a recovered instance carries client load again).
+    /// Every *retained* slot this replica has seen commit for `instance`, by
+    /// round — what state-sync requests are served from. Exposed so tests
+    /// and tools can distinguish real batches from no-op filler per instance
+    /// (e.g. to verify a recovered instance carries client load again).
+    /// Rounds below the stable checkpoint are pruned.
     pub fn instance_commit_log(&self, instance: InstanceId) -> &BTreeMap<Round, OrderedBatch> {
         &self.committed_log[instance.index()]
+    }
+
+    /// The committed slot of `instance` at `round`, for serving state sync:
+    /// [`Error::Pruned`] when the round is below the stable checkpoint (the
+    /// requester must adopt a checkpoint transfer instead),
+    /// [`Error::KeyNotFound`] when this replica never saw it commit.
+    pub fn committed_slot(&self, instance: InstanceId, round: Round) -> Result<&OrderedBatch> {
+        if round < self.stable_round {
+            return Err(Error::Pruned(format!(
+                "slot {instance}@{round} is below the stable checkpoint at round {}",
+                self.stable_round
+            )));
+        }
+        self.committed_log[instance.index()]
+            .get(&round)
+            .ok_or_else(|| Error::KeyNotFound(format!("slot {instance}@{round}")))
     }
 
     /// Encodes an instance timer, routing ids the tagged namespace cannot
@@ -360,6 +449,11 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         slot: CommittedSlot,
         out: &mut Vec<Action<RccMessage<P::Message>>>,
     ) {
+        // Slots below the stable checkpoint are final and pruned; re-adding
+        // them would regrow the logs GC just emptied.
+        if slot.round < self.stable_round {
+            return;
+        }
         let ordered = OrderedBatch {
             id: BatchId {
                 instance,
@@ -391,6 +485,7 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         self.sync_votes.remove(&(instance, slot.round));
         for released in self.orderer.release_ready() {
             for batch in &released.batches {
+                self.ledger_head = digest_chain(&self.ledger_head, &batch.digest);
                 out.push(Action::Commit(CommittedSlot {
                     round: self.executed,
                     digest: batch.digest,
@@ -400,8 +495,156 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
                 }));
                 self.executed += 1;
             }
+            let round = released.round;
             self.execution_log.push(released);
+            // Periodic checkpoint (Section III-D): snapshot at every
+            // interval boundary, inside the release loop so the ledger head
+            // is exactly the boundary's — a burst of releases must not skip
+            // past it.
+            let interval = self.config.checkpoint_interval;
+            if interval > 0 && (round + 1) % interval == 0 {
+                self.take_local_checkpoint(round + 1, out);
+            }
         }
+    }
+
+    /// Snapshots the executed state after every round below `boundary`,
+    /// records it locally, votes for it, and broadcasts the vote.
+    fn take_local_checkpoint(
+        &mut self,
+        boundary: Round,
+        out: &mut Vec<Action<RccMessage<P::Message>>>,
+    ) {
+        let checkpoint = Checkpoint {
+            round: boundary,
+            ledger_head: self.ledger_head,
+            table_fingerprint: self.executed,
+            accounts_fingerprint: self.ledger_head.as_u64(),
+        };
+        let digest = checkpoint.digest();
+        self.checkpoints.record_local(checkpoint);
+        self.checkpoints.add_vote(self.replica, boundary, digest);
+        self.last_local_checkpoint = boundary;
+        self.checkpoint_claims.clear();
+        out.push(Action::Broadcast {
+            message: RccMessage::CheckpointVote {
+                round: boundary,
+                digest,
+            },
+        });
+        // Peers' votes may already be waiting (they released the boundary
+        // first).
+        self.try_stabilize_at(boundary);
+    }
+
+    /// The dynamic per-need checkpoint of Section III-D: `nf − f` distinct
+    /// replicas claimed slots this replica already finished, so re-broadcast
+    /// the latest (not yet stable) local checkpoint's vote — the claimants
+    /// may have lost the original broadcasts, and stabilizing is what lets
+    /// them be served a checkpoint transfer instead of slot-by-slot replay.
+    fn per_need_checkpoint(&mut self, out: &mut Vec<Action<RccMessage<P::Message>>>) {
+        self.checkpoint_claims.clear();
+        let boundary = self.last_local_checkpoint;
+        if boundary <= self.checkpoints.stable_round() {
+            // Already stable: laggards are served transfers directly.
+            return;
+        }
+        if let Some(checkpoint) = self.checkpoints.local(boundary) {
+            let digest = checkpoint.digest();
+            out.push(Action::Broadcast {
+                message: RccMessage::CheckpointVote {
+                    round: boundary,
+                    digest,
+                },
+            });
+        }
+    }
+
+    /// Ingests a peer's checkpoint vote and stabilizes/prunes when it
+    /// completes an `f + 1` matching quorum for a locally held checkpoint.
+    fn ingest_checkpoint_vote(&mut self, from: ReplicaId, round: Round, digest: Digest) {
+        if from == self.replica {
+            return;
+        }
+        self.checkpoints.add_vote(from, round, digest);
+        self.try_stabilize_at(round);
+    }
+
+    /// Stabilizes the local checkpoint at `round` if its vote quorum is
+    /// complete, garbage-collecting everything below it.
+    fn try_stabilize_at(&mut self, round: Round) {
+        let Some(checkpoint) = self.checkpoints.local(round).cloned() else {
+            return;
+        };
+        if self
+            .checkpoints
+            .try_stabilize(&checkpoint, self.config.weak_quorum())
+        {
+            self.prune_below(round);
+        }
+    }
+
+    /// A peer answered a state-sync request for a pruned round with its
+    /// stable checkpoint. The transfer doubles as a vote; once `f + 1`
+    /// distinct replicas transfer the same checkpoint *ahead* of this
+    /// replica's release frontier, the frontier fast-forwards to it —
+    /// at least one transfer came from a non-faulty replica (assumption A3),
+    /// and the skipped rounds are certified by the checkpoint digest.
+    fn absorb_checkpoint_transfer(&mut self, from: ReplicaId, checkpoint: Checkpoint) {
+        if from == self.replica {
+            return;
+        }
+        let digest = checkpoint.digest();
+        let votes = self.checkpoints.add_vote(from, checkpoint.round, digest);
+        if checkpoint.round > self.orderer.next_round() && votes >= self.config.weak_quorum() {
+            self.adopt_checkpoint(checkpoint);
+        } else {
+            // Behind or not yet quorate: still useful as an ordinary vote.
+            self.try_stabilize_at(checkpoint.round);
+        }
+    }
+
+    /// Fast-forwards this replica to an adopted stable checkpoint: the
+    /// release frontier jumps to the checkpoint round, the ledger head and
+    /// execution sequence take the certified values, and everything below is
+    /// pruned. Slots between the checkpoint and the deployment frontier
+    /// still arrive through ordinary state sync.
+    fn adopt_checkpoint(&mut self, checkpoint: Checkpoint) {
+        let round = checkpoint.round;
+        if round <= self.orderer.next_round() {
+            return;
+        }
+        self.orderer.fast_forward(round);
+        self.executed = round * self.instances.len() as u64;
+        self.ledger_head = checkpoint.ledger_head;
+        self.last_local_checkpoint = self.last_local_checkpoint.max(round);
+        self.checkpoints.record_local(checkpoint.clone());
+        self.checkpoints
+            .try_stabilize(&checkpoint, self.config.weak_quorum());
+        self.prune_below(round);
+    }
+
+    /// Garbage-collects every per-slot structure below the stable round:
+    /// per-instance commit logs, the retained execution window, outstanding
+    /// sync state, and each instance BCA's slots (via
+    /// [`ByzantineCommitAlgorithm::truncate_below`]).
+    fn prune_below(&mut self, stable: Round) {
+        if stable <= self.stable_round {
+            return;
+        }
+        self.stable_round = stable;
+        for log in &mut self.committed_log {
+            *log = log.split_off(&stable);
+        }
+        for instance in &mut self.instances {
+            instance.truncate_below(stable);
+        }
+        self.sync_requested.retain(|&(_, round), _| round >= stable);
+        self.sync_votes.retain(|&(_, round), _| round >= stable);
+        let retained_from = self
+            .execution_log
+            .partition_point(|released| released.round < stable);
+        self.execution_log.drain(..retained_from);
     }
 
     /// Lag handling, run after every externally triggered event: instances
@@ -435,9 +678,20 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
             if self.orderer.lag(instance) < sigma {
                 continue;
             }
-            if self.instances[instance.index()].is_primary() {
+            let coordinated_here = self.instances[instance.index()].is_primary();
+            if coordinated_here {
                 self.catch_up_with_noops(instance, now, frontier, out);
-                continue;
+                // Do NOT skip state sync: a replica that believes it
+                // coordinates a lagging instance may be a *stale* primary —
+                // deposed by a view change it missed while crashed or
+                // partitioned away. Its catch-up proposals are stamped with
+                // the old view and rejected everywhere, so its own consensus
+                // can never fill the needed rounds; only state sync (slot
+                // replies, or a checkpoint transfer once the slots are
+                // pruned) unwedges the release frontier. For a *genuine*
+                // primary the fall-through is harmless: rounds nobody
+                // committed draw no replies, and rounds that did commit are
+                // exactly what it must adopt anyway.
             }
             // Stage 1: request the missing slot from peers. Escalating
             // straight to a view-change vote would wedge a perfectly healthy
@@ -477,6 +731,13 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
                     first_at
                 }
             };
+            // Escalation is only ever aimed at *another* replica's
+            // coordinatorship ([`ByzantineCommitAlgorithm::on_lag_detected`]
+            // is for non-primaries); an instance this replica coordinates —
+            // or believes it does — stops at state sync.
+            if coordinated_here {
+                continue;
+            }
             // Stage 2: the slot was requested at least σ frontier-rounds and
             // one failure-detection timeout ago and is still missing —
             // presume the coordinator faulty and let the instance's failure
@@ -569,7 +830,8 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         }
     }
 
-    /// Serves a state-sync request for a slot this replica saw commit.
+    /// Serves a state-sync request: a [`RccMessage::SlotReply`] for a
+    /// retained slot, a [`RccMessage::CheckpointTransfer`] for a pruned one.
     fn serve_slot_request(
         &mut self,
         from: ReplicaId,
@@ -580,17 +842,42 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         if instance.index() >= self.instances.len() {
             return;
         }
-        if let Some(slot) = self.committed_log[instance.index()].get(&round) {
-            out.push(Action::Send {
-                to: from,
-                message: RccMessage::SlotReply {
-                    instance,
-                    round,
-                    digest: slot.digest,
-                    batch: slot.batch.clone(),
-                    view: slot.view,
-                },
-            });
+        // Section III-D failure claims: a request for a slot this replica
+        // already released means the requester is stuck behind us; `nf − f`
+        // distinct claimants trigger a dynamic per-need checkpoint.
+        if round < self.orderer.next_round() {
+            self.checkpoint_claims.insert(from);
+            if self.checkpoint_claims.len() >= self.config.nf() - self.config.f {
+                self.per_need_checkpoint(out);
+            }
+        }
+        match self.committed_slot(instance, round) {
+            Ok(slot) => {
+                let (digest, batch, view) = (slot.digest, slot.batch.clone(), slot.view);
+                out.push(Action::Send {
+                    to: from,
+                    message: RccMessage::SlotReply {
+                        instance,
+                        round,
+                        digest,
+                        batch,
+                        view,
+                    },
+                });
+            }
+            Err(Error::Pruned(_)) => {
+                // The slot is gone; the requester must catch up from the
+                // stable checkpoint that covers it.
+                if let Some(stable) = self.checkpoints.stable() {
+                    out.push(Action::Send {
+                        to: from,
+                        message: RccMessage::CheckpointTransfer {
+                            checkpoint: stable.clone(),
+                        },
+                    });
+                }
+            }
+            Err(_) => {}
         }
     }
 
@@ -751,6 +1038,46 @@ impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
             .unwrap_or(0)
     }
 
+    fn stable_round(&self) -> Round {
+        self.stable_round
+    }
+
+    fn truncate_below(&mut self, round: Round) {
+        self.prune_below(round);
+    }
+
+    fn on_checkpoint_vote(
+        &mut self,
+        _now: Time,
+        from: ReplicaId,
+        round: Round,
+        digest: Digest,
+    ) -> Vec<Action<Self::Message>> {
+        // Out-of-band ingestion path; the in-band path is the
+        // `RccMessage::CheckpointVote` handler.
+        self.ingest_checkpoint_vote(from, round, digest);
+        Vec::new()
+    }
+
+    fn retained_log_entries(&self) -> u64 {
+        // Sampled after every simulation event: everything here must be
+        // cheap. `BTreeMap::len` is O(1), a released round always carries
+        // exactly `m` batches, and the orderer keeps a running count, so
+        // the whole sum is O(m) with no per-entry iteration.
+        let committed: u64 = self.committed_log.iter().map(|log| log.len() as u64).sum();
+        let execution = self.execution_log.len() as u64 * self.instances.len() as u64;
+        let instances: u64 = self
+            .instances
+            .iter()
+            .map(|instance| instance.retained_log_entries())
+            .sum();
+        committed
+            + execution
+            + instances
+            + self.orderer.pending_entries()
+            + self.sync_votes.len() as u64
+    }
+
     fn propose(&mut self, now: Time, batch: Batch) -> Vec<Action<Self::Message>> {
         let mut out = Vec::new();
         // Route the batch to this replica's *home* instance (instance id ==
@@ -827,6 +1154,12 @@ impl<P: ByzantineCommitAlgorithm> ByzantineCommitAlgorithm for RccReplica<P> {
                     view,
                 };
                 self.absorb_slot_reply(from, reply, &mut out);
+            }
+            RccMessage::CheckpointVote { round, digest } => {
+                self.ingest_checkpoint_vote(from, round, digest);
+            }
+            RccMessage::CheckpointTransfer { checkpoint } => {
+                self.absorb_checkpoint_transfer(from, checkpoint);
             }
         }
         self.check_lag(now, &mut out);
@@ -1014,9 +1347,15 @@ mod tests {
     }
 
     fn fake_deployment(sigma: u64) -> RccReplica<FakeBca> {
+        fake_deployment_with_interval(sigma, 64)
+    }
+
+    fn fake_deployment_with_interval(sigma: u64, interval: u64) -> RccReplica<FakeBca> {
         // Replica 3 of n = 4 with m = 2 instances: it coordinates neither,
         // so lag handling goes through state sync and escalation.
-        let mut config = SystemConfig::new(4).with_instances(2);
+        let mut config = SystemConfig::new(4)
+            .with_instances(2)
+            .with_checkpoint_interval(interval);
         config.sigma = sigma;
         RccReplica::new(config, ReplicaId(3), |instance| FakeBca {
             replica: ReplicaId(3),
@@ -1177,6 +1516,122 @@ mod tests {
             );
         }
         assert!(rcc.orderer.has_pending(InstanceId(1), 0) || rcc.orderer.next_round() > 0);
+    }
+
+    /// Commits `rounds` on both instances of a fake m = 2 deployment so the
+    /// orderer releases them, returning every emitted action.
+    fn release_rounds(
+        rcc: &mut RccReplica<FakeBca>,
+        now: Time,
+        rounds: std::ops::Range<Round>,
+    ) -> Vec<Action<RccMessage<FakeMsg>>> {
+        let mut out = Vec::new();
+        for round in rounds {
+            for instance in [0u32, 1] {
+                out.extend(rcc.on_message(
+                    now,
+                    ReplicaId(instance),
+                    RccMessage::Instance {
+                        instance: InstanceId(instance),
+                        message: FakeMsg::Commit {
+                            round,
+                            tag: (round * 2 + instance as u64) as u8,
+                        },
+                    },
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn conflicting_checkpoint_votes_never_stabilize_but_honest_ones_prune() {
+        let mut rcc = fake_deployment_with_interval(16, 4);
+        let t0 = Time::from_millis(1);
+        // Releasing rounds 0..4 crosses the boundary: a local checkpoint is
+        // taken and its vote broadcast.
+        let actions = release_rounds(&mut rcc, t0, 0..4);
+        let (boundary, digest) = actions
+            .iter()
+            .find_map(|a| match a {
+                Action::Broadcast {
+                    message: RccMessage::CheckpointVote { round, digest },
+                } => Some((*round, *digest)),
+                _ => None,
+            })
+            .expect("crossing the interval boundary broadcasts a vote");
+        assert_eq!(boundary, 4);
+        assert_eq!(rcc.stable_round(), 0, "the own vote alone is no quorum");
+        // A Byzantine peer floods *conflicting* digests at the boundary:
+        // nothing stabilizes, nothing is pruned, and the store holds at most
+        // one vote for the flooder no matter how many it sends.
+        for tag in 0..10u8 {
+            rcc.on_message(
+                t0,
+                ReplicaId(2),
+                RccMessage::CheckpointVote {
+                    round: boundary,
+                    digest: Digest::from_bytes([0xA0 + tag; 32]),
+                },
+            );
+        }
+        assert_eq!(rcc.stable_round(), 0);
+        assert!(!rcc.instance_commit_log(InstanceId(0)).is_empty());
+        // One honest matching vote completes the f + 1 = 2 quorum: the
+        // checkpoint stabilizes and every layer below it is pruned.
+        rcc.on_message(
+            t0,
+            ReplicaId(1),
+            RccMessage::CheckpointVote {
+                round: boundary,
+                digest,
+            },
+        );
+        assert_eq!(rcc.stable_round(), boundary);
+        assert_eq!(rcc.execution_window_start(), boundary);
+        assert!(rcc.instance_commit_log(InstanceId(0)).is_empty());
+        assert!(rcc.instance_commit_log(InstanceId(1)).is_empty());
+        assert!(rcc.execution_log().is_empty());
+        assert_eq!(rcc.stable_checkpoint().expect("stable").round, boundary);
+    }
+
+    #[test]
+    fn matching_checkpoint_transfers_fast_forward_a_trailing_replica() {
+        let mut rcc = fake_deployment(16);
+        let t0 = Time::from_millis(1);
+        let checkpoint = Checkpoint {
+            round: 128,
+            ledger_head: Digest::from_bytes([7; 32]),
+            table_fingerprint: 256,
+            accounts_fingerprint: 0,
+        };
+        // A single transfer is not enough: f + 1 = 2 distinct senders must
+        // vouch for the same checkpoint (at least one is then non-faulty).
+        rcc.on_message(
+            t0,
+            ReplicaId(0),
+            RccMessage::CheckpointTransfer {
+                checkpoint: checkpoint.clone(),
+            },
+        );
+        assert_eq!(rcc.orderer().next_round(), 0, "one transfer is no quorum");
+        // The matching second transfer adopts it: the release frontier
+        // fast-forwards past the pruned rounds and the certified state
+        // (ledger head, execution sequence) is taken over.
+        rcc.on_message(
+            t0,
+            ReplicaId(1),
+            RccMessage::CheckpointTransfer {
+                checkpoint: checkpoint.clone(),
+            },
+        );
+        assert_eq!(rcc.orderer().next_round(), 128);
+        assert_eq!(rcc.stable_round(), 128);
+        assert_eq!(rcc.committed_prefix(), 256, "128 rounds × m = 2 batches");
+        assert_eq!(rcc.ledger_head(), checkpoint.ledger_head);
+        // Commits below the adopted checkpoint are final and ignored.
+        release_rounds(&mut rcc, t0, 0..2);
+        assert!(rcc.instance_commit_log(InstanceId(0)).is_empty());
     }
 
     #[test]

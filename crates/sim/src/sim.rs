@@ -172,6 +172,12 @@ pub struct SimReport {
     /// Client hand-offs performed by the Section III-E assignment policy
     /// (drains off failing instances plus σ-spaced returns).
     pub client_handoffs: u64,
+    /// Peak per-slot log entries retained by any single replica at any point
+    /// of the run ([`ByzantineCommitAlgorithm::retained_log_entries`],
+    /// sampled after every event). With §III-D checkpointing this stays
+    /// bounded by O(`checkpoint_interval` × m) regardless of the horizon;
+    /// without it, it grows with the length of the run.
+    pub peak_retained_log: u64,
     /// Chained fingerprint over every processed event; equal fingerprints ⇒
     /// identical event traces.
     pub trace_fingerprint: u64,
@@ -305,6 +311,7 @@ pub struct Simulation<P: ByzantineCommitAlgorithm> {
     suspicions: u64,
     view_changes: u64,
     client_handoffs: u64,
+    peak_retained_log: u64,
     /// Set when an event surfaced a failure-handling transition (suspicion
     /// or view change): the client assignment is refreshed before the next
     /// event so drains and σ-spaced returns happen at failure boundaries,
@@ -389,6 +396,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             suspicions: 0,
             view_changes: 0,
             client_handoffs: 0,
+            peak_retained_log: 0,
             client_refresh_due: false,
             trace: 0x9E37_79B9_7F4A_7C15,
             now: Time::ZERO,
@@ -428,7 +436,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             );
             self.note_event(&event);
             self.now = event.at;
-            match event.kind {
+            let touched = match event.kind {
                 EventKind::Deliver {
                     from,
                     to,
@@ -436,18 +444,36 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                     proposal,
                     payload_transactions,
                     message,
-                } => self.deliver(
-                    event.at,
-                    from,
-                    to,
-                    bytes,
-                    proposal,
-                    payload_transactions,
-                    message,
-                ),
-                EventKind::Timer { node, timer, at } => self.fire_timer(event.at, node, timer, at),
-                EventKind::Pump { node } => self.pump(event.at, node),
-                EventKind::Fault { index } => self.apply_fault(index),
+                } => {
+                    self.deliver(
+                        event.at,
+                        from,
+                        to,
+                        bytes,
+                        proposal,
+                        payload_transactions,
+                        message,
+                    );
+                    Some(to)
+                }
+                EventKind::Timer { node, timer, at } => {
+                    self.fire_timer(event.at, node, timer, at);
+                    Some(node)
+                }
+                EventKind::Pump { node } => {
+                    self.pump(event.at, node);
+                    Some(node)
+                }
+                EventKind::Fault { index } => {
+                    self.apply_fault(index);
+                    None
+                }
+            };
+            // Sample the touched replica's retained log for the memory-peak
+            // report (only that replica's state can have grown this event).
+            if let Some(node) = touched {
+                let retained = self.nodes[node.index()].bca.retained_log_entries();
+                self.peak_retained_log = self.peak_retained_log.max(retained);
             }
             if self.client_refresh_due {
                 self.client_refresh_due = false;
@@ -469,6 +495,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             suspicions: self.suspicions,
             view_changes: self.view_changes,
             client_handoffs: self.client_handoffs,
+            peak_retained_log: self.peak_retained_log,
             trace_fingerprint: self.trace,
             horizon: self.config.horizon,
         };

@@ -39,11 +39,27 @@ impl Checkpoint {
     }
 }
 
+/// How many local (not yet stable) checkpoints the store retains. An honest
+/// replica only needs the most recent boundaries to stabilize; keeping a
+/// small window bounds memory even when stabilization stalls (e.g. during a
+/// long partition).
+const LOCAL_CHECKPOINT_CAP: usize = 8;
+
 /// Collects checkpoint votes and tracks the latest stable checkpoint.
+///
+/// Vote bookkeeping is bounded by construction: the store keeps at most one
+/// vote per replica — a replica's checkpoint claims are monotone, so a vote
+/// for a higher round replaces its earlier one, a vote for a lower round is
+/// stale and ignored, and a *conflicting* digest for the same round (a
+/// Byzantine equivocation) is ignored in favour of the first claim. A
+/// flooding peer therefore occupies exactly one entry no matter how many
+/// votes it sends.
 #[derive(Clone, Debug, Default)]
 pub struct CheckpointStore {
     /// Votes per (round, checkpoint digest).
     votes: BTreeMap<(Round, Digest), BTreeSet<ReplicaId>>,
+    /// The vote currently held for each replica (its latest claim).
+    voted: BTreeMap<ReplicaId, (Round, Digest)>,
     /// Local checkpoints by round.
     local: BTreeMap<Round, Checkpoint>,
     /// Highest stable (quorum-certified) checkpoint.
@@ -56,9 +72,13 @@ impl CheckpointStore {
         CheckpointStore::default()
     }
 
-    /// Records the local checkpoint for its round.
+    /// Records the local checkpoint for its round, evicting the oldest
+    /// retained local checkpoint beyond the cap.
     pub fn record_local(&mut self, checkpoint: Checkpoint) {
         self.local.insert(checkpoint.round, checkpoint);
+        while self.local.len() > LOCAL_CHECKPOINT_CAP {
+            self.local.pop_first();
+        }
     }
 
     /// The local checkpoint taken at `round`, if any.
@@ -67,8 +87,34 @@ impl CheckpointStore {
     }
 
     /// Registers a vote from `replica` for a checkpoint digest at `round`.
-    /// Returns the number of distinct votes for that digest.
+    /// Returns the number of distinct votes currently held for that digest
+    /// at that round. Stale votes (a round below the replica's recorded
+    /// claim, or at or below the stable round) and same-round digest
+    /// revisions are ignored; a vote for a higher round replaces the
+    /// replica's earlier one.
     pub fn add_vote(&mut self, replica: ReplicaId, round: Round, digest: Digest) -> usize {
+        let count_for = |votes: &BTreeMap<(Round, Digest), BTreeSet<ReplicaId>>| {
+            votes.get(&(round, digest)).map(|v| v.len()).unwrap_or(0)
+        };
+        if round <= self.stable_round() && self.stable.is_some() {
+            return count_for(&self.votes);
+        }
+        if let Some(&(held_round, held_digest)) = self.voted.get(&replica) {
+            if round < held_round || (round == held_round && digest != held_digest) {
+                return count_for(&self.votes);
+            }
+            if round == held_round {
+                return count_for(&self.votes);
+            }
+            // The replica advanced: its earlier vote is superseded.
+            if let Some(voters) = self.votes.get_mut(&(held_round, held_digest)) {
+                voters.remove(&replica);
+                if voters.is_empty() {
+                    self.votes.remove(&(held_round, held_digest));
+                }
+            }
+        }
+        self.voted.insert(replica, (round, digest));
         let entry = self.votes.entry((round, digest)).or_default();
         entry.insert(replica);
         entry.len()
@@ -94,6 +140,7 @@ impl CheckpointStore {
                 // stable round.
                 let stable_round = checkpoint.round;
                 self.votes.retain(|(round, _), _| *round > stable_round);
+                self.voted.retain(|_, (round, _)| *round > stable_round);
                 self.local.retain(|round, _| *round > stable_round);
                 true
             }
@@ -175,6 +222,50 @@ mod tests {
         assert!(store.try_stabilize(&cp, 3));
         assert!(store.local(5).is_none());
         assert!(store.local(10).is_none());
+    }
+
+    #[test]
+    fn a_replica_holds_at_most_one_vote() {
+        let mut store = CheckpointStore::new();
+        // A Byzantine flooder votes for many rounds and digests: only one
+        // entry survives (its latest advancing claim), so the store cannot
+        // be grown by message volume.
+        for round in 1..100 {
+            store.add_vote(ReplicaId(0), round, checkpoint(round, round).digest());
+        }
+        assert_eq!(store.votes.len(), 1, "one surviving (round, digest) entry");
+        assert_eq!(store.voted.len(), 1);
+        // Equivocating at the held round is ignored: the first claim wins.
+        let held = checkpoint(99, 99);
+        let conflicting = checkpoint(99, 1234);
+        store.add_vote(ReplicaId(0), 99, conflicting.digest());
+        assert_eq!(
+            store.votes.get(&(99, held.digest())).map(|v| v.len()),
+            Some(1),
+            "the original claim is still held"
+        );
+        assert!(!store.votes.contains_key(&(99, conflicting.digest())));
+    }
+
+    #[test]
+    fn advancing_votes_supersede_earlier_rounds() {
+        let mut store = CheckpointStore::new();
+        let early = checkpoint(10, 1);
+        let late = checkpoint(20, 2);
+        store.add_vote(ReplicaId(0), 10, early.digest());
+        store.add_vote(ReplicaId(1), 10, early.digest());
+        store.add_vote(ReplicaId(2), 10, early.digest());
+        // Replica 0 advances to round 20: its round-10 vote is withdrawn.
+        store.add_vote(ReplicaId(0), 20, late.digest());
+        assert_eq!(
+            store.votes.get(&(10, early.digest())).map(|v| v.len()),
+            Some(2)
+        );
+        // Round 10 can still stabilize with the two remaining + a newcomer.
+        store.record_local(early.clone());
+        assert!(!store.try_stabilize(&early, 3));
+        store.add_vote(ReplicaId(3), 10, early.digest());
+        assert!(store.try_stabilize(&early, 3));
     }
 
     #[test]

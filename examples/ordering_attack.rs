@@ -7,8 +7,11 @@
 //! pick whichever order benefits it. This example first shows the divergent
 //! outcomes, then runs both transactions through an RCC cluster to show
 //! every replica applies the *same* order, so no replica-side disagreement
-//! is possible (making the chosen order unpredictable to the proposer is the
-//! Section-IV permutation, still future work).
+//! is possible — and finally enables the Section-IV permutation
+//! (`SystemConfig::unpredictable_ordering`), under which the within-round
+//! order is `h = digest(S) mod (m! − 1)` over the round's certified digests:
+//! still identical on every replica, but unknowable to any coordinator
+//! before the whole round is fixed.
 //!
 //! Run with: `cargo run --example ordering_attack`
 
@@ -109,5 +112,40 @@ fn main() {
         outcomes.windows(2).all(|w| w[0] == w[1]),
         "replicas must agree"
     );
-    println!("OK: no replica-side divergence; order unpredictability is future work.");
+
+    // With the Section-IV permutation enabled, the within-round order is a
+    // digest-derived permutation: still bit-identical across replicas (it is
+    // a pure function of the round's certified digests), but no coordinator
+    // can predict its batch's slot before the round is fixed.
+    let config = SystemConfig::new(n).with_unpredictable_ordering(true);
+    let mut permuted = Cluster::new(
+        (0..n as u32)
+            .map(|r| RccReplica::over_pbft(config.clone(), ReplicaId(r)))
+            .collect(),
+    );
+    permuted.propose(ReplicaId(0), Batch::new(vec![t1()]));
+    permuted.propose(ReplicaId(1), Batch::new(vec![t2()]));
+    permuted.propose(ReplicaId(2), Batch::noop(InstanceId(2), 0));
+    permuted.propose(ReplicaId(3), Batch::noop(InstanceId(3), 0));
+    permuted.run_to_quiescence();
+    let reference: Vec<_> = permuted
+        .node(ReplicaId(0))
+        .execution_log()
+        .iter()
+        .flat_map(|round| round.batches.iter().map(|b| b.id))
+        .collect();
+    for r in 1..n as u32 {
+        let order: Vec<_> = permuted
+            .node(ReplicaId(r))
+            .execution_log()
+            .iter()
+            .flat_map(|round| round.batches.iter().map(|b| b.id))
+            .collect();
+        assert_eq!(order, reference, "permuted order is agreed by replica {r}");
+    }
+    println!(
+        "§IV permutation on → round 0 executes as {:?} on every replica",
+        reference.iter().map(|id| id.instance.0).collect::<Vec<_>>()
+    );
+    println!("OK: no replica-side divergence, with and without the §IV permutation.");
 }
