@@ -12,6 +12,9 @@
 //!   bank transfers, and no-ops) and client requests.
 //! * [`batch`] — batches of client requests, the unit replicated by a single
 //!   consensus slot, together with wire-size accounting.
+//! * [`codec`] — the hand-rolled canonical binary wire codec
+//!   ([`codec::Encode`]/[`codec::Decode`]) used by every message that
+//!   crosses a deployment boundary (the vendored `serde` is a no-op facade).
 //! * [`config`] — system-wide configuration: number of replicas, fault
 //!   threshold, batching, pipelining, timeouts, and cryptography mode.
 //! * [`metrics`] — throughput meters, latency histograms, and time series
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod batch;
+pub mod codec;
 pub mod config;
 pub mod digest;
 pub mod error;
@@ -42,6 +46,7 @@ pub mod time;
 pub mod transaction;
 
 pub use batch::{Batch, BatchId};
+pub use codec::{Decode, Encode, Reader, WireError};
 pub use config::{CryptoMode, SystemConfig, WireCosts};
 pub use digest::Digest;
 pub use error::{Error, Result};

@@ -24,6 +24,40 @@ pub enum AuthTag {
     Signature(Signature),
 }
 
+impl rcc_common::Encode for AuthTag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AuthTag::None => out.push(0),
+            AuthTag::Mac(mac) => {
+                out.push(1);
+                mac.encode(out);
+            }
+            AuthTag::Signature(sig) => {
+                out.push(2);
+                sig.encode(out);
+            }
+        }
+    }
+}
+
+impl rcc_common::Decode for AuthTag {
+    fn decode(
+        input: &mut rcc_common::Reader<'_>,
+    ) -> std::result::Result<Self, rcc_common::WireError> {
+        Ok(match input.u8()? {
+            0 => AuthTag::None,
+            1 => AuthTag::Mac(MacTag::decode(input)?),
+            2 => AuthTag::Signature(Signature::decode(input)?),
+            tag => {
+                return Err(rcc_common::WireError::InvalidTag {
+                    context: "AuthTag",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
 /// Authenticates outgoing messages and verifies incoming ones for a single
 /// replica.
 #[derive(Clone)]

@@ -45,6 +45,18 @@ impl MacKey {
     }
 }
 
+impl rcc_common::Encode for MacTag {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.0);
+    }
+}
+
+impl rcc_common::Decode for MacTag {
+    fn decode(input: &mut rcc_common::Reader<'_>) -> Result<Self, rcc_common::WireError> {
+        Ok(MacTag(input.take(32)?.try_into().unwrap()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

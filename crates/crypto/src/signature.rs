@@ -88,9 +88,29 @@ impl PublicKey {
 }
 
 impl Signature {
+    /// Builds a signature from raw bytes (the wire decoder's constructor;
+    /// validity is established by verification, not by construction).
+    pub fn from_bytes(bytes: [u8; 64]) -> Self {
+        Signature { bytes }
+    }
+
     /// Raw signature bytes.
     pub fn as_bytes(&self) -> &[u8; 64] {
         &self.bytes
+    }
+}
+
+impl rcc_common::Encode for Signature {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.bytes);
+    }
+}
+
+impl rcc_common::Decode for Signature {
+    fn decode(input: &mut rcc_common::Reader<'_>) -> Result<Self, rcc_common::WireError> {
+        Ok(Signature {
+            bytes: input.take(64)?.try_into().unwrap(),
+        })
     }
 }
 

@@ -105,6 +105,7 @@ impl ExecutionEngine {
             ledger_head: self.ledger.head_digest(),
             table_fingerprint: self.table.fingerprint(),
             accounts_fingerprint: self.accounts.fingerprint(),
+            state_bytes: self.table.snapshot_bytes() + self.accounts.snapshot_bytes(),
         }
     }
 

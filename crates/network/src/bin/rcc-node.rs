@@ -1,0 +1,292 @@
+//! `rcc-node` — run RCC replicas, clients, and whole localhost clusters.
+//!
+//! ```text
+//! rcc-node cluster [--replicas N] [--instances M] [--clients C]
+//!                  [--batch-size B] [--crypto none|mac|pk] [--seed S]
+//!                  [--duration-ms D] [--window W] [--in-process]
+//!                  [--kill R --kill-after-ms K --down-for-ms T]
+//!     Launch an N-replica localhost cluster (TCP by default) with C
+//!     closed-loop client nodes, optionally kill-and-restart replica R
+//!     mid-run, verify identical release orders, and exit non-zero on any
+//!     violation. This is the CI smoke scenario.
+//!
+//! rcc-node replica --config FILE [--duration-ms D]
+//!     Run one replica of a multi-process deployment described by a
+//!     TOML-ish file (see `rcc_network::config`). Runs until the duration
+//!     elapses, or forever when none is given.
+//!
+//! rcc-node client --config FILE --stream S [--instance I] [--window W]
+//!                 --duration-ms D
+//!     Drive one closed-loop client node against the deployment in FILE.
+//! ```
+
+use rcc_common::{ClientId, CryptoMode, InstanceId, ReplicaId};
+use rcc_network::cluster::{run_client, ClusterPlan, RestartPlan};
+use rcc_network::{
+    parse_deployment, queue_capacity, run_local_cluster, spawn_node, verify_identical_orders,
+    NodeConfig, TcpClientChannel, TcpTransport, TransportKind,
+};
+use std::net::SocketAddr;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("cluster") => cmd_cluster(&args[1..]),
+        Some("replica") => cmd_replica(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", USAGE);
+            return;
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    if let Err(message) = result {
+        eprintln!("rcc-node: {message}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage:\n  rcc-node cluster [--replicas N] [--instances M] [--clients C] \
+[--batch-size B] [--crypto none|mac|pk] [--seed S] [--duration-ms D] [--window W] \
+[--in-process] [--kill R --kill-after-ms K --down-for-ms T]\n  rcc-node replica --config FILE \
+[--duration-ms D]\n  rcc-node client --config FILE --stream S [--instance I] [--window W] \
+--duration-ms D\n";
+
+/// A trivial `--flag value` scanner (no flag takes zero values except
+/// `--in-process`).
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Flags<'a> {
+    fn get(&self, flag: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+
+    fn int(&self, flag: &str, default: u64) -> Result<u64, String> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(value) => value
+                .parse()
+                .map_err(|_| format!("{flag} expects an integer, got `{value}`")),
+        }
+    }
+}
+
+fn crypto_mode(name: &str) -> Result<CryptoMode, String> {
+    match name {
+        "none" => Ok(CryptoMode::None),
+        "mac" => Ok(CryptoMode::Mac),
+        "pk" => Ok(CryptoMode::PublicKey),
+        other => Err(format!("--crypto expects none|mac|pk, got `{other}`")),
+    }
+}
+
+fn cmd_cluster(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let n = flags.int("--replicas", 4)? as usize;
+    let mut system = rcc_common::SystemConfig::new(n)
+        .with_instances(flags.int("--instances", 2)? as usize)
+        .with_batch_size(flags.int("--batch-size", 100)? as usize)
+        .with_seed(flags.int("--seed", rcc_common::config::DEFAULT_SEED)?);
+    if let Some(mode) = flags.get("--crypto") {
+        system.crypto = crypto_mode(mode)?;
+    }
+    let restart = match flags.get("--kill") {
+        None => None,
+        Some(replica) => {
+            let index: u32 = replica
+                .parse()
+                .map_err(|_| format!("--kill expects a replica index, got `{replica}`"))?;
+            if index as usize >= n {
+                return Err(format!("--kill {index} is out of range for --replicas {n}"));
+            }
+            Some(RestartPlan {
+                replica: ReplicaId(index),
+                kill_after: Duration::from_millis(flags.int("--kill-after-ms", 800)?),
+                down_for: Duration::from_millis(flags.int("--down-for-ms", 400)?),
+            })
+        }
+    };
+    let plan = ClusterPlan {
+        system,
+        transport: if flags.has("--in-process") {
+            TransportKind::InProcess
+        } else {
+            TransportKind::Tcp
+        },
+        clients: flags.int("--clients", 2)? as usize,
+        client_window: flags.int("--window", 4)? as usize,
+        run_for: Duration::from_millis(flags.int("--duration-ms", 2_000)?),
+        restart,
+    };
+    plan.system.validate().map_err(|e| e.to_string())?;
+
+    eprintln!(
+        "rcc-node cluster: n = {}, m = {}, {} clients, {:?}, {} ms{}",
+        plan.system.n,
+        plan.system.instances,
+        plan.clients,
+        plan.transport,
+        plan.run_for.as_millis(),
+        match plan.restart {
+            Some(r) => format!(
+                ", kill {} at {} ms for {} ms",
+                r.replica,
+                r.kill_after.as_millis(),
+                r.down_for.as_millis()
+            ),
+            None => String::new(),
+        }
+    );
+    let outcome = run_local_cluster(&plan);
+    for report in &outcome.reports {
+        println!(
+            "{}: executed {} batches (window from round {}), {} replies, \
+             {} suspicions, {} view changes, {} auth failures, {} decode failures",
+            report.replica,
+            report.executed_batches,
+            report.execution_window_start,
+            report.replies_sent,
+            report.suspicions,
+            report.view_changes,
+            report.auth_failures,
+            report.decode_failures,
+        );
+    }
+    for client in &outcome.clients {
+        println!(
+            "client {}: {} submitted, {} completed, {} abandoned",
+            client.stream, client.submitted, client.completed, client.abandoned
+        );
+    }
+    verify_identical_orders(&outcome.reports)?;
+    if outcome.completed_batches() == 0 {
+        return Err("no client batch completed its reply quorum".into());
+    }
+    for report in &outcome.reports {
+        if report.executed_batches == 0 {
+            return Err(format!("{} released nothing", report.replica));
+        }
+    }
+    println!(
+        "OK: identical release orders on all {} replicas, {} client batches completed",
+        outcome.reports.len(),
+        outcome.completed_batches()
+    );
+    Ok(())
+}
+
+fn read_deployment(flags: &Flags) -> Result<rcc_network::DeploymentFile, String> {
+    let path = flags
+        .get("--config")
+        .ok_or_else(|| "--config FILE is required".to_string())?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read config {path}: {e}"))?;
+    parse_deployment(&text)
+}
+
+fn parse_addrs(peers: &[String]) -> Result<Vec<SocketAddr>, String> {
+    peers
+        .iter()
+        .map(|p| p.parse().map_err(|_| format!("invalid peer address `{p}`")))
+        .collect()
+}
+
+fn cmd_replica(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let file = read_deployment(&flags)?;
+    let replica = file
+        .replica
+        .ok_or_else(|| "config must set `replica = N`".to_string())?;
+    let listen: SocketAddr = file
+        .listen
+        .as_deref()
+        .ok_or_else(|| "config must set `listen = \"host:port\"`".to_string())?
+        .parse()
+        .map_err(|_| "invalid `listen` address".to_string())?;
+    if file.peers.len() != file.system.n {
+        return Err(format!(
+            "config lists {} peers for n = {}",
+            file.peers.len(),
+            file.system.n
+        ));
+    }
+    let peers = parse_addrs(&file.peers)?;
+    let capacity = queue_capacity(&file.system);
+    let transport = TcpTransport::bind(replica, listen, peers, capacity)
+        .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    eprintln!("rcc-node replica {replica}: listening on {listen}");
+    let handle = spawn_node(
+        NodeConfig {
+            system: file.system,
+            replica,
+        },
+        transport,
+    );
+    match flags.get("--duration-ms") {
+        Some(_) => {
+            let wait = Duration::from_millis(flags.int("--duration-ms", 0)?);
+            std::thread::sleep(wait);
+        }
+        None => loop {
+            // Run until killed.
+            std::thread::sleep(Duration::from_secs(3600));
+        },
+    }
+    let report = handle.shutdown();
+    println!(
+        "{}: executed {} batches, ledger head {}",
+        report.replica,
+        report.executed_batches,
+        report.ledger_head.short_hex()
+    );
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let flags = Flags { args };
+    let file = read_deployment(&flags)?;
+    let stream = flags.int("--stream", 0)?;
+    let instance =
+        InstanceId(flags.int("--instance", stream % file.system.instances.max(1) as u64)? as u32);
+    let window = flags.int("--window", 4)? as usize;
+    let duration = Duration::from_millis(
+        flags
+            .get("--duration-ms")
+            .ok_or_else(|| "--duration-ms is required".to_string())?
+            .parse::<u64>()
+            .map_err(|_| "--duration-ms expects an integer".to_string())?,
+    );
+    let addrs = parse_addrs(&file.peers)?;
+    let channel = TcpClientChannel::connect(
+        ClientId(stream),
+        &addrs,
+        Instant::now() + Duration::from_secs(10),
+    )
+    .map_err(|e| format!("cannot connect to the cluster: {e}"))?;
+    let keys = rcc_crypto::DeploymentKeys::generate(&file.system).client_keys(ClientId(stream));
+    let outcome = run_client(
+        &file.system,
+        stream,
+        instance,
+        window,
+        channel,
+        &keys,
+        Instant::now() + duration,
+    );
+    println!(
+        "client {}: {} submitted, {} completed, {} abandoned",
+        outcome.stream, outcome.submitted, outcome.completed, outcome.abandoned
+    );
+    Ok(())
+}

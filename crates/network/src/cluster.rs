@@ -1,0 +1,543 @@
+//! Localhost cluster orchestration: launch `n` replica nodes and a set of
+//! client drivers over either transport, optionally kill-and-restart one
+//! replica mid-run, and collect verifiable reports.
+//!
+//! This is what the `rcc-node cluster` subcommand, the loopback integration
+//! test, and the CI smoke step share. The driver side wraps the sans-io
+//! [`rcc_workload::Client`] (closed loop, `f + 1` matching replies) around
+//! a [`ClientChannel`]: submissions go to the believed coordinator of the
+//! client's instance, replies are verified against the deployment keys at
+//! the frame boundary, and batches that draw no reply within a timeout are
+//! abandoned while the driver rotates to the instance's next candidate
+//! coordinator (how a real client tracks view changes without a directory
+//! service).
+
+use crate::frame::Frame;
+use crate::node::{spawn_node, NodeConfig, NodeHandle, NodeReport};
+use crate::tcp::{TcpClientChannel, TcpTransport};
+use crate::transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};
+use rcc_common::codec::Encode;
+use rcc_common::{ClientId, CryptoMode, Digest, InstanceId, ReplicaId, SystemConfig, Time};
+use rcc_crypto::{AuthTag, ClientKeys, DeploymentKeys};
+use rcc_workload::{Client, ClientMode};
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+/// Which transport a local cluster runs over.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// Bounded in-process channels (one process, no sockets).
+    InProcess,
+    /// Real TCP over localhost.
+    Tcp,
+}
+
+/// Kill-and-restart schedule for one replica.
+#[derive(Clone, Copy, Debug)]
+pub struct RestartPlan {
+    /// The replica to kill.
+    pub replica: ReplicaId,
+    /// How long after the run starts the replica is killed.
+    pub kill_after: Duration,
+    /// How long the replica stays down before a fresh node (empty state,
+    /// same identity and address) rejoins and catches up via state
+    /// sync/checkpoint transfer.
+    pub down_for: Duration,
+}
+
+/// Everything needed to run a localhost cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterPlan {
+    /// The deployment (n, f, m, batching, crypto mode, seed).
+    pub system: SystemConfig,
+    /// Transport to run over.
+    pub transport: TransportKind,
+    /// Number of client nodes; client `c` drives instance `c mod m`.
+    pub clients: usize,
+    /// Closed-loop window of each client node (batches in flight).
+    pub client_window: usize,
+    /// Wall-clock run time.
+    pub run_for: Duration,
+    /// Optional kill-and-restart of one replica mid-run.
+    pub restart: Option<RestartPlan>,
+}
+
+impl ClusterPlan {
+    /// A 4-replica, 2-instance TCP smoke plan (the ISSUE's acceptance
+    /// scenario, sans restart — add one via [`ClusterPlan::restart`]).
+    pub fn smoke() -> ClusterPlan {
+        ClusterPlan {
+            system: SystemConfig::new(4).with_instances(2),
+            transport: TransportKind::Tcp,
+            clients: 2,
+            client_window: 4,
+            run_for: Duration::from_millis(2_000),
+            restart: None,
+        }
+    }
+}
+
+/// Outcome of one client driver.
+#[derive(Clone, Debug)]
+pub struct ClientOutcome {
+    /// The workload stream the client drove.
+    pub stream: u64,
+    /// Batches submitted.
+    pub submitted: u64,
+    /// Batches that collected their `f + 1` matching replies.
+    pub completed: u64,
+    /// Batches abandoned (reply timeout or explicit reject).
+    pub abandoned: u64,
+}
+
+/// Outcome of a whole cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    /// Final report of every replica (the restarted node reports its
+    /// post-rejoin state).
+    pub reports: Vec<NodeReport>,
+    /// Per-client statistics.
+    pub clients: Vec<ClientOutcome>,
+}
+
+impl ClusterOutcome {
+    /// Total batches completed across all clients.
+    pub fn completed_batches(&self) -> u64 {
+        self.clients.iter().map(|c| c.completed).sum()
+    }
+}
+
+/// How long a submitted batch may go without a reply before the driver
+/// abandons it and rotates coordinator candidates.
+const REPLY_TIMEOUT: Duration = Duration::from_millis(700);
+
+/// After this many consecutive age-out rounds on the home instance, the
+/// client drains to a fallback instance (the deployed analogue of the
+/// §III-E drain: a stalled instance must not idle its clients, because the
+/// healthy instances' advancing frontier is exactly what trips the σ-lag
+/// detection that replaces the failed coordinator).
+const HOME_FAILURES_BEFORE_DRAIN: u32 = 2;
+
+/// While drained to a fallback instance, how often the home instance is
+/// probed (the hand-back half of §III-E: return once the replacement
+/// coordinator actually serves again).
+const HOME_PROBE_INTERVAL: Duration = Duration::from_millis(1_500);
+
+/// Drives one closed-loop client node against a cluster until `deadline`.
+///
+/// Failure handling mirrors Section III-E without a directory service:
+/// batches that draw no reply within `REPLY_TIMEOUT` are abandoned and
+/// the instance's candidate coordinator rotates (PBFT's view rotation is
+/// `base + view mod n`, so rotation finds the live coordinator); after
+/// `HOME_FAILURES_BEFORE_DRAIN` consecutive failures the client drains
+/// to the next instance — keeping the deployment's frontier moving, which
+/// is what lets the replicas' σ-lag detection depose the dead coordinator
+/// — and probes its home instance every `HOME_PROBE_INTERVAL` until the
+/// replacement serves it again.
+pub fn run_client(
+    system: &SystemConfig,
+    stream: u64,
+    home: InstanceId,
+    window: usize,
+    mut channel: impl ClientChannel,
+    keys: &ClientKeys,
+    deadline: Instant,
+) -> ClientOutcome {
+    let mut client = Client::new(
+        system.seed,
+        stream,
+        system.batch_size,
+        system.client_reply_quorum(),
+        ClientMode::Closed { window },
+    );
+    let n = system.n;
+    let m = system.instances.max(1) as u32;
+    // Per-instance believed coordinator, rotated when a candidate proves
+    // unresponsive (never acks) or explicitly rejects.
+    let mut candidates: Vec<ReplicaId> = (0..m).map(|i| InstanceId(i).primary()).collect();
+    let mut active = home;
+    let mut home_failures = 0u32;
+    let mut next_home_probe = Instant::now();
+    // In-flight bookkeeping: where each batch went, when, and whether the
+    // coordinator acknowledged accepting it.
+    struct Pending {
+        instance: InstanceId,
+        candidate: ReplicaId,
+        at: Instant,
+        acked: bool,
+    }
+    let mut pending: Vec<(Digest, Pending)> = Vec::new();
+    let mut abandoned = 0u64;
+    let rotate = |candidates: &mut [ReplicaId], instance: InstanceId, from: ReplicaId| {
+        // Rotate only when the blamed candidate is still current — stale
+        // verdicts about an already-replaced candidate must not skip past
+        // the coordinator the rotation just found.
+        if candidates[instance.index()] == from {
+            candidates[instance.index()] = ReplicaId((from.0 + 1) % n as u32);
+        }
+    };
+    while Instant::now() < deadline {
+        // Drained clients periodically try their home instance again.
+        if active != home && Instant::now() >= next_home_probe {
+            active = home;
+        }
+        // Fill the window toward the active instance's believed coordinator.
+        while client.ready(Time::ZERO) {
+            let (digest, batch) = client.submit(Time::ZERO);
+            let payload = batch.encoded();
+            let candidate = candidates[active.index()];
+            let tag = match system.crypto {
+                CryptoMode::None => AuthTag::None,
+                CryptoMode::Mac => {
+                    AuthTag::Mac(keys.mac_with_replicas[candidate.index()].tag(&payload))
+                }
+                CryptoMode::PublicKey => AuthTag::Signature(keys.signing.sign(&payload)),
+            };
+            let frame = Frame::ClientSubmit {
+                client: ClientId(stream),
+                instance: active,
+                payload,
+                tag,
+            };
+            channel.submit(candidate, frame.encode_frame());
+            pending.push((
+                digest,
+                Pending {
+                    instance: active,
+                    candidate,
+                    at: Instant::now(),
+                    acked: false,
+                },
+            ));
+        }
+        // Drain replies/acks/rejects.
+        let mut rejected_this_pass = false;
+        while let Some(bytes) = channel.recv_timeout(Duration::from_millis(5)) {
+            match Frame::decode_frame(&bytes) {
+                Ok(Frame::ClientReply {
+                    replica,
+                    digest,
+                    tag,
+                }) => {
+                    let valid = replica.index() < n
+                        && verify_reply(keys, system.crypto, replica, &digest, &tag);
+                    if valid
+                        && client.on_reply(replica, digest) == rcc_workload::ReplyOutcome::Completed
+                    {
+                        pending.retain(|(d, _)| *d != digest);
+                        if active == home {
+                            home_failures = 0;
+                        }
+                    }
+                }
+                Ok(Frame::ClientAccept { digest, .. }) => {
+                    if let Some((_, entry)) = pending.iter_mut().find(|(d, _)| *d == digest) {
+                        entry.acked = true;
+                    }
+                }
+                Ok(Frame::ClientReject { replica, digest }) => {
+                    // "Not my instance / no capacity": free the slot and try
+                    // the next candidate.
+                    if let Some(index) = pending.iter().position(|(d, _)| *d == digest) {
+                        let (_, entry) = pending.remove(index);
+                        client.forget(&digest);
+                        abandoned += 1;
+                        if entry.candidate == replica {
+                            rotate(&mut candidates, entry.instance, replica);
+                        }
+                        rejected_this_pass = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if rejected_this_pass {
+            // Freed slots resubmit on the next loop pass; pace the retry so
+            // a misrouted burst cannot hot-spin against a rejecting replica.
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Age out batches that drew neither reply nor ack. An *acked* aged
+        // batch means a live coordinator with stalled releases: free the
+        // window slot (keep the frontier fed — the σ-lag detection needs
+        // the healthy instances to advance) but keep the candidate. A
+        // never-acked batch means the candidate is dead or unreachable:
+        // rotate.
+        let now = Instant::now();
+        let mut home_aged = false;
+        let mut index = 0;
+        while index < pending.len() {
+            if now.duration_since(pending[index].1.at) <= REPLY_TIMEOUT {
+                index += 1;
+                continue;
+            }
+            let (digest, entry) = pending.remove(index);
+            client.forget(&digest);
+            abandoned += 1;
+            if !entry.acked {
+                rotate(&mut candidates, entry.instance, entry.candidate);
+            }
+            if entry.instance == home {
+                home_aged = true;
+            }
+        }
+        if home_aged && active == home && m > 1 {
+            home_failures += 1;
+            if home_failures >= HOME_FAILURES_BEFORE_DRAIN {
+                // Drain to the neighbouring instance; probe home later.
+                active = InstanceId((home.0 + 1) % m);
+                next_home_probe = now + HOME_PROBE_INTERVAL;
+                home_failures = 0;
+            }
+        }
+    }
+    ClientOutcome {
+        stream,
+        // `Client::forget` nets rejected batches out of its submitted
+        // counter; add the abandonments back so the reported total is
+        // actual submissions (submitted = completed + abandoned + lost
+        // in flight at the deadline).
+        submitted: client.submitted_batches() + abandoned,
+        completed: client.completed_batches(),
+        abandoned,
+    }
+}
+
+/// Verifies a reply frame's tag against the deployment keys.
+fn verify_reply(
+    keys: &ClientKeys,
+    mode: CryptoMode,
+    replica: ReplicaId,
+    digest: &Digest,
+    tag: &AuthTag,
+) -> bool {
+    match (mode, tag) {
+        (CryptoMode::None, _) => true,
+        (CryptoMode::Mac, AuthTag::Mac(mac)) => {
+            keys.mac_with_replicas[replica.index()].verify(digest.as_bytes(), mac)
+        }
+        (CryptoMode::PublicKey, AuthTag::Signature(sig)) => {
+            keys.replica_public[replica.index()].verify(digest.as_bytes(), sig)
+        }
+        _ => false,
+    }
+}
+
+/// Runs a complete localhost cluster per `plan` and returns every report.
+///
+/// # Panics
+///
+/// Panics when the plan's system configuration is invalid or (TCP) when
+/// localhost sockets cannot be bound.
+pub fn run_local_cluster(plan: &ClusterPlan) -> ClusterOutcome {
+    plan.system.validate().expect("invalid cluster plan");
+    match plan.transport {
+        TransportKind::InProcess => run_in_process(plan),
+        TransportKind::Tcp => run_tcp(plan),
+    }
+}
+
+fn client_threads<F>(
+    plan: &ClusterPlan,
+    deadline: Instant,
+    mut make_channel: F,
+) -> Vec<std::thread::JoinHandle<ClientOutcome>>
+where
+    F: FnMut(ClientId) -> Box<dyn ClientChannel>,
+{
+    let keys = DeploymentKeys::generate(&plan.system);
+    (0..plan.clients)
+        .map(|stream| {
+            let system = plan.system.clone();
+            let instance = InstanceId((stream % plan.system.instances.max(1)) as u32);
+            let window = plan.client_window;
+            let channel = make_channel(ClientId(stream as u64));
+            let client_keys = keys.client_keys(ClientId(stream as u64));
+            std::thread::Builder::new()
+                .name(format!("rcc-client-{stream}"))
+                .spawn(move || {
+                    run_client(
+                        &system,
+                        stream as u64,
+                        instance,
+                        window,
+                        channel,
+                        &client_keys,
+                        deadline,
+                    )
+                })
+                .expect("spawn client thread")
+        })
+        .collect()
+}
+
+/// Drives the optional kill-and-restart timeline, then waits out the run.
+/// `respawn` builds a fresh transport for the restarted replica.
+fn run_timeline<R>(
+    plan: &ClusterPlan,
+    started: Instant,
+    nodes: &mut [Option<NodeHandle>],
+    mut respawn: R,
+) where
+    R: FnMut(ReplicaId) -> Box<dyn Transport>,
+{
+    let deadline = started + plan.run_for;
+    if let Some(restart) = plan.restart {
+        let kill_at = started + restart.kill_after;
+        sleep_until(kill_at.min(deadline));
+        let index = restart.replica.index();
+        if let Some(handle) = nodes[index].take() {
+            // The killed node's report is discarded: a crash loses state.
+            let _ = handle.shutdown();
+        }
+        sleep_until((kill_at + restart.down_for).min(deadline));
+        let transport = respawn(restart.replica);
+        nodes[index] = Some(spawn_node(
+            NodeConfig {
+                system: plan.system.clone(),
+                replica: restart.replica,
+            },
+            BoxedTransport(transport),
+        ));
+    }
+    sleep_until(deadline);
+}
+
+fn sleep_until(at: Instant) {
+    let now = Instant::now();
+    if at > now {
+        std::thread::sleep(at - now);
+    }
+}
+
+/// Newtype making `Box<dyn Transport>` itself a [`Transport`], so nodes can
+/// be spawned over either concrete transport from one code path.
+struct BoxedTransport(Box<dyn Transport>);
+
+impl Transport for BoxedTransport {
+    fn me(&self) -> ReplicaId {
+        self.0.me()
+    }
+    fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>) {
+        self.0.send_to_replica(to, frame)
+    }
+    fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
+        self.0.send_to_client(to, frame)
+    }
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        self.0.recv_timeout(timeout)
+    }
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        self.0.try_recv()
+    }
+    fn shutdown(&mut self) {
+        self.0.shutdown()
+    }
+}
+
+fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
+    let n = plan.system.n;
+    let hub = InProcessNetwork::new(n, queue_capacity(&plan.system));
+    let mut nodes: Vec<Option<NodeHandle>> = ReplicaId::all(n)
+        .map(|replica| {
+            Some(spawn_node(
+                NodeConfig {
+                    system: plan.system.clone(),
+                    replica,
+                },
+                hub.transport(replica),
+            ))
+        })
+        .collect();
+    let started = Instant::now();
+    let deadline = started + plan.run_for;
+    let hub_for_clients = hub.clone();
+    let clients = client_threads(plan, deadline, move |id| {
+        Box::new(hub_for_clients.client(id))
+    });
+    let hub_for_restart = hub.clone();
+    run_timeline(plan, started, &mut nodes, move |replica| {
+        Box::new(hub_for_restart.transport(replica))
+    });
+    finish(nodes, clients)
+}
+
+fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
+    let n = plan.system.n;
+    // Bind every listener first (ephemeral ports) so all addresses are
+    // known before any node starts dialing.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind localhost listener"))
+        .collect();
+    let addrs: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr().expect("listener address"))
+        .collect();
+    let capacity = queue_capacity(&plan.system);
+    let mut nodes: Vec<Option<NodeHandle>> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(index, listener)| {
+            let replica = ReplicaId(index as u32);
+            Some(spawn_node(
+                NodeConfig {
+                    system: plan.system.clone(),
+                    replica,
+                },
+                TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),
+            ))
+        })
+        .collect();
+    let started = Instant::now();
+    let deadline = started + plan.run_for;
+    let connect_deadline = Instant::now() + Duration::from_secs(5);
+    let addrs_for_clients = addrs.clone();
+    let clients = client_threads(plan, deadline, move |id| {
+        Box::new(
+            TcpClientChannel::connect(id, &addrs_for_clients, connect_deadline)
+                .expect("client connects to localhost cluster"),
+        )
+    });
+    run_timeline(plan, started, &mut nodes, move |replica| {
+        // Re-bind the replica's fixed address. Closing leaves connections
+        // in TIME_WAIT briefly, so retry with backoff.
+        let addr = addrs[replica.index()];
+        let rebind_deadline = Instant::now() + Duration::from_secs(10);
+        let listener = loop {
+            match TcpListener::bind(addr) {
+                Ok(listener) => break listener,
+                Err(e) => {
+                    assert!(
+                        Instant::now() < rebind_deadline,
+                        "could not re-bind {addr} for restart: {e}"
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        Box::new(TcpTransport::with_listener(
+            replica,
+            listener,
+            addrs.clone(),
+            capacity,
+        ))
+    });
+    finish(nodes, clients)
+}
+
+fn finish(
+    nodes: Vec<Option<NodeHandle>>,
+    clients: Vec<std::thread::JoinHandle<ClientOutcome>>,
+) -> ClusterOutcome {
+    let client_outcomes: Vec<ClientOutcome> = clients
+        .into_iter()
+        .map(|thread| thread.join().expect("client thread panicked"))
+        .collect();
+    let reports: Vec<NodeReport> = nodes
+        .into_iter()
+        .map(|handle| handle.expect("every node live at run end").shutdown())
+        .collect();
+    ClusterOutcome {
+        reports,
+        clients: client_outcomes,
+    }
+}

@@ -1,25 +1,50 @@
-//! Transport layer for deployed RCC clusters — **placeholder, not yet
-//! implemented**.
+//! The deployment transport of the RCC reproduction: the I/O boundary the
+//! sans-io state machines of `rcc-protocols` and `rcc-core` are driven by
+//! in a *real* deployment — the role ResilientDB's network layer plays in
+//! the paper's experiments (Section V), scaled down to a localhost cluster.
 //!
-//! Intended scope (so future PRs have a target): the I/O boundary that the
-//! sans-io state machines of `rcc-protocols` and `rcc-core` are driven by in
-//! a real deployment, mirroring the role ResilientDB's network layer plays
-//! in the paper's experiments (Section V):
+//! Layers, bottom up:
 //!
-//! * per-replica-pair ordered channels carrying `RccMessage` envelopes, with
-//!   the authentication mode of [`rcc_common::CryptoMode`] applied at the
-//!   boundary (MACs between replicas, signatures on client requests);
-//! * an in-process channel transport first (deterministic multi-threaded
-//!   runs), then TCP with length-prefixed frames for multi-machine clusters;
-//! * batching and out-of-order dispatch so a primary can keep
-//!   `out_of_order_window` proposals in flight, which is what lets RCC
-//!   saturate outgoing bandwidth;
-//! * client request ingress and reply egress (`f + 1` matching replies per
-//!   client, Section III-A).
+//! * [`frame`] — the versioned wire format: magic + version header, one
+//!   frame kind per traffic class (replica envelopes, client submissions,
+//!   replies, rejects), payloads in the canonical `rcc_common::codec`
+//!   binary encoding, and a [`rcc_crypto::AuthTag`] applied **at the frame
+//!   boundary** per the deployment's [`rcc_common::CryptoMode`] (pairwise
+//!   MACs between replicas, signatures in PK mode — Fig. 7's knob).
+//! * [`transport`] — the [`transport::Transport`] abstraction plus the
+//!   bounded in-process channel implementation; [`tcp`] — real sockets:
+//!   per-peer ordered framed connections with reconnect-on-drop and
+//!   bounded outbound queues sized to keep a primary's whole
+//!   `out_of_order_window` pipeline in flight.
+//! * [`node`] — the `rcc-node` runner: a mailbox thread that owns one
+//!   [`rcc_core::RccReplica`], drives wall-clock timers through the
+//!   `TimerId` seam, verifies/authenticates at the frame boundary, and
+//!   sends every released batch's digest back to its submitting client
+//!   (`f + 1` matching replies, §III-A).
+//! * [`cluster`] — launch an n-replica localhost cluster (either
+//!   transport) with closed-loop client drivers, optionally
+//!   kill-and-restart a replica mid-run, and verify identical release
+//!   orders across the survivors; [`config`] — the TOML-ish deployment
+//!   file the `rcc-node` binary reads.
 //!
-//! Until this lands, deployments are driven by the deterministic
-//! `rcc_protocols::harness::Cluster` and (eventually) the discrete-event
-//! simulator in `rcc-sim`.
+//! The binary target (`cargo run -p rcc-network --bin rcc-node`) exposes
+//! all of this as `cluster` / `replica` / `client` subcommands; see
+//! `README.md` ("Run a localhost cluster") and `docs/ARCHITECTURE.md` for
+//! the frame diagram and thread model.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod config;
+pub mod frame;
+pub mod node;
+pub mod tcp;
+pub mod transport;
+
+pub use cluster::{run_local_cluster, ClusterOutcome, ClusterPlan, RestartPlan, TransportKind};
+pub use config::{parse_deployment, DeploymentFile};
+pub use frame::{Frame, PeerKind, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use node::{spawn_node, verify_identical_orders, NodeConfig, NodeHandle, NodeReport};
+pub use tcp::{TcpClientChannel, TcpTransport};
+pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};

@@ -1,0 +1,438 @@
+//! The `rcc-node` replica runner: a deployed host for the sans-io
+//! [`RccReplica`] state machine.
+//!
+//! # Thread model
+//!
+//! One **mailbox thread** owns the entire replica state machine; it is the
+//! only thread that ever touches it, so the sans-io core needs no locks:
+//!
+//! ```text
+//!   listener ──► reader threads ──┐                  ┌──► writer thread → R0
+//!   (ingress)    (one per conn)   ├─► inbox ─► mailbox ──► writer thread → R1
+//!   client conns ────────────────┘    (mpsc)   thread  └──► … (bounded queues)
+//!                                                │
+//!                    wall-clock timers ◄─────────┤ SetTimer/CancelTimer
+//!                    (BTreeMap deadline heap)    │ Commit → client replies
+//! ```
+//!
+//! The mailbox loop alternates between draining inbound frames (verify
+//! authentication at the frame boundary, decode, feed `on_message`/
+//! `propose_for`) and firing due wall-clock timers through the existing
+//! [`rcc_protocols::bca::TimerId`] seam. Logical [`Time`] is nanoseconds
+//! since the node started (`Instant`-derived), which is all the protocol
+//! timers need.
+//!
+//! Replies implement §III-A: every replica sends the released batch's
+//! certified digest to the client node that submitted it (recovered from
+//! the batch's request ids via [`rcc_workload::stream_of_client`]); a
+//! client accepts the outcome on `f + 1` matching replies.
+
+use crate::frame::Frame;
+use crate::transport::Transport;
+use rcc_common::codec::{Decode, Encode};
+use rcc_common::{Batch, ClientId, Digest, ReplicaId, Round, SystemConfig, Time};
+use rcc_core::{RccMessage, RccReplica};
+use rcc_crypto::{Authenticator, DeploymentKeys};
+use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId};
+use rcc_protocols::pbft::{Pbft, PbftMessage};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of one deployed replica node.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// The deployment (n, f, m, batching, crypto mode, timeouts, seed).
+    pub system: SystemConfig,
+    /// Which replica this node is.
+    pub replica: ReplicaId,
+}
+
+/// What a node measured and held when it shut down.
+#[derive(Clone, Debug)]
+pub struct NodeReport {
+    /// The replica that produced the report.
+    pub replica: ReplicaId,
+    /// Concurrent instances of the deployment (digest alignment for
+    /// [`NodeReport::execution_digests`]).
+    pub instances: usize,
+    /// Batches released for execution (the global execution sequence).
+    pub executed_batches: u64,
+    /// First round still retained in the execution window (the stable
+    /// checkpoint round; earlier rounds were garbage-collected).
+    pub execution_window_start: Round,
+    /// Digest sequence of the retained execution window, `instances`
+    /// digests per round — replicas agree on the overlap of their windows.
+    pub execution_digests: Vec<Digest>,
+    /// Chained digest over the *entire* release history (pruned included).
+    pub ledger_head: Digest,
+    /// Client replies sent.
+    pub replies_sent: u64,
+    /// Frames that arrived but failed authentication.
+    pub auth_failures: u64,
+    /// Frames (or payloads) that arrived but failed to decode.
+    pub decode_failures: u64,
+    /// `SuspectPrimary` actions the replica raised.
+    pub suspicions: u64,
+    /// `ViewChanged` actions the replica raised.
+    pub view_changes: u64,
+}
+
+/// Handle to a running node; dropping it does **not** stop the node — call
+/// [`NodeHandle::shutdown`].
+pub struct NodeHandle {
+    stop: Sender<()>,
+    thread: JoinHandle<NodeReport>,
+}
+
+impl NodeHandle {
+    /// Stops the node and returns its final report.
+    pub fn shutdown(self) -> NodeReport {
+        let _ = self.stop.send(());
+        self.thread.join().expect("node thread panicked")
+    }
+}
+
+/// Spawns a replica node over `transport`. Key material is derived
+/// deterministically from the deployment seed (the offline-crypto trusted
+/// dealer every other layer already uses), so nodes need no key exchange.
+pub fn spawn_node(config: NodeConfig, transport: impl Transport + 'static) -> NodeHandle {
+    let (stop_tx, stop_rx) = std::sync::mpsc::channel();
+    let thread = std::thread::Builder::new()
+        .name(format!("rcc-node-{}", config.replica.0))
+        .spawn(move || {
+            let keys = DeploymentKeys::generate(&config.system);
+            let auth = Authenticator::new(config.system.crypto, keys.replica_keys(config.replica));
+            let replica = RccReplica::over_pbft(config.system.clone(), config.replica);
+            let node = Node {
+                config,
+                transport,
+                replica,
+                auth,
+                timers: BTreeMap::new(),
+                epoch: Instant::now(),
+                replies_sent: 0,
+                auth_failures: 0,
+                decode_failures: 0,
+                suspicions: 0,
+                view_changes: 0,
+            };
+            node.run(stop_rx)
+        })
+        .expect("spawn node thread");
+    NodeHandle {
+        stop: stop_tx,
+        thread,
+    }
+}
+
+/// How many inbound frames the mailbox drains before giving timers a turn.
+const DRAIN_BURST: usize = 256;
+
+/// The longest the mailbox sleeps when idle with no armed timer.
+const IDLE_WAIT: Duration = Duration::from_millis(20);
+
+struct Node<T: Transport> {
+    config: NodeConfig,
+    transport: T,
+    replica: RccReplica<Pbft>,
+    auth: Authenticator,
+    /// Armed wall-clock timers: protocol `TimerId` → absolute logical time.
+    timers: BTreeMap<TimerId, Time>,
+    epoch: Instant,
+    replies_sent: u64,
+    auth_failures: u64,
+    decode_failures: u64,
+    suspicions: u64,
+    view_changes: u64,
+}
+
+impl<T: Transport> Node<T> {
+    fn now(&self) -> Time {
+        Time::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn run(mut self, stop: Receiver<()>) -> NodeReport {
+        loop {
+            match stop.try_recv() {
+                Ok(()) | Err(TryRecvError::Disconnected) => break,
+                Err(TryRecvError::Empty) => {}
+            }
+            self.fire_due_timers();
+            // Sleep until the next timer deadline (capped), unless frames
+            // arrive first.
+            let now = self.now();
+            let wait = self
+                .timers
+                .values()
+                .min()
+                .map(|&deadline| {
+                    Duration::from_nanos(deadline.as_nanos().saturating_sub(now.as_nanos()))
+                })
+                .unwrap_or(IDLE_WAIT)
+                .min(IDLE_WAIT);
+            let Some(first) = self.transport.recv_timeout(wait) else {
+                continue;
+            };
+            self.on_frame_bytes(first);
+            for _ in 0..DRAIN_BURST {
+                match self.transport.try_recv() {
+                    Some(bytes) => self.on_frame_bytes(bytes),
+                    None => break,
+                }
+            }
+        }
+        self.transport.shutdown();
+        self.report()
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now = self.now();
+            let due: Vec<TimerId> = self
+                .timers
+                .iter()
+                .filter(|(_, &at)| at <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            if due.is_empty() {
+                return;
+            }
+            for timer in due {
+                self.timers.remove(&timer);
+                let actions = self.replica.on_timeout(self.now(), timer);
+                self.absorb(actions);
+            }
+        }
+    }
+
+    fn on_frame_bytes(&mut self, bytes: Vec<u8>) {
+        let frame = match Frame::decode_frame(&bytes) {
+            Ok(frame) => frame,
+            Err(_) => {
+                self.decode_failures += 1;
+                return;
+            }
+        };
+        match frame {
+            Frame::Hello { .. } => {} // transport-level concern; nothing to do
+            Frame::Replica { from, payload, tag } => {
+                if from == self.config.replica
+                    || self.auth.verify_from_replica(from, &payload, &tag).is_err()
+                {
+                    self.auth_failures += 1;
+                    return;
+                }
+                let message = match RccMessage::<PbftMessage>::decode_all(&payload) {
+                    Ok(message) => message,
+                    Err(_) => {
+                        self.decode_failures += 1;
+                        return;
+                    }
+                };
+                let actions = self.replica.on_message(self.now(), from, message);
+                self.absorb(actions);
+            }
+            Frame::ClientSubmit {
+                client,
+                instance,
+                payload,
+                tag,
+            } => {
+                if self
+                    .auth
+                    .verify_from_client(client, &payload, &tag)
+                    .is_err()
+                {
+                    self.auth_failures += 1;
+                    return;
+                }
+                let batch = match Batch::decode_all(&payload) {
+                    Ok(batch) => batch,
+                    Err(_) => {
+                        self.decode_failures += 1;
+                        return;
+                    }
+                };
+                let digest = rcc_crypto::digest_batch(&batch);
+                let actions = if self.replica.proposal_capacity_for(instance) > 0 {
+                    self.replica.propose_for(self.now(), instance, batch)
+                } else {
+                    Vec::new()
+                };
+                if actions.is_empty() {
+                    // Turned away: free the client's window slot explicitly.
+                    let reject = Frame::ClientReject {
+                        replica: self.config.replica,
+                        digest,
+                    };
+                    self.transport.send_to_client(client, reject.encode_frame());
+                } else {
+                    // Accepted into the pipeline: a liveness signal that
+                    // keeps the client feeding this coordinator even while
+                    // downstream releases are stalled (a blocked round must
+                    // not starve the frontier the σ-lag detection needs).
+                    let accept = Frame::ClientAccept {
+                        replica: self.config.replica,
+                        digest,
+                    };
+                    self.transport.send_to_client(client, accept.encode_frame());
+                    self.absorb(actions);
+                }
+            }
+            // Replies/accepts/rejects are client-bound; a replica receiving
+            // one (misrouted or malicious) ignores it.
+            Frame::ClientReply { .. } | Frame::ClientReject { .. } | Frame::ClientAccept { .. } => {
+            }
+        }
+    }
+
+    fn absorb(&mut self, actions: Vec<Action<RccMessage<PbftMessage>>>) {
+        for action in actions {
+            match action {
+                Action::Send { to, message } => self.send(to, &message),
+                Action::Broadcast { message } => {
+                    for to in ReplicaId::all(self.config.system.n) {
+                        if to != self.config.replica {
+                            self.send(to, &message);
+                        }
+                    }
+                }
+                Action::SetTimer { timer, fires_at } => {
+                    self.timers.insert(timer, fires_at);
+                }
+                Action::CancelTimer { timer } => {
+                    self.timers.remove(&timer);
+                }
+                Action::Commit(slot) => self.reply(slot.digest, &slot.batch),
+                Action::SuspectPrimary { .. } => self.suspicions += 1,
+                Action::ViewChanged { .. } => self.view_changes += 1,
+            }
+        }
+    }
+
+    fn send(&mut self, to: ReplicaId, message: &RccMessage<PbftMessage>) {
+        let payload = message.encoded();
+        let tag = self.auth.tag_for_replica(to, &payload);
+        let frame = Frame::Replica {
+            from: self.config.replica,
+            payload,
+            tag,
+        };
+        self.transport.send_to_replica(to, frame.encode_frame());
+    }
+
+    /// Sends the released batch's certified digest back to the client node
+    /// that submitted it (§III-A replies; `f + 1` matching replies convince
+    /// the client). No-op filler has no client; its release is silent.
+    fn reply(&mut self, digest: Digest, batch: &Batch) {
+        let mut last_stream = None;
+        for request in &batch.requests {
+            let Some(stream) = rcc_workload::stream_of_client(request.id.client) else {
+                continue;
+            };
+            // Batches are assembled per client node: every request carries
+            // the same stream. Dedup cheaply without a set.
+            if last_stream == Some(stream) {
+                continue;
+            }
+            last_stream = Some(stream);
+            let client = ClientId(stream);
+            let tag = self.auth.tag_for_client(client, digest.as_bytes());
+            let frame = Frame::ClientReply {
+                replica: self.config.replica,
+                digest,
+                tag,
+            };
+            self.transport.send_to_client(client, frame.encode_frame());
+            self.replies_sent += 1;
+        }
+    }
+
+    fn report(&self) -> NodeReport {
+        NodeReport {
+            replica: self.config.replica,
+            instances: self.config.system.instances,
+            executed_batches: self.replica.committed_prefix(),
+            execution_window_start: self.replica.execution_window_start(),
+            execution_digests: self.replica.execution_digests(),
+            ledger_head: self.replica.ledger_head(),
+            replies_sent: self.replies_sent,
+            auth_failures: self.auth_failures,
+            decode_failures: self.decode_failures,
+            suspicions: self.suspicions,
+            view_changes: self.view_changes,
+        }
+    }
+}
+
+/// Compares the execution orders of a set of node reports on the overlap of
+/// their retained windows: every pair must agree digest-for-digest wherever
+/// both still hold the round. Returns a human-readable explanation of the
+/// first divergence.
+pub fn verify_identical_orders(reports: &[NodeReport]) -> Result<(), String> {
+    for (i, a) in reports.iter().enumerate() {
+        for b in reports.iter().skip(i + 1) {
+            let m = a.instances.max(1);
+            let start = a.execution_window_start.max(b.execution_window_start);
+            let skip_a = ((start - a.execution_window_start) as usize).saturating_mul(m);
+            let skip_b = ((start - b.execution_window_start) as usize).saturating_mul(m);
+            let wa = a.execution_digests.get(skip_a..).unwrap_or(&[]);
+            let wb = b.execution_digests.get(skip_b..).unwrap_or(&[]);
+            let overlap = wa.len().min(wb.len());
+            if wa[..overlap] != wb[..overlap] {
+                let at = wa[..overlap]
+                    .iter()
+                    .zip(&wb[..overlap])
+                    .position(|(x, y)| x != y)
+                    .unwrap_or(0);
+                return Err(format!(
+                    "{} and {} diverge at overlap index {at} (window start round {start})",
+                    a.replica, b.replica
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(replica: u32, start: Round, digests: Vec<u8>) -> NodeReport {
+        NodeReport {
+            replica: ReplicaId(replica),
+            instances: 1,
+            executed_batches: digests.len() as u64,
+            execution_window_start: start,
+            execution_digests: digests
+                .into_iter()
+                .map(|b| Digest::from_bytes([b; 32]))
+                .collect(),
+            ledger_head: Digest::ZERO,
+            replies_sent: 0,
+            auth_failures: 0,
+            decode_failures: 0,
+            suspicions: 0,
+            view_changes: 0,
+        }
+    }
+
+    #[test]
+    fn identical_orders_verify_on_overlapping_windows() {
+        // Replica 1 pruned its first two rounds; the overlap agrees.
+        let a = report(0, 0, vec![1, 2, 3, 4]);
+        let b = report(1, 2, vec![3, 4]);
+        verify_identical_orders(&[a, b]).expect("overlap agrees");
+    }
+
+    #[test]
+    fn diverging_orders_are_reported() {
+        let a = report(0, 0, vec![1, 2, 3]);
+        let b = report(1, 0, vec![1, 9, 3]);
+        let err = verify_identical_orders(&[a, b]).expect_err("divergence");
+        assert!(err.contains("diverge"), "{err}");
+    }
+}

@@ -1,0 +1,488 @@
+//! The TCP transport: real sockets for multi-process localhost (or
+//! multi-machine) clusters.
+//!
+//! Design, mirroring the role ResilientDB's network layer plays in the
+//! paper's deployments (std `TcpStream` + threads — the build environment
+//! has no async runtime, and consensus at this scale does not need one):
+//!
+//! * **Per-peer ordered framed connections.** Each replica owns one
+//!   outbound connection per peer, driven by a writer thread that drains a
+//!   **bounded** queue ([`crate::transport::queue_capacity`]-sized, so a
+//!   primary can keep its full `out_of_order_window` pipeline in flight).
+//!   Frames on one connection are delivered in order; a full queue drops
+//!   the frame (consensus recovers via state sync/retransmission).
+//! * **Reconnect-on-drop.** A writer that loses its connection reconnects
+//!   with capped backoff and resumes draining its queue. Frames being
+//!   written at the moment of failure are lost — exactly the loss model
+//!   the protocols already tolerate.
+//! * **Ingress.** One listener thread accepts connections; each accepted
+//!   connection gets a reader thread that pushes length-prefixed frames
+//!   into the node's single inbox. A connection whose first frame is
+//!   `Hello{Client}` registers its write half so replies can be routed
+//!   back to that client.
+//!
+//! Stream framing: `[u32 big-endian length][frame bytes]`, length capped at
+//! [`MAX_FRAME_BYTES`]; the frame bytes themselves carry the magic/version
+//! header of [`crate::frame`].
+
+use crate::frame::{Frame, PeerKind, MAX_FRAME_BYTES};
+use crate::transport::{ClientChannel, Transport};
+use rcc_common::{ClientId, ReplicaId};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Writes one length-prefixed frame to a stream.
+pub fn write_frame(stream: &mut TcpStream, frame: &[u8]) -> std::io::Result<()> {
+    let len = frame.len() as u32;
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(frame)?;
+    Ok(())
+}
+
+/// Fills `buf` completely, resuming across read timeouts without ever
+/// losing already-consumed bytes. This is the load-bearing difference from
+/// `read_exact`: streams carry a short read timeout so reader threads can
+/// observe `shutdown`, and a plain `read_exact` that times out mid-frame
+/// has already consumed a *partial* length prefix or body — retrying it
+/// from scratch would permanently desynchronize the stream, silently
+/// garbling every subsequent frame. Returns `Interrupted` on shutdown.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shutdown: &AtomicBool) -> std::io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if shutdown.load(Ordering::Relaxed) {
+            return Err(std::io::ErrorKind::Interrupted.into());
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(std::io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one length-prefixed frame from a stream, rejecting absurd lengths.
+/// Blocks until a whole frame arrives, a real I/O error occurs, or
+/// `shutdown` is raised (surfaced as `Interrupted`).
+pub fn read_frame(stream: &mut TcpStream, shutdown: &AtomicBool) -> std::io::Result<Vec<u8>> {
+    let mut len_bytes = [0u8; 4];
+    read_full(stream, &mut len_bytes, shutdown)?;
+    let len = u32::from_be_bytes(len_bytes) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut frame = vec![0u8; len];
+    read_full(stream, &mut frame, shutdown)?;
+    Ok(frame)
+}
+
+fn configure(stream: &TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+}
+
+/// A replica's TCP endpoint.
+pub struct TcpTransport {
+    me: ReplicaId,
+    inbox: Receiver<Vec<u8>>,
+    peers: Vec<Option<SyncSender<Vec<u8>>>>,
+    clients: SharedClientRegistry,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl TcpTransport {
+    /// Binds a listener on `listen` and connects to `peer_addrs` (indexed
+    /// by replica id; the entry at `me` is ignored). `capacity` bounds each
+    /// per-peer outbound queue.
+    pub fn bind(
+        me: ReplicaId,
+        listen: SocketAddr,
+        peer_addrs: Vec<SocketAddr>,
+        capacity: usize,
+    ) -> std::io::Result<TcpTransport> {
+        let listener = TcpListener::bind(listen)?;
+        Ok(Self::with_listener(me, listener, peer_addrs, capacity))
+    }
+
+    /// Builds the transport around an already-bound listener (the cluster
+    /// launcher binds all listeners first so every peer address is known
+    /// before any node starts).
+    pub fn with_listener(
+        me: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        capacity: usize,
+    ) -> TcpTransport {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let clients: SharedClientRegistry = Arc::new(Mutex::new(BTreeMap::new()));
+        // Bounded inbox, matching the in-process transport's loss model: a
+        // sender that outruns the mailbox thread has its frames dropped at
+        // the boundary instead of growing node memory without limit.
+        let (inbox_tx, inbox_rx) =
+            std::sync::mpsc::sync_channel::<Vec<u8>>(capacity.max(1) * (peer_addrs.len() + 4));
+        let mut threads = Vec::new();
+
+        // Ingress: accept loop + one reader thread per connection.
+        {
+            let shutdown = Arc::clone(&shutdown);
+            let clients = Arc::clone(&clients);
+            let inbox_tx = inbox_tx.clone();
+            listener
+                .set_nonblocking(true)
+                .expect("listener nonblocking");
+            threads.push(std::thread::spawn(move || {
+                let mut readers: Vec<JoinHandle<()>> = Vec::new();
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            configure(&stream);
+                            let shutdown = Arc::clone(&shutdown);
+                            let clients = Arc::clone(&clients);
+                            let inbox_tx = inbox_tx.clone();
+                            readers.push(std::thread::spawn(move || {
+                                read_connection(stream, &shutdown, &clients, &inbox_tx, capacity);
+                            }));
+                            // Reap readers whose connections have closed so
+                            // long-lived nodes do not accumulate a handle
+                            // per connect/disconnect cycle.
+                            readers.retain(|reader| !reader.is_finished());
+                        }
+                        // Transient accept errors (ECONNABORTED from a
+                        // half-open reconnect, EMFILE under fd pressure,
+                        // WouldBlock from the nonblocking listener) must
+                        // not kill ingress for the node's whole life:
+                        // back off and keep accepting. Only the shutdown
+                        // flag ends the loop.
+                        Err(_) => {
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                    }
+                }
+                for reader in readers {
+                    let _ = reader.join();
+                }
+            }));
+        }
+
+        // Egress: one bounded queue + writer thread per peer.
+        let mut peers = Vec::with_capacity(peer_addrs.len());
+        for (index, addr) in peer_addrs.iter().enumerate() {
+            if index == me.index() {
+                peers.push(None);
+                continue;
+            }
+            let (tx, rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(capacity.max(1));
+            let addr = *addr;
+            let shutdown = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                write_connection(me, addr, rx, &shutdown);
+            }));
+            peers.push(Some(tx));
+        }
+
+        TcpTransport {
+            me,
+            inbox: inbox_rx,
+            peers,
+            clients,
+            shutdown,
+            threads,
+        }
+    }
+}
+
+/// The client-reply registry: client id → bounded queue into that client
+/// connection's dedicated writer thread. `send_to_client` only ever
+/// `try_send`s, so a stalled client can never block the consensus mailbox
+/// thread (its replies are dropped once its queue fills, exactly like a
+/// slow replica peer's).
+type SharedClientRegistry = Arc<Mutex<BTreeMap<u64, SyncSender<Vec<u8>>>>>;
+
+/// Reader side of one accepted connection. A first-frame `Hello{Client}`
+/// spawns a writer thread over the connection's write half and registers
+/// its bounded queue for reply routing; only the first frame is inspected
+/// (replica connections announce `Hello{Replica}` first, so later frames
+/// skip the peek entirely instead of being decoded twice).
+fn read_connection(
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    clients: &SharedClientRegistry,
+    inbox: &SyncSender<Vec<u8>>,
+    reply_capacity: usize,
+) {
+    let mut registered: Option<u64> = None;
+    let mut first = true;
+    while !shutdown.load(Ordering::Relaxed) {
+        match read_frame(&mut stream, shutdown) {
+            Ok(frame) => {
+                if std::mem::take(&mut first) {
+                    if let Ok(Frame::Hello {
+                        peer: PeerKind::Client(client),
+                    }) = Frame::decode_frame(&frame)
+                    {
+                        if let Ok(write_half) = stream.try_clone() {
+                            let (tx, rx) =
+                                std::sync::mpsc::sync_channel::<Vec<u8>>(reply_capacity.max(1));
+                            std::thread::spawn(move || {
+                                write_client_replies(write_half, rx);
+                            });
+                            clients
+                                .lock()
+                                .expect("client registry lock")
+                                .insert(client.0, tx);
+                            registered = Some(client.0);
+                        }
+                    }
+                }
+                match inbox.try_send(frame) {
+                    // A full inbox drops the frame (bounded back-pressure);
+                    // consensus recovers lost messages via state sync.
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    if let Some(client) = registered {
+        // Dropping the queue sender ends the writer thread.
+        clients
+            .lock()
+            .expect("client registry lock")
+            .remove(&client);
+    }
+}
+
+/// Writer side of one inbound client connection: drains the reply queue
+/// onto the socket (blocking only this thread; the 2 s write timeout
+/// bounds a stalled client) and exits when the registry drops the sender
+/// or the socket dies.
+fn write_client_replies(mut stream: TcpStream, queue: Receiver<Vec<u8>>) {
+    while let Ok(frame) = queue.recv() {
+        if write_frame(&mut stream, &frame).is_err() {
+            break;
+        }
+    }
+}
+
+/// Writer side of one outbound peer link: connect (with capped backoff),
+/// announce ourselves, drain the queue; on any write failure, reconnect and
+/// keep draining. Frames passed to a dead connection are lost by design.
+fn write_connection(
+    me: ReplicaId,
+    addr: SocketAddr,
+    queue: Receiver<Vec<u8>>,
+    shutdown: &AtomicBool,
+) {
+    let mut backoff = Duration::from_millis(10);
+    while !shutdown.load(Ordering::Relaxed) {
+        let Ok(stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(500)) else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(Duration::from_millis(200));
+            continue;
+        };
+        backoff = Duration::from_millis(10);
+        let mut stream = stream;
+        configure(&stream);
+        let hello = Frame::Hello {
+            peer: PeerKind::Replica(me),
+        }
+        .encode_frame();
+        if write_frame(&mut stream, &hello).is_err() {
+            continue;
+        }
+        loop {
+            if shutdown.load(Ordering::Relaxed) {
+                return;
+            }
+            match queue.recv_timeout(Duration::from_millis(200)) {
+                Ok(frame) => {
+                    if write_frame(&mut stream, &frame).is_err() {
+                        break; // reconnect
+                    }
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => return,
+            }
+        }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn me(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>) {
+        if let Some(Some(tx)) = self.peers.get(to.index()) {
+            match tx.try_send(frame) {
+                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+
+    fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
+        // Non-blocking hand-off to the connection's writer thread: the
+        // consensus mailbox thread must never wait on a client socket. A
+        // full queue drops the frame; a disconnected queue means the
+        // reader already unregistered (or will momentarily).
+        let registry = self.clients.lock().expect("client registry lock");
+        if let Some(tx) = registry.get(&to.0) {
+            match tx.try_send(frame) {
+                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        self.inbox.try_recv().ok()
+    }
+
+    fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        self.clients.lock().expect("client registry lock").clear();
+    }
+}
+
+impl Drop for TcpTransport {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Threads not joined here exit within one poll interval; `shutdown`
+        // joins them properly.
+    }
+}
+
+/// A client node's TCP connections to every replica of a cluster.
+pub struct TcpClientChannel {
+    id: ClientId,
+    streams: Vec<Option<TcpStream>>,
+    inbox: Receiver<Vec<u8>>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl TcpClientChannel {
+    /// Dials every replica (retrying each until `deadline`), announces the
+    /// client, and starts reader threads that merge replies into one inbox.
+    pub fn connect(
+        id: ClientId,
+        replica_addrs: &[SocketAddr],
+        deadline: Instant,
+    ) -> std::io::Result<TcpClientChannel> {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (inbox_tx, inbox_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        let mut streams = Vec::new();
+        let mut threads = Vec::new();
+        for addr in replica_addrs {
+            let stream = loop {
+                match TcpStream::connect_timeout(addr, Duration::from_millis(500)) {
+                    Ok(stream) => break Some(stream),
+                    Err(e) => {
+                        if Instant::now() >= deadline {
+                            return Err(e);
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                }
+            };
+            let mut stream = stream.expect("connected");
+            configure(&stream);
+            let hello = Frame::Hello {
+                peer: PeerKind::Client(id),
+            }
+            .encode_frame();
+            write_frame(&mut stream, &hello)?;
+            let reader = stream.try_clone()?;
+            let inbox_tx = inbox_tx.clone();
+            let shutdown_flag = Arc::clone(&shutdown);
+            threads.push(std::thread::spawn(move || {
+                let mut reader = reader;
+                while !shutdown_flag.load(Ordering::Relaxed) {
+                    match read_frame(&mut reader, &shutdown_flag) {
+                        Ok(frame) => {
+                            if inbox_tx.send(frame).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }));
+            streams.push(Some(stream));
+        }
+        Ok(TcpClientChannel {
+            id,
+            streams,
+            inbox: inbox_rx,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// Stops the reader threads and closes the connections.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.streams.clear();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl ClientChannel for TcpClientChannel {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn replica_count(&self) -> usize {
+        self.streams.len()
+    }
+
+    fn submit(&mut self, to: ReplicaId, frame: Vec<u8>) {
+        let failed = match self.streams.get_mut(to.index()) {
+            Some(Some(stream)) => write_frame(stream, &frame).is_err(),
+            _ => false,
+        };
+        if failed {
+            // The replica is down (killed, restarting): drop the connection;
+            // submissions to it will be aged out by the driver and retried
+            // against the live coordinator set.
+            self.streams[to.index()] = None;
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+impl Drop for TcpClientChannel {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+}

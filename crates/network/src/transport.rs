@@ -1,0 +1,278 @@
+//! The transport abstraction and the in-process channel transport.
+//!
+//! A [`Transport`] moves encoded frames between the processes (or threads)
+//! of a deployment; it knows nothing about their contents beyond "bytes".
+//! Two implementations exist:
+//!
+//! * [`InProcessNetwork`] (here) — bounded channels between threads of one
+//!   process. No sockets, no reconnects; per-link ordered and lossless
+//!   except when a bounded queue overflows. This is the transport unit
+//!   tests and single-process clusters use.
+//! * [`crate::tcp::TcpTransport`] — real sockets with per-peer ordered
+//!   framed connections, reconnect-on-drop, and the same bounded-queue
+//!   back-pressure behaviour.
+//!
+//! Both share one delivery contract: sends are **best effort**. A full
+//! queue or a dead connection silently drops the frame — exactly the
+//! assumption the consensus layer is built for (state sync and
+//! retransmission recover lost messages; TCP merely makes loss rare).
+
+use crate::frame::Frame;
+use rcc_common::{ClientId, ReplicaId, SystemConfig};
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The I/O boundary a deployed replica node runs against.
+pub trait Transport: Send {
+    /// The replica this transport belongs to.
+    fn me(&self) -> ReplicaId;
+
+    /// Queues `frame` for ordered delivery to a peer replica. Best effort:
+    /// the frame is dropped when the peer's bounded outbound queue is full
+    /// or its connection is down.
+    fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>);
+
+    /// Queues `frame` for delivery to a client over the connection that
+    /// client opened. Dropped when the client is not connected.
+    fn send_to_client(&self, to: ClientId, frame: Vec<u8>);
+
+    /// Receives the next inbound frame, waiting at most `timeout`.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>>;
+
+    /// Receives an inbound frame if one is already queued.
+    fn try_recv(&mut self) -> Option<Vec<u8>>;
+
+    /// Tears the transport down (closes sockets, stops worker threads).
+    /// Called once when the owning node shuts down.
+    fn shutdown(&mut self) {}
+}
+
+/// A client's connection bundle: a way to submit frames to each replica and
+/// a single merged stream of replies. Mirrors [`Transport`] for the client
+/// side of the deployment.
+pub trait ClientChannel: Send {
+    /// The client node this channel belongs to.
+    fn id(&self) -> ClientId;
+
+    /// Number of replicas this channel is connected to.
+    fn replica_count(&self) -> usize;
+
+    /// Sends `frame` to one replica (best effort).
+    fn submit(&mut self, to: ReplicaId, frame: Vec<u8>);
+
+    /// Receives the next reply frame from any replica.
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>>;
+}
+
+impl ClientChannel for Box<dyn ClientChannel> {
+    fn id(&self) -> ClientId {
+        (**self).id()
+    }
+    fn replica_count(&self) -> usize {
+        (**self).replica_count()
+    }
+    fn submit(&mut self, to: ReplicaId, frame: Vec<u8>) {
+        (**self).submit(to, frame)
+    }
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        (**self).recv_timeout(timeout)
+    }
+}
+
+/// Sizes a per-peer outbound queue so a primary can keep its full
+/// out-of-order pipeline in flight to every peer: for each of the `m`
+/// instances it may coordinate, `out_of_order_window` proposals plus the
+/// matching prepare/commit votes (≈ 3 consensus messages per slot), with
+/// headroom for state sync and checkpoint traffic.
+pub fn queue_capacity(config: &SystemConfig) -> usize {
+    ((config.out_of_order_window + 4) * config.instances.max(1) * 3 + 32).max(64)
+}
+
+type SharedSenders = Arc<Mutex<Vec<Option<SyncSender<Vec<u8>>>>>>;
+type SharedClients = Arc<Mutex<BTreeMap<u64, SyncSender<Vec<u8>>>>>;
+
+/// The hub of an in-process deployment: hands out one [`InProcessTransport`]
+/// per replica and one [`InProcessClientChannel`] per client node. Kept by
+/// the launcher; a replica can be "restarted" by asking for a fresh
+/// transport under the same id (the stale inbox is unhooked atomically).
+#[derive(Clone)]
+pub struct InProcessNetwork {
+    n: usize,
+    capacity: usize,
+    replicas: SharedSenders,
+    clients: SharedClients,
+}
+
+impl InProcessNetwork {
+    /// Creates the hub of an `n`-replica deployment with the given per-link
+    /// queue capacity (see [`queue_capacity`]).
+    pub fn new(n: usize, capacity: usize) -> Self {
+        InProcessNetwork {
+            n,
+            capacity: capacity.max(1),
+            replicas: Arc::new(Mutex::new(vec![None; n])),
+            clients: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// Creates (or re-creates, on restart) the transport of `replica`,
+    /// wiring its fresh inbox into the hub.
+    pub fn transport(&self, replica: ReplicaId) -> InProcessTransport {
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.capacity * self.n.max(1));
+        self.replicas.lock().expect("hub lock")[replica.index()] = Some(tx);
+        InProcessTransport {
+            me: replica,
+            replicas: Arc::clone(&self.replicas),
+            clients: Arc::clone(&self.clients),
+            inbox: rx,
+        }
+    }
+
+    /// Connects a client node to every replica of the hub.
+    pub fn client(&self, client: ClientId) -> InProcessClientChannel {
+        let (tx, rx) = std::sync::mpsc::sync_channel(self.capacity);
+        self.clients.lock().expect("hub lock").insert(client.0, tx);
+        InProcessClientChannel {
+            id: client,
+            n: self.n,
+            replicas: Arc::clone(&self.replicas),
+            inbox: rx,
+        }
+    }
+}
+
+/// One replica's endpoint of an [`InProcessNetwork`].
+pub struct InProcessTransport {
+    me: ReplicaId,
+    replicas: SharedSenders,
+    clients: SharedClients,
+    inbox: Receiver<Vec<u8>>,
+}
+
+fn shared_send(senders: &SharedSenders, index: usize, frame: Vec<u8>) {
+    let guard = senders.lock().expect("hub lock");
+    if let Some(Some(tx)) = guard.get(index) {
+        match tx.try_send(frame) {
+            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn me(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>) {
+        if to != self.me {
+            shared_send(&self.replicas, to.index(), frame);
+        }
+    }
+
+    fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
+        let guard = self.clients.lock().expect("hub lock");
+        if let Some(tx) = guard.get(&to.0) {
+            let _ = tx.try_send(frame);
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+/// A client node's endpoint of an [`InProcessNetwork`].
+pub struct InProcessClientChannel {
+    id: ClientId,
+    n: usize,
+    replicas: SharedSenders,
+    inbox: Receiver<Vec<u8>>,
+}
+
+impl ClientChannel for InProcessClientChannel {
+    fn id(&self) -> ClientId {
+        self.id
+    }
+
+    fn replica_count(&self) -> usize {
+        self.n
+    }
+
+    fn submit(&mut self, to: ReplicaId, frame: Vec<u8>) {
+        shared_send(&self.replicas, to.index(), frame);
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
+        self.inbox.recv_timeout(timeout).ok()
+    }
+}
+
+/// Convenience: encode-and-send one [`Frame`] to a replica.
+pub fn send_frame_to_replica(transport: &dyn Transport, to: ReplicaId, frame: &Frame) {
+    transport.send_to_replica(to, frame.encode_frame());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::PeerKind;
+
+    #[test]
+    fn in_process_frames_flow_between_replicas_and_clients() {
+        let hub = InProcessNetwork::new(2, 16);
+        let t0 = hub.transport(ReplicaId(0));
+        let mut t1 = hub.transport(ReplicaId(1));
+        let mut c = hub.client(ClientId(9));
+
+        let hello = Frame::Hello {
+            peer: PeerKind::Replica(ReplicaId(0)),
+        };
+        send_frame_to_replica(&t0, ReplicaId(1), &hello);
+        let bytes = t1.recv_timeout(Duration::from_millis(100)).expect("frame");
+        assert_eq!(Frame::decode_frame(&bytes).unwrap(), hello);
+
+        c.submit(ReplicaId(1), b"submission".to_vec());
+        assert_eq!(
+            t1.recv_timeout(Duration::from_millis(100)).as_deref(),
+            Some(&b"submission"[..])
+        );
+
+        t0.send_to_client(ClientId(9), b"reply".to_vec());
+        assert_eq!(
+            c.recv_timeout(Duration::from_millis(100)).as_deref(),
+            Some(&b"reply"[..])
+        );
+        // Sends to the hub's own replica or unknown clients vanish quietly.
+        t0.send_to_replica(ReplicaId(0), b"self".to_vec());
+        t0.send_to_client(ClientId(404), b"nobody".to_vec());
+    }
+
+    #[test]
+    fn restart_swaps_in_a_fresh_inbox() {
+        let hub = InProcessNetwork::new(2, 4);
+        let t0 = hub.transport(ReplicaId(0));
+        let old = hub.transport(ReplicaId(1));
+        drop(old); // the "crashed" replica's inbox dies with it
+        t0.send_to_replica(ReplicaId(1), b"lost".to_vec());
+        let mut reborn = hub.transport(ReplicaId(1));
+        t0.send_to_replica(ReplicaId(1), b"delivered".to_vec());
+        assert_eq!(
+            reborn.recv_timeout(Duration::from_millis(100)).as_deref(),
+            Some(&b"delivered"[..])
+        );
+    }
+
+    #[test]
+    fn queue_capacity_scales_with_pipeline_and_instances() {
+        let small = queue_capacity(&SystemConfig::new(4).with_out_of_order_window(1));
+        let big = queue_capacity(&SystemConfig::new(4).with_out_of_order_window(64));
+        assert!(small >= 64);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,384 @@
+//! Property tests for the wire codec, driven by `SplitMix64`-generated
+//! messages: every variant of every deployed message type round-trips
+//! canonically, and malformed inputs — truncations, corruptions, version
+//! skew — are rejected with typed errors, never panics or silent
+//! mis-parses.
+
+use rcc_common::codec::{Decode, Encode, WireError};
+use rcc_common::{
+    Batch, ClientId, ClientRequest, Digest, InstanceId, ReplicaId, SplitMix64, Transaction,
+    TransactionKind,
+};
+use rcc_core::RccMessage;
+use rcc_crypto::{AuthTag, MacTag, Signature};
+use rcc_network::{Frame, PeerKind, WIRE_VERSION};
+use rcc_protocols::pbft::PbftMessage;
+use rcc_protocols::zyzzyva::ZyzzyvaMessage;
+use rcc_storage::Checkpoint;
+
+fn digest(rng: &mut SplitMix64) -> Digest {
+    let mut bytes = [0u8; 32];
+    for chunk in bytes.chunks_mut(8) {
+        chunk.copy_from_slice(&rng.next_u64().to_be_bytes());
+    }
+    Digest::from_bytes(bytes)
+}
+
+fn blob(rng: &mut SplitMix64, max: usize) -> Vec<u8> {
+    let len = rng.next_below(max as u64) as usize;
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// A transaction of every kind, cycled deterministically so each run covers
+/// all variants many times.
+fn transaction(rng: &mut SplitMix64, variant: u64) -> Transaction {
+    let kind = match variant % 8 {
+        0 => TransactionKind::NoOp,
+        1 => TransactionKind::YcsbRead {
+            key: rng.next_u64(),
+        },
+        2 => TransactionKind::YcsbWrite {
+            key: rng.next_u64(),
+            value: blob(rng, 32),
+        },
+        3 => TransactionKind::YcsbReadModifyWrite {
+            key: rng.next_u64(),
+            delta: blob(rng, 16),
+        },
+        4 => TransactionKind::YcsbScan {
+            start: rng.next_u64(),
+            count: rng.next_u64() as u32,
+        },
+        5 => TransactionKind::Transfer {
+            from: rng.next_u64() as u32,
+            to: rng.next_u64() as u32,
+            min_balance: rng.next_u64() as i64,
+            amount: rng.next_u64() as i64,
+        },
+        6 => TransactionKind::Deposit {
+            account: rng.next_u64() as u32,
+            amount: rng.next_u64() as i64,
+        },
+        _ => TransactionKind::BalanceQuery {
+            account: rng.next_u64() as u32,
+        },
+    };
+    Transaction::new(kind)
+}
+
+fn batch(rng: &mut SplitMix64) -> Batch {
+    let len = 1 + rng.next_below(5);
+    let mut requests = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        let (client, sequence, variant) = (rng.next_u64(), rng.next_u64(), rng.next_u64());
+        let mut request = ClientRequest::new(ClientId(client), sequence, transaction(rng, variant));
+        if rng.next_below(2) == 0 {
+            request.assigned_instance = Some(InstanceId(rng.next_u64() as u32));
+        }
+        requests.push(request);
+    }
+    Batch::new(requests)
+}
+
+fn prepared(rng: &mut SplitMix64) -> Vec<(u64, Digest, Batch)> {
+    (0..rng.next_below(3))
+        .map(|_| (rng.next_u64(), digest(rng), batch(rng)))
+        .collect()
+}
+
+/// One PBFT message per variant index.
+fn pbft_message(rng: &mut SplitMix64, variant: u64) -> PbftMessage {
+    match variant % 5 {
+        0 => PbftMessage::PrePrepare {
+            view: rng.next_u64(),
+            round: rng.next_u64(),
+            digest: digest(rng),
+            batch: batch(rng),
+        },
+        1 => PbftMessage::Prepare {
+            view: rng.next_u64(),
+            round: rng.next_u64(),
+            digest: digest(rng),
+        },
+        2 => PbftMessage::Commit {
+            view: rng.next_u64(),
+            round: rng.next_u64(),
+            digest: digest(rng),
+        },
+        3 => PbftMessage::ViewChange {
+            new_view: rng.next_u64(),
+            committed_prefix: rng.next_u64(),
+            prepared: prepared(rng),
+        },
+        _ => PbftMessage::NewView {
+            view: rng.next_u64(),
+            preprepares: prepared(rng),
+        },
+    }
+}
+
+fn zyzzyva_message(rng: &mut SplitMix64, variant: u64) -> ZyzzyvaMessage {
+    match variant % 3 {
+        0 => ZyzzyvaMessage::OrderRequest {
+            view: rng.next_u64(),
+            round: rng.next_u64(),
+            digest: digest(rng),
+            history: digest(rng),
+            batch: batch(rng),
+        },
+        1 => ZyzzyvaMessage::CommitCertificate {
+            view: rng.next_u64(),
+            round: rng.next_u64(),
+            digest: digest(rng),
+            backers: (0..rng.next_below(5))
+                .map(|_| ReplicaId(rng.next_u64() as u32))
+                .collect(),
+        },
+        _ => ZyzzyvaMessage::LocalCommit {
+            view: rng.next_u64(),
+            round: rng.next_u64(),
+            digest: digest(rng),
+        },
+    }
+}
+
+fn rcc_message(rng: &mut SplitMix64, variant: u64) -> RccMessage<PbftMessage> {
+    match variant % 5 {
+        0 => {
+            let inner = rng.next_u64();
+            RccMessage::Instance {
+                instance: InstanceId(rng.next_u64() as u32),
+                message: pbft_message(rng, inner),
+            }
+        }
+        1 => RccMessage::SlotRequest {
+            instance: InstanceId(rng.next_u64() as u32),
+            round: rng.next_u64(),
+        },
+        2 => RccMessage::SlotReply {
+            instance: InstanceId(rng.next_u64() as u32),
+            round: rng.next_u64(),
+            digest: digest(rng),
+            batch: batch(rng),
+            view: rng.next_u64(),
+        },
+        3 => RccMessage::CheckpointVote {
+            round: rng.next_u64(),
+            digest: digest(rng),
+        },
+        _ => RccMessage::CheckpointTransfer {
+            checkpoint: Checkpoint {
+                round: rng.next_u64(),
+                ledger_head: digest(rng),
+                table_fingerprint: rng.next_u64(),
+                accounts_fingerprint: rng.next_u64(),
+                state_bytes: rng.next_u64() >> 32,
+            },
+        },
+    }
+}
+
+fn auth_tag(rng: &mut SplitMix64, variant: u64) -> AuthTag {
+    match variant % 3 {
+        0 => AuthTag::None,
+        1 => {
+            let mut bytes = [0u8; 32];
+            for chunk in bytes.chunks_mut(8) {
+                chunk.copy_from_slice(&rng.next_u64().to_be_bytes());
+            }
+            AuthTag::Mac(MacTag(bytes))
+        }
+        _ => {
+            let mut bytes = [0u8; 64];
+            for chunk in bytes.chunks_mut(8) {
+                chunk.copy_from_slice(&rng.next_u64().to_be_bytes());
+            }
+            AuthTag::Signature(Signature::from_bytes(bytes))
+        }
+    }
+}
+
+fn frame(rng: &mut SplitMix64, variant: u64) -> Frame {
+    match variant % 6 {
+        0 => Frame::Hello {
+            peer: if rng.next_below(2) == 0 {
+                PeerKind::Replica(ReplicaId(rng.next_u64() as u32))
+            } else {
+                PeerKind::Client(ClientId(rng.next_u64()))
+            },
+        },
+        1 => {
+            let (inner, tag_variant) = (rng.next_u64(), rng.next_u64());
+            Frame::Replica {
+                from: ReplicaId(rng.next_u64() as u32),
+                payload: rcc_message(rng, inner).encoded(),
+                tag: auth_tag(rng, tag_variant),
+            }
+        }
+        2 => {
+            let tag_variant = rng.next_u64();
+            Frame::ClientSubmit {
+                client: ClientId(rng.next_u64()),
+                instance: InstanceId(rng.next_u64() as u32),
+                payload: batch(rng).encoded(),
+                tag: auth_tag(rng, tag_variant),
+            }
+        }
+        3 => {
+            let tag_variant = rng.next_u64();
+            Frame::ClientReply {
+                replica: ReplicaId(rng.next_u64() as u32),
+                digest: digest(rng),
+                tag: auth_tag(rng, tag_variant),
+            }
+        }
+        4 => Frame::ClientReject {
+            replica: ReplicaId(rng.next_u64() as u32),
+            digest: digest(rng),
+        },
+        _ => Frame::ClientAccept {
+            replica: ReplicaId(rng.next_u64() as u32),
+            digest: digest(rng),
+        },
+    }
+}
+
+/// Round-trip + canonicity + truncation + corruption for one encoding.
+fn check_value_bytes<T, D, E>(bytes: Vec<u8>, decode: D, encode: E, context: &str)
+where
+    T: PartialEq + std::fmt::Debug,
+    D: Fn(&[u8]) -> Result<T, WireError>,
+    E: Fn(&T) -> Vec<u8>,
+{
+    let value = decode(&bytes).unwrap_or_else(|e| panic!("{context}: decode own bytes: {e}"));
+    assert_eq!(encode(&value), bytes, "{context}: canonical re-encode");
+    // Every strict prefix fails with a typed error (no panic, no partial
+    // accept) — decode_all rejects trailing bytes, so a shorter valid value
+    // would surface as TrailingBytes… which the closure's decode forbids.
+    for cut in 0..bytes.len() {
+        assert!(
+            decode(&bytes[..cut]).is_err(),
+            "{context}: truncation at {cut} accepted"
+        );
+    }
+    // Single-byte corruption: either rejected, or decodes to a value whose
+    // canonical encoding is exactly the corrupted input (the codec has no
+    // two encodings of one value, so "accepted" must mean "a different,
+    // self-consistent value").
+    let mut rng = SplitMix64::new(bytes.len() as u64 ^ 0xC0FFEE);
+    for _ in 0..8 {
+        let index = rng.next_below(bytes.len() as u64) as usize;
+        let mut corrupted = bytes.clone();
+        corrupted[index] ^= 1 << rng.next_below(8);
+        if let Ok(reparsed) = decode(&corrupted) {
+            assert_eq!(
+                encode(&reparsed),
+                corrupted,
+                "{context}: corrupted byte {index} accepted non-canonically"
+            );
+        }
+    }
+}
+
+const SAMPLES: u64 = 40;
+
+#[test]
+fn pbft_messages_round_trip_under_fuzzing() {
+    let mut rng = SplitMix64::new(1);
+    for variant in 0..SAMPLES {
+        let message = pbft_message(&mut rng, variant);
+        check_value_bytes(
+            message.encoded(),
+            PbftMessage::decode_all,
+            |m: &PbftMessage| m.encoded(),
+            "PbftMessage",
+        );
+    }
+}
+
+#[test]
+fn zyzzyva_messages_round_trip_under_fuzzing() {
+    let mut rng = SplitMix64::new(2);
+    for variant in 0..SAMPLES {
+        let message = zyzzyva_message(&mut rng, variant);
+        check_value_bytes(
+            message.encoded(),
+            ZyzzyvaMessage::decode_all,
+            |m: &ZyzzyvaMessage| m.encoded(),
+            "ZyzzyvaMessage",
+        );
+    }
+}
+
+#[test]
+fn rcc_envelopes_round_trip_under_fuzzing() {
+    let mut rng = SplitMix64::new(3);
+    for variant in 0..SAMPLES {
+        let message = rcc_message(&mut rng, variant);
+        check_value_bytes(
+            message.encoded(),
+            RccMessage::<PbftMessage>::decode_all,
+            |m: &RccMessage<PbftMessage>| m.encoded(),
+            "RccMessage",
+        );
+    }
+}
+
+#[test]
+fn frames_round_trip_under_fuzzing() {
+    let mut rng = SplitMix64::new(4);
+    for variant in 0..SAMPLES {
+        let sample = frame(&mut rng, variant);
+        check_value_bytes(
+            sample.encode_frame(),
+            Frame::decode_frame,
+            Frame::encode_frame,
+            "Frame",
+        );
+    }
+}
+
+#[test]
+fn batches_and_checkpoints_round_trip_under_fuzzing() {
+    let mut rng = SplitMix64::new(5);
+    for _ in 0..SAMPLES {
+        check_value_bytes(
+            batch(&mut rng).encoded(),
+            Batch::decode_all,
+            |b: &Batch| b.encoded(),
+            "Batch",
+        );
+        let checkpoint = Checkpoint {
+            round: rng.next_u64(),
+            ledger_head: digest(&mut rng),
+            table_fingerprint: rng.next_u64(),
+            accounts_fingerprint: rng.next_u64(),
+            state_bytes: rng.next_u64(),
+        };
+        check_value_bytes(
+            checkpoint.encoded(),
+            Checkpoint::decode_all,
+            |c: &Checkpoint| c.encoded(),
+            "Checkpoint",
+        );
+    }
+}
+
+#[test]
+fn cross_version_frames_are_rejected() {
+    let mut rng = SplitMix64::new(6);
+    for variant in 0..12 {
+        let mut bytes = frame(&mut rng, variant).encode_frame();
+        for version in [0, WIRE_VERSION + 1, 0xFF] {
+            bytes[2] = version;
+            assert_eq!(
+                Frame::decode_frame(&bytes),
+                Err(WireError::UnsupportedVersion {
+                    got: version,
+                    expected: WIRE_VERSION
+                }),
+                "version {version} accepted"
+            );
+        }
+    }
+}

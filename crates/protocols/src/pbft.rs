@@ -13,6 +13,7 @@ use crate::bca::{
     Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId, WireMessage,
 };
 use crate::quorum::QuorumTracker;
+use rcc_common::codec::{Decode, Encode, Reader, WireError};
 use rcc_common::ids::primary_of_view;
 use rcc_common::{
     Batch, Digest, InstanceId, InstanceStatus, ReplicaId, Round, SystemConfig, Time, View,
@@ -115,6 +116,98 @@ impl WireMessage for PbftMessage {
     }
 }
 
+impl Encode for PbftMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            PbftMessage::PrePrepare {
+                view,
+                round,
+                digest,
+                batch,
+            } => {
+                out.push(0);
+                view.encode(out);
+                round.encode(out);
+                digest.encode(out);
+                batch.encode(out);
+            }
+            PbftMessage::Prepare {
+                view,
+                round,
+                digest,
+            } => {
+                out.push(1);
+                view.encode(out);
+                round.encode(out);
+                digest.encode(out);
+            }
+            PbftMessage::Commit {
+                view,
+                round,
+                digest,
+            } => {
+                out.push(2);
+                view.encode(out);
+                round.encode(out);
+                digest.encode(out);
+            }
+            PbftMessage::ViewChange {
+                new_view,
+                committed_prefix,
+                prepared,
+            } => {
+                out.push(3);
+                new_view.encode(out);
+                committed_prefix.encode(out);
+                prepared.encode(out);
+            }
+            PbftMessage::NewView { view, preprepares } => {
+                out.push(4);
+                view.encode(out);
+                preprepares.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for PbftMessage {
+    fn decode(input: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match input.u8()? {
+            0 => PbftMessage::PrePrepare {
+                view: input.u64()?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+                batch: Batch::decode(input)?,
+            },
+            1 => PbftMessage::Prepare {
+                view: input.u64()?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+            },
+            2 => PbftMessage::Commit {
+                view: input.u64()?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+            },
+            3 => PbftMessage::ViewChange {
+                new_view: input.u64()?,
+                committed_prefix: input.u64()?,
+                prepared: Vec::decode(input)?,
+            },
+            4 => PbftMessage::NewView {
+                view: input.u64()?,
+                preprepares: Vec::decode(input)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "PbftMessage",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
 #[derive(Clone, Debug, Default)]
 struct Slot {
     digest: Option<Digest>,
@@ -184,6 +277,22 @@ pub struct Pbft {
     /// replayed on entering the view they were stamped with. Bounded by
     /// [`Pbft::early_message_cap`]; overflow drops the incoming message.
     early_messages: Vec<(ReplicaId, PbftMessage)>,
+    /// The NEW-VIEW that carried this replica into its current view (its
+    /// view plus the re-proposals it listed), kept so the view's primary can
+    /// *retransmit* it to a replica that provably never learned the view
+    /// change completed — a deposed primary that was crashed while its
+    /// peers moved on otherwise stays a permanently-behind backup, because
+    /// nothing in base PBFT ever re-sends NEW-VIEW.
+    last_new_view: Option<(View, Vec<PreparedSlot>)>,
+    /// Per-replica rate limit for the catch-up hint: the highest view this
+    /// replica has already hinted to each peer. One hint per (peer, view)
+    /// is essential, not just polite — the hint is itself a `ViewChange`
+    /// message, and a *trailing* vote from an up-to-date peer (the last
+    /// replica's vote routinely arrives after the quorum entered the view)
+    /// would otherwise elicit hint → counter-hint → … forever. It also
+    /// caps the response to a stale coordinator draining a whole pipeline
+    /// window of doomed proposals at once. Bounded at one entry per peer.
+    catch_up_hinted: BTreeMap<ReplicaId, View>,
     /// When `true`, the replica does not rotate primaries on failure (RCC
     /// mode): it only reports `SuspectPrimary` and lets the RCC recovery
     /// protocol handle the failure (design goals D4/D5).
@@ -212,6 +321,8 @@ impl Pbft {
             view_change_attempts: 0,
             committed_in_view: 0,
             early_messages: Vec::new(),
+            last_new_view: None,
+            catch_up_hinted: BTreeMap::new(),
             suppress_view_changes: false,
         }
     }
@@ -419,11 +530,11 @@ impl Pbft {
         }
     }
 
-    fn start_view_change(&mut self, now: Time, actions: &mut Vec<Action<PbftMessage>>) {
-        let new_view = self.view + 1;
-        self.in_view_change = true;
-        let prepared: Vec<(Round, Digest, Batch)> = self
-            .slots
+    /// The slots this replica has prepared (quorum of PREPAREs seen) but not
+    /// committed — what a view-change vote carries so the next primary can
+    /// re-propose them.
+    fn prepared_slots(&self) -> Vec<PreparedSlot> {
+        self.slots
             .iter()
             .filter(|(round, slot)| {
                 **round >= self.committed_prefix
@@ -435,7 +546,73 @@ impl Pbft {
                     && slot.batch.is_some()
             })
             .map(|(round, slot)| (*round, slot.digest.unwrap(), slot.batch.clone().unwrap()))
-            .collect();
+            .collect()
+    }
+
+    /// Sends `from` — a replica that just proved it never learned this
+    /// replica's current view exists (it voted for, or proposed in, a view
+    /// change that already completed here) — what it needs to catch up:
+    ///
+    /// * a *fresh* view-change vote endorsing the current view, truthful
+    ///   because this replica did make that transition (the original votes
+    ///   were pruned on entry), so the laggard can accumulate the `f + 1`
+    ///   vote evidence its NEW-VIEW acceptance requires; and
+    /// * from the current view's **primary**, a retransmission of the
+    ///   NEW-VIEW itself (only the primary's copy passes the receiver's
+    ///   sender check).
+    ///
+    /// Without this, a deposed primary that was crashed through its own
+    /// replacement never learns the new view — nothing in base PBFT
+    /// retransmits NEW-VIEW — and survives only as a permanently-behind
+    /// backup. The laggard buffers an early NEW-VIEW and replays it as the
+    /// votes arrive, so arrival order does not matter.
+    ///
+    /// `laggard_view` is the view the sender demonstrated it is still in.
+    /// Hints reach at most two views ahead of it (the receiver's own
+    /// anti-flooding bound drops anything further); deeper gaps are left to
+    /// checkpoint-based state sync. Hints fire once per (peer, view) — see
+    /// [`Pbft::catch_up_hinted`] for why the limit is load-bearing.
+    fn hint_completed_view_change(
+        &mut self,
+        from: ReplicaId,
+        laggard_view: View,
+        actions: &mut Vec<Action<PbftMessage>>,
+    ) {
+        if self.suppress_view_changes
+            || self.view == 0
+            || self.in_view_change
+            || self.view > laggard_view + 2
+        {
+            return;
+        }
+        if self.catch_up_hinted.get(&from).copied().unwrap_or(0) >= self.view {
+            return;
+        }
+        self.catch_up_hinted.insert(from, self.view);
+        actions.push(Action::Send {
+            to: from,
+            message: PbftMessage::ViewChange {
+                new_view: self.view,
+                committed_prefix: self.committed_prefix,
+                prepared: self.prepared_slots(),
+            },
+        });
+        if self.is_primary() {
+            if let Some((view, preprepares)) = self.last_new_view.clone() {
+                if view == self.view {
+                    actions.push(Action::Send {
+                        to: from,
+                        message: PbftMessage::NewView { view, preprepares },
+                    });
+                }
+            }
+        }
+    }
+
+    fn start_view_change(&mut self, now: Time, actions: &mut Vec<Action<PbftMessage>>) {
+        let new_view = self.view + 1;
+        self.in_view_change = true;
+        let prepared: Vec<(Round, Digest, Batch)> = self.prepared_slots();
         let message = PbftMessage::ViewChange {
             new_view,
             committed_prefix: self.committed_prefix,
@@ -516,6 +693,10 @@ impl Pbft {
         self.view = view;
         self.in_view_change = false;
         self.committed_in_view = 0;
+        // Keep the NEW-VIEW that carried us here: the view's primary
+        // retransmits it to replicas that provably missed the view change
+        // (see `hint_completed_view_change`).
+        self.last_new_view = Some((view, preprepares.clone()));
         // The view change completed: the abort/retry machinery resets, and
         // vote bookkeeping for views at or below the one just entered is
         // garbage — prune it so the maps stay bounded by the views still
@@ -784,6 +965,20 @@ impl ByzantineCommitAlgorithm for Pbft {
                 digest,
                 batch,
             } => {
+                // A proposal stamped with an *old* view by that view's
+                // primary: the sender is a deposed primary that never
+                // learned its own replacement (it was crashed through the
+                // view change and nothing retransmits NEW-VIEW). Its
+                // proposals can never commit; teach it the completed view
+                // change instead of silently dropping them. Checked before
+                // the stable-round gate — a long-crashed primary's doomed
+                // proposals are usually below the survivors' checkpoints.
+                if view < self.view {
+                    if from == self.primary_of(view) {
+                        self.hint_completed_view_change(from, view, &mut actions);
+                    }
+                    return actions;
+                }
                 // Rounds below the stable checkpoint are final and their
                 // slots pruned; re-creating one would re-vote settled state.
                 if round < self.stable_round {
@@ -920,7 +1115,23 @@ impl ByzantineCommitAlgorithm for Pbft {
                 committed_prefix,
                 prepared,
             } => {
-                if self.suppress_view_changes || new_view <= self.view {
+                if self.suppress_view_changes {
+                    return actions;
+                }
+                if new_view <= self.view {
+                    // A vote for a view change that already completed here:
+                    // the voter is behind — most importantly, a deposed
+                    // primary that was crashed while everyone else moved on
+                    // finally asking for a view it will never be granted.
+                    // Answer with the completed outcome (fresh vote
+                    // evidence, plus NEW-VIEW from the view's primary) so
+                    // it re-joins as a backup instead of staying
+                    // permanently behind. (A *trailing* vote from a peer
+                    // that entered the view with us takes this path too —
+                    // the per-(peer, view) rate limit keeps that from
+                    // ping-ponging hints, at the cost of one redundant
+                    // exchange per boundary.)
+                    self.hint_completed_view_change(from, new_view.saturating_sub(1), &mut actions);
                     return actions;
                 }
                 // Bound the vote bookkeeping the same way early messages are
@@ -1532,6 +1743,129 @@ mod tests {
             actions.iter().filter_map(|a| a.as_commit()).count(),
             1,
             "buffered votes complete the slot as soon as the proposal arrives"
+        );
+    }
+
+    /// Cuts both directions of every link between `replica` and the rest of
+    /// the cluster (the harness's way to "crash" a replica while keeping its
+    /// state machine around for a later rejoin).
+    fn isolate(cluster: &mut Cluster<Pbft>, replica: ReplicaId, isolated: bool) {
+        for r in ReplicaId::all(cluster.len()) {
+            if r != replica {
+                cluster.set_drop_link(replica, r, isolated);
+                cluster.set_drop_link(r, replica, isolated);
+            }
+        }
+    }
+
+    #[test]
+    fn deposed_primary_crashed_through_the_view_change_learns_the_new_view() {
+        let n = 4;
+        let mut cluster = cluster(n);
+        cluster.propose(ReplicaId(0), batch(1));
+        cluster.run_to_quiescence();
+        // The primary goes dark mid-pipeline: its round-1 proposal reaches
+        // nobody, and it sees nothing of what follows.
+        isolate(&mut cluster, ReplicaId(0), true);
+        cluster.propose(ReplicaId(0), batch(2));
+        // The live replicas detect the stall (the embedding's lag signal)
+        // and complete a view change among themselves.
+        cluster.advance_time(Time::from_millis(600));
+        for r in 1..n as u32 {
+            let now = cluster.now();
+            let actions = cluster.node_mut(ReplicaId(r)).on_lag_detected(now);
+            for action in actions {
+                if let Action::Broadcast { message } = action {
+                    for to in 1..n as u32 {
+                        if to != r {
+                            cluster.inject(ReplicaId(r), ReplicaId(to), message.clone());
+                        }
+                    }
+                }
+            }
+        }
+        cluster.run_to_quiescence();
+        for r in 1..n as u32 {
+            assert_eq!(cluster.node(ReplicaId(r)).view(), 1, "survivors moved on");
+        }
+        assert_eq!(
+            cluster.node(ReplicaId(0)).view(),
+            0,
+            "the deposed primary is still in the dark"
+        );
+        // The deposed primary recovers. Its own progress timeout makes it
+        // vote for the view change it missed; the survivors answer a vote
+        // for an already-completed view change with fresh vote evidence,
+        // and the new primary retransmits its NEW-VIEW — so the laggard
+        // finally *learns* the outcome instead of staying behind forever.
+        isolate(&mut cluster, ReplicaId(0), false);
+        cluster.fire_all_timers();
+        let deposed = cluster.node(ReplicaId(0));
+        assert_eq!(
+            deposed.view(),
+            1,
+            "the deposed primary learned the new view"
+        );
+        assert!(!deposed.in_view_change());
+        assert!(!deposed.is_primary());
+        assert_eq!(deposed.primary(), ReplicaId(1));
+    }
+
+    #[test]
+    fn stale_preprepares_from_a_deluded_old_primary_elicit_the_catch_up_hint() {
+        let cfg = config(4);
+        // A replica that completed a view change to view 1 (R1 is the new
+        // primary and issued the NEW-VIEW).
+        let mut helper = Pbft::standalone(cfg.clone(), ReplicaId(1));
+        let t = Time::from_millis(1);
+        for r in [2u32, 3] {
+            helper.on_message(
+                t,
+                ReplicaId(r),
+                PbftMessage::ViewChange {
+                    new_view: 1,
+                    committed_prefix: 0,
+                    prepared: vec![],
+                },
+            );
+        }
+        // Votes from R2 and R3 plus its own joining vote entered view 1.
+        assert_eq!(helper.view(), 1);
+        assert!(helper.is_primary());
+        // A PrePrepare stamped view 0 from the deposed view-0 primary.
+        let b = batch(9);
+        let stale = PbftMessage::PrePrepare {
+            view: 0,
+            round: 7,
+            digest: digest_batch(&b),
+            batch: b,
+        };
+        let actions = helper.on_message(t, ReplicaId(0), stale.clone());
+        let sends: Vec<_> = actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { to, message } => Some((*to, message.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            sends.iter().any(|(to, m)| *to == ReplicaId(0)
+                && matches!(m, PbftMessage::ViewChange { new_view: 1, .. })),
+            "a fresh vote for the completed transition is sent back"
+        );
+        assert!(
+            sends
+                .iter()
+                .any(|(to, m)| *to == ReplicaId(0)
+                    && matches!(m, PbftMessage::NewView { view: 1, .. })),
+            "the new primary retransmits its NEW-VIEW"
+        );
+        // The hint is rate-limited per (peer, view): the rest of the stale
+        // pipeline burst is dropped silently.
+        let again = helper.on_message(t, ReplicaId(0), stale);
+        assert!(
+            again.is_empty(),
+            "one hint answers the whole burst: {again:?}"
         );
     }
 }

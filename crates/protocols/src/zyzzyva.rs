@@ -20,6 +20,7 @@ use crate::bca::{
     Action, ByzantineCommitAlgorithm, CommittedSlot, FailureReason, TimerId, WireMessage,
 };
 use crate::quorum::QuorumTracker;
+use rcc_common::codec::{Decode, Encode, Reader, WireError};
 use rcc_common::{Batch, Digest, ReplicaId, Round, SystemConfig, Time, View};
 use rcc_crypto::hash::{digest_batch, digest_chain};
 use serde::{Deserialize, Serialize};
@@ -85,6 +86,80 @@ impl WireMessage for ZyzzyvaMessage {
             ZyzzyvaMessage::OrderRequest { batch, .. } => batch.len(),
             _ => 0,
         }
+    }
+}
+
+impl Encode for ZyzzyvaMessage {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ZyzzyvaMessage::OrderRequest {
+                view,
+                round,
+                digest,
+                history,
+                batch,
+            } => {
+                out.push(0);
+                view.encode(out);
+                round.encode(out);
+                digest.encode(out);
+                history.encode(out);
+                batch.encode(out);
+            }
+            ZyzzyvaMessage::CommitCertificate {
+                view,
+                round,
+                digest,
+                backers,
+            } => {
+                out.push(1);
+                view.encode(out);
+                round.encode(out);
+                digest.encode(out);
+                backers.encode(out);
+            }
+            ZyzzyvaMessage::LocalCommit {
+                view,
+                round,
+                digest,
+            } => {
+                out.push(2);
+                view.encode(out);
+                round.encode(out);
+                digest.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ZyzzyvaMessage {
+    fn decode(input: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match input.u8()? {
+            0 => ZyzzyvaMessage::OrderRequest {
+                view: input.u64()?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+                history: Digest::decode(input)?,
+                batch: Batch::decode(input)?,
+            },
+            1 => ZyzzyvaMessage::CommitCertificate {
+                view: input.u64()?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+                backers: Vec::decode(input)?,
+            },
+            2 => ZyzzyvaMessage::LocalCommit {
+                view: input.u64()?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "ZyzzyvaMessage",
+                    tag,
+                })
+            }
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! replica missed (the practical face of assumption A3: an accepted proposal
 //! can be recovered from any `nf − f` non-faulty replicas).
 
+use rcc_common::codec::{Decode, Encode, Reader, WireError};
 use rcc_common::{Batch, Digest, InstanceId, Round, View};
 use rcc_protocols::bca::WireMessage;
 use rcc_storage::Checkpoint;
@@ -78,9 +79,12 @@ impl<M: WireMessage> WireMessage for RccMessage<M> {
             RccMessage::SlotReply { batch, .. } => 128 + batch.wire_size(),
             // Round + 32-byte digest + framing.
             RccMessage::CheckpointVote { .. } => 96,
-            // Round + ledger head + state fingerprints + framing; the
-            // snapshot itself is digests, not bulk state.
-            RccMessage::CheckpointTransfer { .. } => 192,
+            // Round + ledger head + state fingerprints + framing, plus the
+            // bulk snapshot a transfer ships to a rejoining replica: unlike
+            // the vote exchange (digests only), a transfer is only useful
+            // if the receiver can adopt the state behind the digest, so
+            // bandwidth models must charge the snapshot's size.
+            RccMessage::CheckpointTransfer { checkpoint } => 192 + checkpoint.state_bytes as usize,
         }
     }
 
@@ -101,6 +105,81 @@ impl<M: WireMessage> WireMessage for RccMessage<M> {
             RccMessage::SlotReply { batch, .. } => batch.len(),
             RccMessage::CheckpointVote { .. } | RccMessage::CheckpointTransfer { .. } => 0,
         }
+    }
+}
+
+impl<M: Encode> Encode for RccMessage<M> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            RccMessage::Instance { instance, message } => {
+                out.push(0);
+                instance.encode(out);
+                message.encode(out);
+            }
+            RccMessage::SlotRequest { instance, round } => {
+                out.push(1);
+                instance.encode(out);
+                round.encode(out);
+            }
+            RccMessage::SlotReply {
+                instance,
+                round,
+                digest,
+                batch,
+                view,
+            } => {
+                out.push(2);
+                instance.encode(out);
+                round.encode(out);
+                digest.encode(out);
+                batch.encode(out);
+                view.encode(out);
+            }
+            RccMessage::CheckpointVote { round, digest } => {
+                out.push(3);
+                round.encode(out);
+                digest.encode(out);
+            }
+            RccMessage::CheckpointTransfer { checkpoint } => {
+                out.push(4);
+                checkpoint.encode(out);
+            }
+        }
+    }
+}
+
+impl<M: Decode> Decode for RccMessage<M> {
+    fn decode(input: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match input.u8()? {
+            0 => RccMessage::Instance {
+                instance: InstanceId::decode(input)?,
+                message: M::decode(input)?,
+            },
+            1 => RccMessage::SlotRequest {
+                instance: InstanceId::decode(input)?,
+                round: input.u64()?,
+            },
+            2 => RccMessage::SlotReply {
+                instance: InstanceId::decode(input)?,
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+                batch: Batch::decode(input)?,
+                view: input.u64()?,
+            },
+            3 => RccMessage::CheckpointVote {
+                round: input.u64()?,
+                digest: Digest::decode(input)?,
+            },
+            4 => RccMessage::CheckpointTransfer {
+                checkpoint: Checkpoint::decode(input)?,
+            },
+            tag => {
+                return Err(WireError::InvalidTag {
+                    context: "RccMessage",
+                    tag,
+                })
+            }
+        })
     }
 }
 
@@ -169,9 +248,26 @@ mod tests {
                 ledger_head: Digest::ZERO,
                 table_fingerprint: 0,
                 accounts_fingerprint: 0,
+                state_bytes: 0,
             },
         };
         assert!(!transfer.is_proposal());
         assert_eq!(transfer.wire_size(), 192);
+    }
+
+    #[test]
+    fn checkpoint_transfers_are_priced_by_their_state_size() {
+        // A transfer ships the snapshot, not just its digest: the wire size
+        // must track the state it carries so bandwidth models charge it.
+        let transfer: RccMessage<Dummy> = RccMessage::CheckpointTransfer {
+            checkpoint: rcc_storage::Checkpoint {
+                round: 64,
+                ledger_head: Digest::ZERO,
+                table_fingerprint: 0,
+                accounts_fingerprint: 0,
+                state_bytes: 1_000_000,
+            },
+        };
+        assert_eq!(transfer.wire_size(), 192 + 1_000_000);
     }
 }

@@ -508,6 +508,25 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
         }
     }
 
+    /// Estimated size in bytes of the bulk state snapshot behind this
+    /// replica's next checkpoint — what a [`RccMessage::CheckpointTransfer`]
+    /// ships to a rejoining replica. The replica layer does not own the
+    /// executed tables (the execution engine does, in embeddings that run
+    /// one), so the estimate models the paper's YCSB deployment: each
+    /// executed write touches one of the table's 500 k records, so the
+    /// snapshot covers `min(executed × batch_size, 500 000)` records at the
+    /// configured consensus-visible bytes per transaction. Deterministic in
+    /// the executed history, so all non-faulty replicas attach the same
+    /// figure to the same checkpoint.
+    fn estimated_state_bytes(&self) -> u64 {
+        const YCSB_TABLE_RECORDS: u64 = 500_000;
+        let touched = self
+            .executed
+            .saturating_mul(self.config.batch_size as u64)
+            .min(YCSB_TABLE_RECORDS);
+        touched.saturating_mul(self.config.wire.transaction_bytes as u64)
+    }
+
     /// Snapshots the executed state after every round below `boundary`,
     /// records it locally, votes for it, and broadcasts the vote.
     fn take_local_checkpoint(
@@ -520,6 +539,7 @@ impl<P: ByzantineCommitAlgorithm> RccReplica<P> {
             ledger_head: self.ledger_head,
             table_fingerprint: self.executed,
             accounts_fingerprint: self.ledger_head.as_u64(),
+            state_bytes: self.estimated_state_bytes(),
         };
         let digest = checkpoint.digest();
         self.checkpoints.record_local(checkpoint);
@@ -1604,6 +1624,7 @@ mod tests {
             ledger_head: Digest::from_bytes([7; 32]),
             table_fingerprint: 256,
             accounts_fingerprint: 0,
+            state_bytes: 0,
         };
         // A single transfer is not enough: f + 1 = 2 distinct senders must
         // vouch for the same checkpoint (at least one is then non-faulty).

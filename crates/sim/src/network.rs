@@ -45,6 +45,11 @@ pub struct NetworkModel {
     pub local: LinkParams,
     /// Parameters of links between replicas in different regions.
     pub remote: LinkParams,
+    /// Parameters of client↔replica links. The paper co-locates client
+    /// machines with the replicas they drive, so this defaults to
+    /// same-region characteristics; submissions are serialized on the
+    /// client's NIC and replies on the replica's shared egress NIC.
+    pub client: LinkParams,
 }
 
 impl NetworkModel {
@@ -60,6 +65,7 @@ impl NetworkModel {
             regions: 1,
             local: link,
             remote: link,
+            client: link,
         }
     }
 
@@ -78,6 +84,13 @@ impl NetworkModel {
                 latency: Duration::from_millis(40),
                 jitter: Duration::from_millis(2),
                 bandwidth_bytes_per_sec: 250_000_000, // 2 Gbit/s across regions
+            },
+            // Clients drive the coordinator of their instance from inside
+            // its region, on client-grade (1 Gbit/s) NICs.
+            client: LinkParams {
+                latency: Duration::from_micros(300),
+                jitter: Duration::from_micros(60),
+                bandwidth_bytes_per_sec: 125_000_000,
             },
         }
     }

@@ -691,6 +691,16 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 guard -= 1;
                 let (digest, batch) = self.clients[ci].client.submit(at);
                 let transactions = batch.effective_transactions() as u64;
+                // Client→replica link: the batch serializes on the client's
+                // NIC and crosses the client link before the coordinator can
+                // start verifying it (previously this hop was free).
+                let link = self.config.network.client;
+                let request_bytes = batch.wire_size();
+                let jitter =
+                    Duration::from_nanos(self.jitter_rng.next_below(link.jitter.as_nanos()));
+                let arrival = at + link.serialization_delay(request_bytes) + link.latency + jitter;
+                self.nodes[idx].counters.messages_received += 1;
+                self.nodes[idx].counters.bytes_received += request_bytes as u64;
                 // Coordinator-side cost: verify the clients' signatures
                 // (parallel), digest the batch, assemble the proposal.
                 let cost = self.scaled(
@@ -703,7 +713,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                                 .batch_verify_cost(crypto_mode, batch.len()),
                         ),
                 );
-                t_cpu += cost;
+                t_cpu = t_cpu.max(arrival) + cost;
                 let actions = self.nodes[idx].bca.propose_for(t_cpu, instance, batch);
                 if actions.is_empty() {
                     // The coordinator turned the batch away (lost the
@@ -898,32 +908,67 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         let new_committer = pending.committers & bit == 0;
         pending.committers |= bit;
         let commits = pending.committers.count_ones() as usize;
-        if !pending.counted && commits >= self.config.system.client_reply_quorum() {
+        let completed_quorum =
+            !pending.counted && commits >= self.config.system.client_reply_quorum();
+        if completed_quorum {
             pending.counted = true;
-            self.committed_transactions += pending.transactions;
-            self.committed_batches += 1;
-            self.throughput.record(t, pending.transactions);
-            if pending.submitted >= self.config.measure_start
-                && pending.submitted < self.config.measure_end
-            {
-                self.latency.record(t.saturating_since(pending.submitted));
-            }
         }
+        let transactions = pending.transactions;
+        let submitted = pending.submitted;
         let client = pending.client;
         if commits >= self.config.system.n {
             self.inflight.remove(&digest);
         }
+        // Replica→client reply link: the release doubles as the reply to
+        // the submitting client, but the reply is not free — it occupies
+        // the replica's shared egress NIC and crosses the client link
+        // before the client sees it (previously this hop was free).
+        let mut reply_at = t;
         if new_committer {
-            // The replica's release doubles as its (free) reply to the
-            // submitting client; a completed f + 1 matching quorum unblocks a
-            // closed-loop window slot, so give its coordinator a chance to
-            // pump.
+            let idx = node.index();
+            let reply_bytes = self.config.system.wire.client_reply_bytes;
+            self.nodes[idx].counters.messages_sent += 1;
+            self.nodes[idx].counters.bytes_sent += reply_bytes as u64;
+            let link = self.config.network.client;
+            let egress = self.nodes[idx].egress_busy.max(t) + link.serialization_delay(reply_bytes);
+            self.nodes[idx].egress_busy = egress;
+            let jitter = Duration::from_nanos(self.jitter_rng.next_below(link.jitter.as_nanos()));
+            reply_at = egress + link.latency + jitter;
+        }
+        if completed_quorum {
+            self.committed_transactions += transactions;
+            self.committed_batches += 1;
+            self.throughput.record(t, transactions);
+            if submitted >= self.config.measure_start && submitted < self.config.measure_end {
+                // Client-perceived latency: the quorum-completing *reply's*
+                // arrival at the client, not the replica-side release.
+                self.latency.record(reply_at.saturating_since(submitted));
+            }
+        }
+        if new_committer {
+            // A completed f + 1 matching quorum unblocks a closed-loop
+            // window slot — but only once the reply has actually reached
+            // the client, so the refill pump is scheduled at `reply_at`.
             let outcome = self.clients[client].client.on_reply(node, digest);
             if outcome == ReplyOutcome::Completed {
                 let attached = self.clients[client].attached;
-                self.maybe_pump(attached);
+                self.schedule_pump_at(attached, reply_at);
             }
         }
+    }
+
+    /// Schedules a pump for `node` at `at` (used when a client's reply
+    /// quorum completes: the freed window slot becomes usable only when the
+    /// reply reaches the client). Unlike [`Simulation::maybe_pump`] this
+    /// does not pre-check client readiness — the caller just freed a slot —
+    /// and the pump itself handles a coordinator that lost capacity.
+    fn schedule_pump_at(&mut self, node: ReplicaId, at: Time) {
+        let idx = node.index();
+        if self.nodes[idx].pump_pending || self.nodes[idx].crashed || self.nodes[idx].silenced {
+            return;
+        }
+        self.nodes[idx].pump_pending = true;
+        self.push(at.max(self.now), EventKind::Pump { node });
     }
 
     fn apply_fault(&mut self, index: usize) {

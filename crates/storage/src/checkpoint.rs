@@ -24,6 +24,13 @@ pub struct Checkpoint {
     pub table_fingerprint: u64,
     /// Fingerprint of the account store.
     pub accounts_fingerprint: u64,
+    /// Estimated size in bytes of the bulk state a checkpoint *transfer*
+    /// ships to a rejoining replica (the snapshot's records, not the digest
+    /// metadata above). Purely an accounting figure for bandwidth models —
+    /// it is derived deterministically from the executed history, and it is
+    /// deliberately **excluded** from [`Checkpoint::digest`] so that it can
+    /// never split a vote quorum.
+    pub state_bytes: u64,
 }
 
 impl Checkpoint {
@@ -36,6 +43,28 @@ impl Checkpoint {
         bytes[16..24].copy_from_slice(&self.accounts_fingerprint.to_be_bytes());
         bytes[24..32].copy_from_slice(&self.ledger_head.as_bytes()[..8]);
         Digest::from_bytes(bytes)
+    }
+}
+
+impl rcc_common::Encode for Checkpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.round.encode(out);
+        self.ledger_head.encode(out);
+        self.table_fingerprint.encode(out);
+        self.accounts_fingerprint.encode(out);
+        self.state_bytes.encode(out);
+    }
+}
+
+impl rcc_common::Decode for Checkpoint {
+    fn decode(input: &mut rcc_common::Reader<'_>) -> Result<Self, rcc_common::WireError> {
+        Ok(Checkpoint {
+            round: input.u64()?,
+            ledger_head: Digest::decode(input)?,
+            table_fingerprint: input.u64()?,
+            accounts_fingerprint: input.u64()?,
+            state_bytes: input.u64()?,
+        })
     }
 }
 
@@ -168,6 +197,7 @@ mod tests {
             ledger_head: Digest::ZERO,
             table_fingerprint: fp,
             accounts_fingerprint: 0,
+            state_bytes: 0,
         }
     }
 

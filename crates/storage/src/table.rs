@@ -143,6 +143,16 @@ impl RecordTable {
         self.fingerprint
     }
 
+    /// Estimated size in bytes of a serialized snapshot of the table (what a
+    /// checkpoint transfer would ship to a rejoining replica): per record,
+    /// an 8-byte key, an 8-byte version, and the payload.
+    pub fn snapshot_bytes(&self) -> u64 {
+        self.records
+            .values()
+            .map(|r| 16 + r.payload.len() as u64)
+            .sum()
+    }
+
     /// A digest form of the fingerprint, convenient for embedding in
     /// checkpoint messages.
     pub fn state_digest(&self) -> Digest {

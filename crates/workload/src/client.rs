@@ -57,6 +57,7 @@ pub enum ReplyOutcome {
 #[derive(Clone, Debug)]
 pub struct Client {
     generator: YcsbGenerator,
+    stream: u64,
     mode: ClientMode,
     reply_quorum: usize,
     /// Outstanding batches: digest → replicas whose replies matched it.
@@ -80,6 +81,7 @@ impl Client {
     ) -> Self {
         Client {
             generator: YcsbGenerator::new(seed, stream, batch_size),
+            stream,
             mode,
             reply_quorum: reply_quorum.max(1),
             pending: BTreeMap::new(),
@@ -93,6 +95,14 @@ impl Client {
     /// The client's arrival model.
     pub fn mode(&self) -> ClientMode {
         self.mode
+    }
+
+    /// The workload stream this client node draws from. Deployed clients
+    /// identify themselves to replicas as `ClientId(stream)`; replicas
+    /// recover the same value from a batch's requests via
+    /// [`crate::ycsb::stream_of_client`] to route replies.
+    pub fn stream(&self) -> u64 {
+        self.stream
     }
 
     /// `true` when the client may submit a batch at `now`.

@@ -20,8 +20,11 @@
 //!
 //! The crate is sans-io and deterministic: replicas expose
 //! [`rcc_common::InstanceStatus`] observations, the policy maps clients to
-//! instances, and the embedding (the discrete-event simulator in `rcc-sim`,
-//! or a real client runtime later) moves the batches.
+//! instances, and the embedding — the discrete-event simulator in
+//! `rcc-sim`, or the deployed client drivers in `rcc-network` — moves the
+//! batches. Deployed clients identify as `ClientId(stream)`; replicas
+//! recover the stream from a batch's requests via [`stream_of_client`] to
+//! route replies.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -32,4 +35,4 @@ pub mod ycsb;
 
 pub use assignment::{Handoff, InstanceAssignment};
 pub use client::{Client, ClientMode, ReplyOutcome};
-pub use ycsb::YcsbGenerator;
+pub use ycsb::{stream_of_client, YcsbGenerator};

@@ -20,6 +20,21 @@ use rcc_common::{Batch, ClientId, ClientRequest, Transaction, TransactionKind};
 /// Number of distinct pseudo-clients attributed to each workload stream.
 const CLIENTS_PER_STREAM: u64 = 64;
 
+/// Recovers the workload *stream* a generated request belongs to from its
+/// pseudo-client id (the inverse of the `client_base = (stream + 1) << 32`
+/// tagging below). Returns `None` for ids outside the tagged namespace —
+/// notably the `u64::MAX - instance` pseudo-clients of no-op filler
+/// requests. Deployed replicas use this to route a released batch's reply
+/// back to the client node that submitted it.
+pub fn stream_of_client(client: rcc_common::ClientId) -> Option<u64> {
+    let tag = client.0 >> 32;
+    // No-op pseudo-clients live at the top of the id space.
+    if tag == 0 || tag == u32::MAX as u64 {
+        return None;
+    }
+    Some(tag - 1)
+}
+
 /// A deterministic YCSB-style batch generator for one workload stream.
 ///
 /// A *stream* is a group of co-located clients whose requests are assembled
