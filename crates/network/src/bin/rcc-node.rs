@@ -5,10 +5,17 @@
 //!                  [--batch-size B] [--crypto none|mac|pk] [--seed S]
 //!                  [--duration-ms D] [--window W] [--in-process]
 //!                  [--kill R --kill-after-ms K --down-for-ms T]
+//!                  [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]
 //!     Launch an N-replica localhost cluster (TCP by default) with C
 //!     closed-loop client nodes, optionally kill-and-restart replica R
 //!     mid-run, verify identical release orders, and exit non-zero on any
-//!     violation. This is the CI smoke scenario.
+//!     violation. This is the CI smoke scenario. `--chaos wire-mangle`
+//!     routes every replica's outbound consensus frames through a seeded
+//!     `ByteMangler` (corruption, truncation, splices, duplicates, replays,
+//!     reorders at P per million, default 20000); `--chaos kill-coordinator`
+//!     is shorthand for killing replica 1 — instance 1's initial
+//!     coordinator — a quarter into the run and restarting it a quarter
+//!     later. Safety (identical orders) is asserted under both.
 //!
 //! rcc-node replica --config FILE [--duration-ms D]
 //!     Run one replica of a multi-process deployment described by a
@@ -24,7 +31,7 @@ use rcc_common::{ClientId, CryptoMode, InstanceId, ReplicaId};
 use rcc_network::cluster::{run_client, ClusterPlan, RestartPlan};
 use rcc_network::{
     parse_deployment, queue_capacity, run_local_cluster, spawn_node, verify_identical_orders,
-    NodeConfig, TcpClientChannel, TcpTransport, TransportKind,
+    MangleConfig, NodeConfig, TcpClientChannel, TcpTransport, TransportKind,
 };
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -49,7 +56,8 @@ fn main() {
 
 const USAGE: &str = "usage:\n  rcc-node cluster [--replicas N] [--instances M] [--clients C] \
 [--batch-size B] [--crypto none|mac|pk] [--seed S] [--duration-ms D] [--window W] \
-[--in-process] [--kill R --kill-after-ms K --down-for-ms T]\n  rcc-node replica --config FILE \
+[--in-process] [--kill R --kill-after-ms K --down-for-ms T] \
+[--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]\n  rcc-node replica --config FILE \
 [--duration-ms D]\n  rcc-node client --config FILE --stream S [--instance I] [--window W] \
 --duration-ms D\n";
 
@@ -101,7 +109,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
     if let Some(mode) = flags.get("--crypto") {
         system.crypto = crypto_mode(mode)?;
     }
-    let restart = match flags.get("--kill") {
+    let mut restart = match flags.get("--kill") {
         None => None,
         Some(replica) => {
             let index: u32 = replica
@@ -117,6 +125,30 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             })
         }
     };
+    let run_for = Duration::from_millis(flags.int("--duration-ms", 2_000)?);
+    let mut mangle = None;
+    match flags.get("--chaos") {
+        None => {}
+        Some("wire-mangle") => {
+            let rate_ppm = flags.int("--mangle-ppm", 20_000)? as u32;
+            mangle = Some(MangleConfig::new(system.seed, rate_ppm));
+        }
+        Some("kill-coordinator") if restart.is_none() => {
+            // Kill instance 1's initial coordinator a quarter into the
+            // run; bring it back a quarter later.
+            restart = Some(RestartPlan {
+                replica: ReplicaId(1 % n as u32),
+                kill_after: run_for / 4,
+                down_for: run_for / 4,
+            });
+        }
+        Some("kill-coordinator") => {}
+        Some(other) => {
+            return Err(format!(
+                "--chaos expects wire-mangle|kill-coordinator, got `{other}`"
+            ));
+        }
+    }
     let plan = ClusterPlan {
         system,
         transport: if flags.has("--in-process") {
@@ -126,8 +158,9 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         },
         clients: flags.int("--clients", 2)? as usize,
         client_window: flags.int("--window", 4)? as usize,
-        run_for: Duration::from_millis(flags.int("--duration-ms", 2_000)?),
+        run_for,
         restart,
+        mangle,
     };
     plan.system.validate().map_err(|e| e.to_string())?;
 
@@ -148,6 +181,12 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             None => String::new(),
         }
     );
+    if let Some(mangle) = plan.mangle {
+        eprintln!(
+            "rcc-node cluster: wire mangling at {} ppm (seed {})",
+            mangle.rate_ppm, mangle.seed
+        );
+    }
     let outcome = run_local_cluster(&plan);
     for report in &outcome.reports {
         println!(

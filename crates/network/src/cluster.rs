@@ -13,6 +13,7 @@
 //! service).
 
 use crate::frame::Frame;
+use crate::mangle::{MangleConfig, MangledTransport};
 use crate::node::{spawn_node, NodeConfig, NodeHandle, NodeReport};
 use crate::tcp::{TcpClientChannel, TcpTransport};
 use crate::transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};
@@ -60,6 +61,10 @@ pub struct ClusterPlan {
     pub run_for: Duration,
     /// Optional kill-and-restart of one replica mid-run.
     pub restart: Option<RestartPlan>,
+    /// Optional wire-level fuzzing: every replica's outbound consensus
+    /// frames pass through a seeded [`crate::mangle::ByteMangler`] (each
+    /// replica gets its own stream derived from the configured seed).
+    pub mangle: Option<MangleConfig>,
 }
 
 impl ClusterPlan {
@@ -73,7 +78,30 @@ impl ClusterPlan {
             client_window: 4,
             run_for: Duration::from_millis(2_000),
             restart: None,
+            mangle: None,
         }
+    }
+}
+
+/// Wraps a replica's transport in the plan's optional wire mangler, deriving
+/// a per-replica seed so the replicas' chaos streams are independent.
+fn maybe_mangled(
+    transport: impl Transport + 'static,
+    mangle: Option<MangleConfig>,
+    replica: ReplicaId,
+) -> Box<dyn Transport> {
+    match mangle {
+        Some(config) => {
+            let seed = config
+                .seed
+                .wrapping_add(replica.0 as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            Box::new(MangledTransport::new(
+                transport,
+                MangleConfig::new(seed, config.rate_ppm),
+            ))
+        }
+        None => Box::new(transport),
     }
 }
 
@@ -444,7 +472,7 @@ fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
                     system: plan.system.clone(),
                     replica,
                 },
-                hub.transport(replica),
+                BoxedTransport(maybe_mangled(hub.transport(replica), plan.mangle, replica)),
             ))
         })
         .collect();
@@ -455,8 +483,9 @@ fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
         Box::new(hub_for_clients.client(id))
     });
     let hub_for_restart = hub.clone();
+    let mangle = plan.mangle;
     run_timeline(plan, started, &mut nodes, move |replica| {
-        Box::new(hub_for_restart.transport(replica))
+        maybe_mangled(hub_for_restart.transport(replica), mangle, replica)
     });
     finish(nodes, clients)
 }
@@ -483,7 +512,11 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                     system: plan.system.clone(),
                     replica,
                 },
-                TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),
+                BoxedTransport(maybe_mangled(
+                    TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),
+                    plan.mangle,
+                    replica,
+                )),
             ))
         })
         .collect();
@@ -514,12 +547,11 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                 }
             }
         };
-        Box::new(TcpTransport::with_listener(
+        maybe_mangled(
+            TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),
+            plan.mangle,
             replica,
-            listener,
-            addrs.clone(),
-            capacity,
-        ))
+        )
     });
     finish(nodes, clients)
 }

@@ -38,6 +38,7 @@
 pub mod cluster;
 pub mod config;
 pub mod frame;
+pub mod mangle;
 pub mod node;
 pub mod tcp;
 pub mod transport;
@@ -45,6 +46,7 @@ pub mod transport;
 pub use cluster::{run_local_cluster, ClusterOutcome, ClusterPlan, RestartPlan, TransportKind};
 pub use config::{parse_deployment, DeploymentFile};
 pub use frame::{Frame, PeerKind, MAX_FRAME_BYTES, WIRE_VERSION};
+pub use mangle::{ByteMangler, MangleConfig, MangleStats, MangledTransport};
 pub use node::{spawn_node, verify_identical_orders, NodeConfig, NodeHandle, NodeReport};
 pub use tcp::{TcpClientChannel, TcpTransport};
 pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};

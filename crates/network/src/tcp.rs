@@ -377,11 +377,63 @@ impl Drop for TcpTransport {
     }
 }
 
+/// First re-dial delay after a client's connection to a replica dies.
+const REDIAL_BACKOFF_FLOOR: Duration = Duration::from_millis(50);
+/// Re-dial backoff cap: a dead replica is probed at most twice a second.
+const REDIAL_BACKOFF_CAP: Duration = Duration::from_millis(500);
+/// Connect timeout of a single re-dial attempt (kept short — a re-dial
+/// happens inline in `submit` and must not stall the client's driver loop).
+const REDIAL_CONNECT_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Dials one replica, announces the client, and spawns the reader thread
+/// that merges that connection's replies into the shared inbox.
+fn dial_replica(
+    id: ClientId,
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    inbox_tx: &std::sync::mpsc::Sender<Vec<u8>>,
+    shutdown: &Arc<AtomicBool>,
+) -> std::io::Result<(TcpStream, JoinHandle<()>)> {
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    configure(&stream);
+    let hello = Frame::Hello {
+        peer: PeerKind::Client(id),
+    }
+    .encode_frame();
+    write_frame(&mut stream, &hello)?;
+    let mut reader = stream.try_clone()?;
+    let inbox_tx = inbox_tx.clone();
+    let shutdown_flag = Arc::clone(shutdown);
+    let thread = std::thread::spawn(move || {
+        while !shutdown_flag.load(Ordering::Relaxed) {
+            match read_frame(&mut reader, &shutdown_flag) {
+                Ok(frame) => {
+                    if inbox_tx.send(frame).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+    Ok((stream, thread))
+}
+
 /// A client node's TCP connections to every replica of a cluster.
+///
+/// A connection that dies (the replica was killed or restarted) is re-dialed
+/// with capped backoff on subsequent `submit`s to that replica, so a client
+/// session survives replica restarts instead of writing into the void for
+/// the rest of its life.
 pub struct TcpClientChannel {
     id: ClientId,
+    addrs: Vec<SocketAddr>,
     streams: Vec<Option<TcpStream>>,
+    /// Per-replica re-dial state: earliest next attempt and current backoff.
+    redial_at: Vec<Instant>,
+    backoff: Vec<Duration>,
     inbox: Receiver<Vec<u8>>,
+    inbox_tx: std::sync::mpsc::Sender<Vec<u8>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -399,9 +451,9 @@ impl TcpClientChannel {
         let mut streams = Vec::new();
         let mut threads = Vec::new();
         for addr in replica_addrs {
-            let stream = loop {
-                match TcpStream::connect_timeout(addr, Duration::from_millis(500)) {
-                    Ok(stream) => break Some(stream),
+            let (stream, thread) = loop {
+                match dial_replica(id, *addr, Duration::from_millis(500), &inbox_tx, &shutdown) {
+                    Ok(connected) => break connected,
                     Err(e) => {
                         if Instant::now() >= deadline {
                             return Err(e);
@@ -410,35 +462,18 @@ impl TcpClientChannel {
                     }
                 }
             };
-            let mut stream = stream.expect("connected");
-            configure(&stream);
-            let hello = Frame::Hello {
-                peer: PeerKind::Client(id),
-            }
-            .encode_frame();
-            write_frame(&mut stream, &hello)?;
-            let reader = stream.try_clone()?;
-            let inbox_tx = inbox_tx.clone();
-            let shutdown_flag = Arc::clone(&shutdown);
-            threads.push(std::thread::spawn(move || {
-                let mut reader = reader;
-                while !shutdown_flag.load(Ordering::Relaxed) {
-                    match read_frame(&mut reader, &shutdown_flag) {
-                        Ok(frame) => {
-                            if inbox_tx.send(frame).is_err() {
-                                break;
-                            }
-                        }
-                        Err(_) => break,
-                    }
-                }
-            }));
             streams.push(Some(stream));
+            threads.push(thread);
         }
+        let now = Instant::now();
         Ok(TcpClientChannel {
             id,
+            addrs: replica_addrs.to_vec(),
+            redial_at: vec![now; streams.len()],
+            backoff: vec![REDIAL_BACKOFF_FLOOR; streams.len()],
             streams,
             inbox: inbox_rx,
+            inbox_tx,
             shutdown,
             threads,
         })
@@ -450,6 +485,38 @@ impl TcpClientChannel {
         self.streams.clear();
         for thread in self.threads.drain(..) {
             let _ = thread.join();
+        }
+    }
+
+    /// One capped-backoff reconnect attempt toward a replica whose
+    /// connection previously died. Returns `true` when a live stream is in
+    /// place afterwards.
+    fn try_redial(&mut self, index: usize) -> bool {
+        let now = Instant::now();
+        if now < self.redial_at[index] {
+            return false;
+        }
+        match dial_replica(
+            self.id,
+            self.addrs[index],
+            REDIAL_CONNECT_TIMEOUT,
+            &self.inbox_tx,
+            &self.shutdown,
+        ) {
+            Ok((stream, thread)) => {
+                self.streams[index] = Some(stream);
+                self.backoff[index] = REDIAL_BACKOFF_FLOOR;
+                // Reap reader threads of long-dead connections while we are
+                // here, so restart-heavy sessions do not accumulate handles.
+                self.threads.retain(|thread| !thread.is_finished());
+                self.threads.push(thread);
+                true
+            }
+            Err(_) => {
+                self.redial_at[index] = now + self.backoff[index];
+                self.backoff[index] = (self.backoff[index] * 2).min(REDIAL_BACKOFF_CAP);
+                false
+            }
         }
     }
 }
@@ -464,15 +531,25 @@ impl ClientChannel for TcpClientChannel {
     }
 
     fn submit(&mut self, to: ReplicaId, frame: Vec<u8>) {
-        let failed = match self.streams.get_mut(to.index()) {
-            Some(Some(stream)) => write_frame(stream, &frame).is_err(),
-            _ => false,
+        let index = to.index();
+        if index >= self.streams.len() {
+            return;
+        }
+        if self.streams[index].is_none() && !self.try_redial(index) {
+            return;
+        }
+        let failed = match &mut self.streams[index] {
+            Some(stream) => write_frame(stream, &frame).is_err(),
+            None => false,
         };
         if failed {
-            // The replica is down (killed, restarting): drop the connection;
-            // submissions to it will be aged out by the driver and retried
-            // against the live coordinator set.
-            self.streams[to.index()] = None;
+            // The replica is down (killed, restarting): drop the connection
+            // and schedule a re-dial; this submission is lost (best effort,
+            // the driver ages it out) but the session recovers once the
+            // replica is back.
+            self.streams[index] = None;
+            self.redial_at[index] = Instant::now() + self.backoff[index];
+            self.backoff[index] = (self.backoff[index] * 2).min(REDIAL_BACKOFF_CAP);
         }
     }
 

@@ -11,7 +11,7 @@ use rcc_common::{
 };
 use rcc_core::RccMessage;
 use rcc_crypto::{AuthTag, MacTag, Signature};
-use rcc_network::{Frame, PeerKind, WIRE_VERSION};
+use rcc_network::{ByteMangler, Frame, MangleConfig, PeerKind, WIRE_VERSION};
 use rcc_protocols::pbft::PbftMessage;
 use rcc_protocols::zyzzyva::ZyzzyvaMessage;
 use rcc_storage::Checkpoint;
@@ -361,6 +361,128 @@ fn batches_and_checkpoints_round_trip_under_fuzzing() {
             |c: &Checkpoint| c.encoded(),
             "Checkpoint",
         );
+    }
+}
+
+/// The invariant every mangled buffer must satisfy at the decode boundary:
+/// either a typed [`WireError`], or a value whose canonical re-encoding is
+/// exactly the input (the codec has one encoding per value, so "accepted"
+/// must mean "a different, self-consistent frame"). Never a panic.
+fn assert_reject_or_canonical(bytes: &[u8], context: &str) {
+    if let Ok(reparsed) = Frame::decode_frame(bytes) {
+        assert_eq!(
+            reparsed.encode_frame(),
+            bytes,
+            "{context}: accepted non-canonically"
+        );
+    }
+}
+
+/// Wire fuzzing beyond single-byte XOR: every frame the [`ByteMangler`]
+/// emits at 100% mangle rate — multi-byte corruption runs, truncations,
+/// splices from other frames, duplicates, stale replays, reorders — hits
+/// the decode boundary as a typed error or a canonical re-encode.
+#[test]
+fn mangled_frames_are_rejected_or_reparse_canonically() {
+    for seed in 0..4u64 {
+        let mut rng = SplitMix64::new(100 + seed);
+        let mut mangler = ByteMangler::new(MangleConfig::new(seed, 1_000_000));
+        for variant in 0..SAMPLES {
+            let encoded = frame(&mut rng, variant).encode_frame();
+            for out in mangler.mangle(encoded) {
+                assert_reject_or_canonical(&out, "mangled frame");
+            }
+        }
+        assert!(
+            mangler.stats().mangled() > 0,
+            "the 100% mangler never fired"
+        );
+    }
+}
+
+/// Multi-byte splices: a window of one frame overwritten with bytes taken
+/// from a *different* valid frame — the cross-stream corruption a buggy
+/// buffer reuse would produce.
+#[test]
+fn spliced_frames_are_rejected_or_reparse_canonically() {
+    let mut rng = SplitMix64::new(7);
+    for variant in 0..SAMPLES {
+        let victim = frame(&mut rng, variant).encode_frame();
+        let donor = frame(&mut rng, variant + 1).encode_frame();
+        for _ in 0..4 {
+            let start = rng.next_below(victim.len() as u64) as usize;
+            let len = 1 + rng.next_below(64.min(victim.len() as u64)) as usize;
+            let mut spliced = victim.clone();
+            for offset in 0..len.min(victim.len() - start) {
+                spliced[start + offset] = donor[(start + offset) % donor.len()];
+            }
+            assert_reject_or_canonical(&spliced, "spliced frame");
+        }
+    }
+}
+
+/// Mid-frame truncation at arbitrary interior cuts plus appended garbage:
+/// a frame cut inside a payload decodes as a typed error, and a frame with
+/// trailing bytes — the shape a duplicated/interleaved frame boundary
+/// produces after re-framing — must never silently drop the tail.
+#[test]
+fn truncated_and_extended_frames_are_typed_errors() {
+    let mut rng = SplitMix64::new(8);
+    for variant in 0..SAMPLES {
+        let bytes = frame(&mut rng, variant).encode_frame();
+        // Interior truncations (prefix truncation at every index is already
+        // covered by `check_value_bytes`; sample a few here against the
+        // frame header survivorship case specifically).
+        for _ in 0..4 {
+            let cut = 1 + rng.next_below(bytes.len() as u64 - 1) as usize;
+            assert!(
+                Frame::decode_frame(&bytes[..cut]).is_err(),
+                "mid-frame truncation at {cut}/{} accepted",
+                bytes.len()
+            );
+        }
+        // Trailing garbage after a complete frame.
+        let mut extended = bytes.clone();
+        extended.extend((0..1 + rng.next_below(16)).map(|_| rng.next_u64() as u8));
+        assert!(
+            Frame::decode_frame(&extended).is_err(),
+            "trailing bytes accepted"
+        );
+    }
+}
+
+/// Duplicated and interleaved frames inside one buffer: a frame
+/// concatenated with itself, with a different frame, or cut over with the
+/// head of another — none may decode as a single valid frame that isn't
+/// canonical for those exact bytes.
+#[test]
+fn duplicated_and_interleaved_frames_do_not_parse_as_one() {
+    let mut rng = SplitMix64::new(9);
+    for variant in 0..SAMPLES {
+        let first = frame(&mut rng, variant).encode_frame();
+        let second = frame(&mut rng, variant + 3).encode_frame();
+        // Self-duplication and cross-concatenation: decode must reject the
+        // trailing frame rather than silently consuming only the first.
+        let mut doubled = first.clone();
+        doubled.extend_from_slice(&first);
+        assert!(
+            Frame::decode_frame(&doubled).is_err(),
+            "a duplicated frame parsed as one"
+        );
+        let mut concat = first.clone();
+        concat.extend_from_slice(&second);
+        assert!(
+            Frame::decode_frame(&concat).is_err(),
+            "two concatenated frames parsed as one"
+        );
+        // Interleave: the head of `second` overwrites the middle of
+        // `first` — a torn read across two in-flight frames.
+        let mut torn = first.clone();
+        let start = torn.len() / 2;
+        for (offset, byte) in second.iter().take(torn.len() - start).enumerate() {
+            torn[start + offset] = *byte;
+        }
+        assert_reject_or_canonical(&torn, "torn frame");
     }
 }
 

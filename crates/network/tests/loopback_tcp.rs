@@ -22,6 +22,7 @@ fn plan(transport: TransportKind, run_ms: u64) -> ClusterPlan {
         client_window: 4,
         run_for: Duration::from_millis(run_ms),
         restart: None,
+        mangle: None,
     }
 }
 

@@ -1,0 +1,122 @@
+//! Regression test for client re-dial: a `TcpClientChannel` whose replica
+//! connection dies (the replica was killed) must reconnect with capped
+//! backoff once the replica is listening again, re-announce itself with
+//! `Hello{Client}`, and resume both directions of the session. Before the
+//! fix, the channel marked the stream dead and never dialed again — every
+//! later submit toward that replica silently vanished for the rest of the
+//! client's life, which is exactly the long-running-client scenario a
+//! kill-and-restart chaos run exercises.
+
+use rcc_common::{ClientId, Digest, InstanceId, ReplicaId};
+use rcc_network::tcp::{read_frame, write_frame};
+use rcc_network::transport::ClientChannel;
+use rcc_network::{Frame, PeerKind, TcpClientChannel};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::time::{Duration, Instant};
+
+fn submit_frame(marker: u64) -> Vec<u8> {
+    Frame::ClientSubmit {
+        client: ClientId(7),
+        instance: InstanceId(0),
+        payload: marker.to_be_bytes().to_vec(),
+        tag: rcc_crypto::AuthTag::None,
+    }
+    .encode_frame()
+}
+
+fn reply_frame(fill: u8) -> Vec<u8> {
+    Frame::ClientReply {
+        replica: ReplicaId(0),
+        digest: Digest::from_bytes([fill; 32]),
+        tag: rcc_crypto::AuthTag::None,
+    }
+    .encode_frame()
+}
+
+fn expect_hello(conn: &mut TcpStream, shutdown: &AtomicBool) {
+    let hello = read_frame(conn, shutdown).expect("read Hello");
+    match Frame::decode_frame(&hello) {
+        Ok(Frame::Hello {
+            peer: PeerKind::Client(client),
+        }) => assert_eq!(client, ClientId(7)),
+        other => panic!("expected Hello{{Client}}, got {other:?}"),
+    }
+}
+
+#[test]
+fn client_channel_redials_a_restarted_replica() {
+    let shutdown = AtomicBool::new(false);
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind replica socket");
+    let addr = listener.local_addr().expect("local addr");
+
+    let mut client = TcpClientChannel::connect(
+        ClientId(7),
+        &[addr],
+        Instant::now() + Duration::from_secs(10),
+    )
+    .expect("initial connect");
+
+    // Session established: Hello, a submission, a routed reply.
+    let (mut conn, _) = listener.accept().expect("accept initial connection");
+    expect_hello(&mut conn, &shutdown);
+    client.submit(ReplicaId(0), submit_frame(1));
+    let got = read_frame(&mut conn, &shutdown).expect("read first submission");
+    assert_eq!(got, submit_frame(1));
+    write_frame(&mut conn, &reply_frame(0xAA)).expect("send first reply");
+    assert_eq!(
+        client.recv_timeout(Duration::from_secs(5)),
+        Some(reply_frame(0xAA)),
+        "the pre-restart reply never reached the client"
+    );
+
+    // Kill the replica: close the accepted connection *and* the listener,
+    // so re-dial attempts are refused while it is down.
+    drop(conn);
+    drop(listener);
+    // Churn a few submissions into the dead connection so the channel
+    // observes the failure (the first write after a close can still land in
+    // the kernel buffer) and starts its backoff schedule.
+    for marker in 2..6 {
+        client.submit(ReplicaId(0), submit_frame(marker));
+        std::thread::sleep(Duration::from_millis(30));
+    }
+
+    // Restart the replica on the same address and keep submitting: the
+    // channel must re-dial (within the 500 ms backoff cap), re-announce
+    // with Hello, and deliver a post-restart submission.
+    let listener = TcpListener::bind(addr).expect("rebind replica socket");
+    listener
+        .set_nonblocking(true)
+        .expect("nonblocking listener");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut conn = loop {
+        client.submit(ReplicaId(0), submit_frame(99));
+        if let Ok((conn, _)) = listener.accept() {
+            break conn;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "the client never re-dialed the restarted replica"
+        );
+        std::thread::sleep(Duration::from_millis(30));
+    };
+    conn.set_nonblocking(false).expect("blocking connection");
+    expect_hello(&mut conn, &shutdown);
+    let got = read_frame(&mut conn, &shutdown).expect("read post-restart submission");
+    assert_eq!(
+        got,
+        submit_frame(99),
+        "the re-dialed connection carried the wrong frame"
+    );
+
+    // And the reply path is re-established too: the fresh connection's
+    // reader thread must merge replies into the same inbox.
+    write_frame(&mut conn, &reply_frame(0xBB)).expect("send post-restart reply");
+    assert_eq!(
+        client.recv_timeout(Duration::from_secs(5)),
+        Some(reply_frame(0xBB)),
+        "the post-restart reply never reached the client"
+    );
+    client.shutdown();
+}

@@ -8,7 +8,7 @@
 //! script is part of the simulation configuration, every failure experiment
 //! is replayable bit-for-bit from its seed.
 
-use rcc_common::{ReplicaId, Time};
+use rcc_common::{Duration, ReplicaId, Time};
 
 /// One kind of injected fault (or repair).
 #[derive(Clone, Debug, PartialEq)]
@@ -53,6 +53,59 @@ pub enum FaultKind {
         /// positive floor of `0.001` — a factor of zero would model an
         /// infinitely fast replica, not an attack).
         factor: f64,
+    },
+    /// Distorts the replica's local clock: every timer it arms from now on
+    /// fires after `factor ×` the intended delay. A fast clock
+    /// (`factor < 1`) makes the replica suspect healthy coordinators early
+    /// (spurious view changes); a slow clock (`factor > 1`) delays its
+    /// failure detection.
+    ClockSkew {
+        /// The replica with the skewed clock.
+        replica: ReplicaId,
+        /// Timer-delay multiplier (`1.0` restores an honest clock; clamped
+        /// to a positive floor of `0.001`).
+        factor: f64,
+    },
+    /// Cuts the directed links `from → to` only — an asymmetric partition:
+    /// `from` replicas still *hear* the other side but nothing they send
+    /// arrives. [`FaultKind::Heal`] removes these cuts too.
+    PartitionOneWay {
+        /// Senders whose traffic is dropped.
+        from: Vec<ReplicaId>,
+        /// Receivers the traffic never reaches.
+        to: Vec<ReplicaId>,
+    },
+    /// Slowloris: every peer's traffic *toward* this replica serializes
+    /// `factor ×` slower, occupying the sender's shared egress NIC for the
+    /// whole stretched transfer — one slow receiver back-pressures the
+    /// senders' links to everyone else.
+    SlowLink {
+        /// The slow-to-reach replica.
+        replica: ReplicaId,
+        /// Serialization-delay multiplier for traffic toward it (`1.0`
+        /// restores full speed; clamped to a positive floor of `0.001`).
+        factor: f64,
+    },
+    /// The replica delays every message it sends by a fixed `delay` — the
+    /// equivocate-by-timing attack: it stays protocol-correct on paper but
+    /// its votes and proposals always arrive just too late to be useful.
+    DelayEgress {
+        /// The tardy replica.
+        replica: ReplicaId,
+        /// Extra delay added to each outbound message ([`Duration::ZERO`]
+        /// restores honest timing).
+        delay: Duration,
+    },
+    /// Turns on wire-level chaos: from now on each replica-to-replica
+    /// message is independently mangled with probability `rate_ppm` per
+    /// million — corrupted (and therefore rejected at the receiver's frame
+    /// boundary, i.e. lost), duplicated, delayed/reordered, or replayed
+    /// from a ring of recently sent messages. `rate_ppm = 0` restores a
+    /// clean wire. Draws come from a dedicated seeded stream, so runs stay
+    /// bit-deterministic.
+    MangleWire {
+        /// Mangling probability in events per million messages.
+        rate_ppm: u32,
     },
 }
 
@@ -100,12 +153,15 @@ impl FaultScript {
         FaultScript::none().with(at, FaultKind::Throttle { replica, factor })
     }
 
-    /// The events sorted by injection time (stable, so list order breaks
-    /// ties).
+    /// The events sorted by injection time; events at the same `Time` apply
+    /// in insertion order. The tie-break is part of the determinism
+    /// contract (fingerprints of multi-event scripts depend on it), so it
+    /// is encoded in the sort key rather than left to sort stability.
     pub fn sorted(&self) -> Vec<FaultEvent> {
-        let mut events = self.events.clone();
-        events.sort_by_key(|e| e.at);
-        events
+        let mut indexed: Vec<(usize, FaultEvent)> =
+            self.events.iter().cloned().enumerate().collect();
+        indexed.sort_by_key(|(position, event)| (event.at, *position));
+        indexed.into_iter().map(|(_, event)| event).collect()
     }
 }
 
@@ -127,6 +183,46 @@ mod tests {
         assert_eq!(sorted.len(), 2);
         assert_eq!(sorted[0].at, Time::from_secs(1));
         assert!(matches!(sorted[1].fault, FaultKind::Heal));
+    }
+
+    #[test]
+    fn sorted_breaks_time_ties_by_insertion_order() {
+        // Four events at the same instant plus one earlier event: the
+        // same-time events must come back exactly in insertion order.
+        let t = Time::from_millis(500);
+        let script = FaultScript::none()
+            .with(
+                t,
+                FaultKind::Crash {
+                    replica: ReplicaId(3),
+                },
+            )
+            .with(
+                t,
+                FaultKind::SilencePrimary {
+                    replica: ReplicaId(1),
+                },
+            )
+            .with(Time::from_millis(100), FaultKind::Heal)
+            .with(
+                t,
+                FaultKind::Throttle {
+                    replica: ReplicaId(2),
+                    factor: 4.0,
+                },
+            )
+            .with(
+                t,
+                FaultKind::Recover {
+                    replica: ReplicaId(3),
+                },
+            );
+        let sorted = script.sorted();
+        assert!(matches!(sorted[0].fault, FaultKind::Heal));
+        assert!(matches!(sorted[1].fault, FaultKind::Crash { .. }));
+        assert!(matches!(sorted[2].fault, FaultKind::SilencePrimary { .. }));
+        assert!(matches!(sorted[3].fault, FaultKind::Throttle { .. }));
+        assert!(matches!(sorted[4].fault, FaultKind::Recover { .. }));
     }
 
     #[test]

@@ -17,8 +17,13 @@
 //!   parallel-verification split; crypto costs come from
 //!   [`rcc_crypto::CryptoCostModel`], so signature-vs-MAC trade-offs (Fig. 7
 //!   right) are measurable.
-//! * [`fault`] — seed-replayable fault scripts: crashes, partitions,
-//!   Byzantine silent primaries, and the Section-IV throttling attack.
+//! * [`fault`] — seed-replayable fault scripts: crashes, partitions (two-
+//!   and one-way), Byzantine silent primaries, the Section-IV throttling
+//!   attack, clock skew, slowloris links, and wire-level chaos.
+//! * [`adversary`] — the adaptive coordinator-hunting adversary: observes
+//!   [`rcc_common::InstanceStatus`] and concentrates its `f` corruptions on
+//!   whichever replica coordinates the most instances, re-acquiring after
+//!   every view change.
 //! * [`workload`] — re-exports of the `rcc-workload` crate: deterministic
 //!   YCSB-style batch generation (90 % writes, seeded per client stream),
 //!   client models, and the instance-assignment policy.
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adversary;
 pub mod cpu;
 pub mod fault;
 pub mod network;
@@ -58,6 +64,7 @@ pub mod workload {
     pub type WorkloadGenerator = YcsbGenerator;
 }
 
+pub use adversary::{AdversaryAttack, AdversaryPolicy, AdversarySpec, Retarget};
 pub use cpu::CpuModel;
 pub use fault::{FaultEvent, FaultKind, FaultScript};
 pub use network::{LinkParams, NetworkModel};

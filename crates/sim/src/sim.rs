@@ -37,6 +37,7 @@
 //! produce bit-identical event traces; the running [`SimReport::trace_fingerprint`]
 //! witnesses this.
 
+use crate::adversary::{AdversaryAttack, AdversaryPolicy, AdversarySpec, Retarget};
 use crate::cpu::CpuModel;
 use crate::fault::{FaultEvent, FaultKind, FaultScript};
 use crate::network::NetworkModel;
@@ -87,6 +88,9 @@ pub struct SimConfig {
     pub measure_end: Time,
     /// Scripted fault injection.
     pub faults: FaultScript,
+    /// The adaptive coordinator-hunting adversary, if any (runs on top of
+    /// the scripted faults).
+    pub adversary: Option<AdversarySpec>,
     /// The client arrival model.
     pub clients: ClientModel,
     /// Safety bound on processed events; exceeding it aborts the run (it
@@ -107,6 +111,7 @@ impl SimConfig {
             measure_start: Time::ZERO,
             measure_end: Time::ZERO + horizon,
             faults: FaultScript::none(),
+            adversary: None,
             clients: ClientModel::Saturated,
             max_events: 500_000_000,
         }
@@ -122,6 +127,12 @@ impl SimConfig {
     /// Sets the fault script (builder style).
     pub fn with_faults(mut self, faults: FaultScript) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Arms the adaptive adversary (builder style).
+    pub fn with_adversary(mut self, adversary: AdversarySpec) -> Self {
+        self.adversary = Some(adversary);
         self
     }
 
@@ -172,6 +183,9 @@ pub struct SimReport {
     /// Client hand-offs performed by the Section III-E assignment policy
     /// (drains off failing instances plus σ-spaced returns).
     pub client_handoffs: u64,
+    /// Target acquisitions performed by the adaptive adversary (0 when no
+    /// adversary was configured).
+    pub adversary_strikes: u64,
     /// Peak per-slot log entries retained by any single replica at any point
     /// of the run ([`ByzantineCommitAlgorithm::retained_log_entries`],
     /// sampled after every event). With §III-D checkpointing this stays
@@ -219,6 +233,14 @@ struct SimNode<P: ByzantineCommitAlgorithm> {
     egress_busy: Time,
     /// CPU slow-down factor (Section-IV throttling; 1.0 = full speed).
     throttle: f64,
+    /// Timer-delay distortion factor (clock skew; 1.0 = honest clock).
+    clock_skew: f64,
+    /// Serialization slow-down of traffic *toward* this replica
+    /// (slowloris victim; 1.0 = full speed).
+    link_slow: f64,
+    /// Fixed extra delay on every message this replica sends (timing
+    /// equivocation; `Duration::ZERO` = honest).
+    egress_delay: Duration,
     crashed: bool,
     /// Byzantine silent primary: withholds proposals.
     silenced: bool,
@@ -255,6 +277,32 @@ enum EventKind<M> {
     Fault {
         index: usize,
     },
+    /// Adaptive-adversary observation tick: look at the cluster, retarget.
+    AdversaryTick,
+    /// Revive of a victim the adaptive adversary killed.
+    AdversaryRevive {
+        replica: ReplicaId,
+    },
+}
+
+/// A recently sent replica-to-replica message, the replay source for wire
+/// chaos ([`FaultKind::MangleWire`]).
+struct RecentWire<M> {
+    from: ReplicaId,
+    to: ReplicaId,
+    bytes: usize,
+    proposal: bool,
+    payload_transactions: usize,
+    message: M,
+}
+
+/// Live state of the adaptive adversary inside the event loop.
+struct AdversaryRuntime {
+    spec: AdversarySpec,
+    policy: AdversaryPolicy,
+    /// A killed victim is down until this time; no new strike meanwhile
+    /// (the corruption budget `f` is spent on the corpse).
+    victim_down_until: Option<Time>,
 }
 
 struct Event<M> {
@@ -299,6 +347,17 @@ pub struct Simulation<P: ByzantineCommitAlgorithm> {
     faults: Vec<FaultEvent>,
     /// Directed links currently cut by a partition.
     blocked: BTreeSet<(ReplicaId, ReplicaId)>,
+    /// The adaptive adversary, when configured.
+    adversary: Option<AdversaryRuntime>,
+    adversary_strikes: u64,
+    /// Wire-chaos rate in events per million messages (0 = clean wire).
+    mangle_ppm: u32,
+    /// Dedicated random stream for wire chaos; untouched (and therefore
+    /// fingerprint-neutral) while `mangle_ppm == 0`.
+    mangle_rng: SplitMix64,
+    /// Ring of recently sent messages, the replay source for wire chaos.
+    mangle_recent: Vec<RecentWire<P::Message>>,
+    mangle_next_slot: usize,
     jitter_rng: SplitMix64,
     inflight: BTreeMap<Digest, PendingBatch>,
     throughput: ThroughputMeter,
@@ -347,6 +406,9 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 busy_until: Time::ZERO,
                 egress_busy: Time::ZERO,
                 throttle: 1.0,
+                clock_skew: 1.0,
+                link_slow: 1.0,
+                egress_delay: Duration::ZERO,
                 crashed: false,
                 silenced: false,
                 timers: BTreeMap::new(),
@@ -375,7 +437,18 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         let assignment =
             InstanceAssignment::new(instance_count, instance_count, config.system.sigma);
         let faults = config.faults.sorted();
+        let adversary = config.adversary.map(|spec| AdversaryRuntime {
+            spec,
+            policy: AdversaryPolicy::new(),
+            victim_down_until: None,
+        });
         let mut sim = Simulation {
+            adversary,
+            adversary_strikes: 0,
+            mangle_ppm: 0,
+            mangle_rng: SplitMix64::new(seed).fork(0xC4A0),
+            mangle_recent: Vec::new(),
+            mangle_next_slot: 0,
             jitter_rng: SplitMix64::new(seed).fork(0xFACE),
             nodes,
             clients,
@@ -405,6 +478,10 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         for index in 0..sim.faults.len() {
             let at = sim.faults[index].at;
             sim.push(at, EventKind::Fault { index });
+        }
+        if let Some(runtime) = &sim.adversary {
+            let start = runtime.spec.start;
+            sim.push(start, EventKind::AdversaryTick);
         }
         for node in ReplicaId::all(n) {
             sim.nodes[node.index()].pump_pending = true;
@@ -468,6 +545,14 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                     self.apply_fault(index);
                     None
                 }
+                EventKind::AdversaryTick => {
+                    self.adversary_tick(event.at);
+                    None
+                }
+                EventKind::AdversaryRevive { replica } => {
+                    self.adversary_revive(replica);
+                    Some(replica)
+                }
             };
             // Sample the touched replica's retained log for the memory-peak
             // report (only that replica's state can have grown this event).
@@ -495,6 +580,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             suspicions: self.suspicions,
             view_changes: self.view_changes,
             client_handoffs: self.client_handoffs,
+            adversary_strikes: self.adversary_strikes,
             peak_retained_log: self.peak_retained_log,
             trace_fingerprint: self.trace,
             horizon: self.config.horizon,
@@ -510,6 +596,8 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             EventKind::Timer { node, timer, .. } => (2, node.0 as u64, timer.0),
             EventKind::Pump { node } => (3, node.0 as u64, 0),
             EventKind::Fault { index } => (4, *index as u64, 0),
+            EventKind::AdversaryTick => (5, 0, 0),
+            EventKind::AdversaryRevive { replica } => (6, replica.0 as u64, 0),
         };
         self.trace = mix(self.trace, event.at.as_nanos());
         self.trace = mix(self.trace, tag);
@@ -817,7 +905,14 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                     }
                 }
                 Action::SetTimer { timer, fires_at } => {
-                    let fires_at = fires_at.max(t_cpu);
+                    let mut fires_at = fires_at.max(t_cpu);
+                    // A skewed clock stretches (or shrinks) every timer
+                    // delay this replica arms: fast clocks suspect healthy
+                    // coordinators, slow clocks detect failures late.
+                    let skew = self.nodes[idx].clock_skew;
+                    if skew != 1.0 {
+                        fires_at = t_cpu + fires_at.saturating_since(t_cpu).mul_f64(skew);
+                    }
                     self.nodes[idx].timers.insert(timer, fires_at);
                     self.push(
                         fires_at,
@@ -873,11 +968,39 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         self.nodes[idx].counters.messages_sent += 1;
         self.nodes[idx].counters.bytes_sent += bytes as u64;
         let link = *self.config.network.link(from, to);
-        let egress = self.nodes[idx].egress_busy.max(t) + link.serialization_delay(bytes);
+        let mut serialization = link.serialization_delay(bytes);
+        // Slowloris: traffic toward a slow-linked receiver serializes
+        // slower, occupying the sender's *shared* egress NIC for the whole
+        // stretched transfer — one slow peer back-pressures everyone the
+        // sender talks to.
+        let slow = self.nodes[to.index()].link_slow;
+        if slow != 1.0 {
+            serialization = serialization.mul_f64(slow);
+        }
+        let egress = self.nodes[idx].egress_busy.max(t) + serialization;
         self.nodes[idx].egress_busy = egress;
         let jitter = Duration::from_nanos(self.jitter_rng.next_below(link.jitter.as_nanos()));
-        let arrival = egress + link.latency + jitter;
+        let mut arrival = egress + link.latency + jitter;
+        // Timing equivocation: the sender's messages are all just too late.
+        let hold = self.nodes[idx].egress_delay;
+        if hold > Duration::ZERO {
+            arrival += hold;
+        }
         let payload_transactions = message.payload_transactions();
+        if self.mangle_ppm > 0
+            && self.mangle_wire(
+                from,
+                to,
+                bytes,
+                proposal,
+                payload_transactions,
+                &message,
+                arrival,
+                &link,
+            )
+        {
+            return;
+        }
         self.push(
             arrival,
             EventKind::Deliver {
@@ -889,6 +1012,105 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 message,
             },
         );
+    }
+
+    /// Wire chaos ([`FaultKind::MangleWire`]): rolls the mangle dice for one
+    /// replica-to-replica message. Returns `true` when the caller must *not*
+    /// deliver the message normally (it was corrupted away or already pushed
+    /// with altered timing). Corruption is modeled at the frame boundary:
+    /// the receiver's codec rejects the damaged frame with a typed error
+    /// (the behaviour `rcc-network`'s `ByteMangler` tests pin down), which
+    /// on the simulator's abstraction level is a message loss.
+    #[allow(clippy::too_many_arguments)]
+    fn mangle_wire(
+        &mut self,
+        from: ReplicaId,
+        to: ReplicaId,
+        bytes: usize,
+        proposal: bool,
+        payload_transactions: usize,
+        message: &P::Message,
+        arrival: Time,
+        link: &crate::network::LinkParams,
+    ) -> bool {
+        // Keep a small ring of live traffic as the replay source.
+        const RING: usize = 8;
+        let entry = RecentWire {
+            from,
+            to,
+            bytes,
+            proposal,
+            payload_transactions,
+            message: message.clone(),
+        };
+        if self.mangle_recent.len() < RING {
+            self.mangle_recent.push(entry);
+        } else {
+            self.mangle_recent[self.mangle_next_slot % RING] = entry;
+        }
+        self.mangle_next_slot = (self.mangle_next_slot + 1) % RING;
+        if self.mangle_rng.next_below(1_000_000) >= self.mangle_ppm as u64 {
+            return false;
+        }
+        // Extra delays are drawn up to twice the link latency plus a
+        // millisecond — enough to reorder against later traffic on the
+        // same link without stalling the run.
+        let spread = link.latency.as_nanos().saturating_mul(2) + 1_000_000;
+        match self.mangle_rng.next_below(4) {
+            0 => {
+                // Corrupted: rejected at the receiver's frame boundary.
+                true
+            }
+            1 => {
+                // Duplicated: the original plus a delayed copy.
+                let copy_at = arrival + Duration::from_nanos(self.mangle_rng.next_below(spread));
+                self.push(
+                    copy_at,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        bytes,
+                        proposal,
+                        payload_transactions,
+                        message: message.clone(),
+                    },
+                );
+                false
+            }
+            2 => {
+                // Delayed/reordered.
+                let late = arrival + Duration::from_nanos(self.mangle_rng.next_below(spread));
+                self.push(
+                    late,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        bytes,
+                        proposal,
+                        payload_transactions,
+                        message: message.clone(),
+                    },
+                );
+                true
+            }
+            _ => {
+                // Replayed: the original goes through, plus a stale message
+                // from the ring re-sent to its original destination.
+                let pick = self.mangle_rng.next_below(self.mangle_recent.len() as u64) as usize;
+                let stale = &self.mangle_recent[pick];
+                let replay = EventKind::Deliver {
+                    from: stale.from,
+                    to: stale.to,
+                    bytes: stale.bytes,
+                    proposal: stale.proposal,
+                    payload_transactions: stale.payload_transactions,
+                    message: stale.message.clone(),
+                };
+                let replay_at = arrival + Duration::from_nanos(self.mangle_rng.next_below(spread));
+                self.push(replay_at, replay);
+                false
+            }
+        }
     }
 
     fn record_commit(
@@ -1006,6 +1228,116 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 // infinitely fast, the opposite of the modeled attack.
                 self.nodes[replica.index()].throttle = factor.max(1e-3);
             }
+            FaultKind::ClockSkew { replica, factor } => {
+                self.nodes[replica.index()].clock_skew = factor.max(1e-3);
+            }
+            FaultKind::PartitionOneWay { from, to } => {
+                for &a in &from {
+                    for &b in &to {
+                        if a != b {
+                            self.blocked.insert((a, b));
+                        }
+                    }
+                }
+            }
+            FaultKind::SlowLink { replica, factor } => {
+                self.nodes[replica.index()].link_slow = factor.max(1e-3);
+            }
+            FaultKind::DelayEgress { replica, delay } => {
+                self.nodes[replica.index()].egress_delay = delay;
+            }
+            FaultKind::MangleWire { rate_ppm } => {
+                self.mangle_ppm = rate_ppm;
+            }
         }
+    }
+
+    /// One observation tick of the adaptive adversary: look at the merged
+    /// [`InstanceStatus`] picture (the same information clients act on),
+    /// release-and-restrike if coordination power moved, and schedule the
+    /// next tick.
+    fn adversary_tick(&mut self, at: Time) {
+        let Some(mut runtime) = self.adversary.take() else {
+            return;
+        };
+        // While a killed victim is down the corruption budget is spent —
+        // no retargeting until it revives.
+        let victim_down = runtime.victim_down_until.is_some_and(|until| until > at);
+        if !victim_down {
+            let exhausted = runtime.spec.max_strikes > 0
+                && runtime.policy.strikes() >= runtime.spec.max_strikes;
+            let statuses = self.observe_instances();
+            match runtime.policy.observe(&statuses, exhausted) {
+                Retarget::Keep | Retarget::Idle => {}
+                Retarget::Strike { released, target } => {
+                    if let Some(old) = released {
+                        self.release_victim(old, runtime.spec.attack);
+                    }
+                    self.strike_victim(target, runtime.spec.attack, at, &mut runtime);
+                }
+            }
+        }
+        self.push(at + runtime.spec.interval, EventKind::AdversaryTick);
+        self.adversary = Some(runtime);
+    }
+
+    /// Applies the configured attack to a freshly acquired victim.
+    fn strike_victim(
+        &mut self,
+        target: ReplicaId,
+        attack: AdversaryAttack,
+        at: Time,
+        runtime: &mut AdversaryRuntime,
+    ) {
+        self.adversary_strikes += 1;
+        let idx = target.index();
+        match attack {
+            AdversaryAttack::Kill { down_for } => {
+                self.nodes[idx].crashed = true;
+                let until = at + down_for;
+                runtime.victim_down_until = Some(until);
+                self.push(until, EventKind::AdversaryRevive { replica: target });
+            }
+            AdversaryAttack::Silence => {
+                self.nodes[idx].silenced = true;
+            }
+            AdversaryAttack::Throttle { factor } => {
+                self.nodes[idx].throttle = factor.max(1e-3);
+            }
+            AdversaryAttack::EquivocateDelay { delay } => {
+                self.nodes[idx].egress_delay = delay;
+            }
+        }
+    }
+
+    /// Undoes the standing attack on a deposed victim so the single
+    /// corruption can move on (`f = 1`: at most one victim at a time).
+    fn release_victim(&mut self, old: ReplicaId, attack: AdversaryAttack) {
+        let idx = old.index();
+        match attack {
+            // Kill victims are released by their scheduled revive event.
+            AdversaryAttack::Kill { .. } => {}
+            AdversaryAttack::Silence => {
+                self.nodes[idx].silenced = false;
+                self.maybe_pump(old);
+            }
+            AdversaryAttack::Throttle { .. } => {
+                self.nodes[idx].throttle = 1.0;
+            }
+            AdversaryAttack::EquivocateDelay { .. } => {
+                self.nodes[idx].egress_delay = Duration::ZERO;
+            }
+        }
+    }
+
+    /// Revives a victim the adversary killed; the next tick re-acquires a
+    /// target from scratch.
+    fn adversary_revive(&mut self, replica: ReplicaId) {
+        self.nodes[replica.index()].crashed = false;
+        if let Some(runtime) = &mut self.adversary {
+            runtime.victim_down_until = None;
+            runtime.policy.release();
+        }
+        self.maybe_pump(replica);
     }
 }
