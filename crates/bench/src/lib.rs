@@ -20,8 +20,8 @@
 
 use rcc_common::{CryptoMode, Duration, ReplicaId, SystemConfig, Time};
 use rcc_sim::{
-    simulate_pbft, simulate_rcc_over_pbft, AdversaryAttack, AdversarySpec, FaultKind, FaultScript,
-    NetworkModel, SimConfig, SimReport,
+    simulate_pbft, simulate_rcc_over_pbft, AdversaryAttack, AdversarySpec, CpuModel, FaultKind,
+    FaultScript, NetworkModel, SimConfig, SimReport,
 };
 use std::fmt::Write as _;
 
@@ -397,6 +397,10 @@ pub struct ExperimentSpec {
     pub crypto: CryptoMode,
     /// Deterministic seed of the run.
     pub seed: u64,
+    /// Width of the verify/execute worker pool on each replica (the staged
+    /// pipeline's parallel lane). 16 — all cores — matches the paper's
+    /// replicas and is the default everywhere except the worker sweeps.
+    pub workers: u32,
 }
 
 impl ExperimentSpec {
@@ -476,6 +480,7 @@ pub fn run_spec(spec: &ExperimentSpec, phases: &Phases) -> RunResult {
         spec.m = 1;
     }
     let mut config = SimConfig::new(spec.system(), spec.network.model(), phases.total())
+        .with_cpu(CpuModel::with_workers(spec.workers))
         .with_measure_window(phases.measure_start(), phases.measure_end())
         .with_faults(
             spec.fault
@@ -560,7 +565,7 @@ impl CampaignResults {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            "protocol,network,fault,n,f,m,batch_size,crypto,seed,throughput_tps,tail_tps,\
+            "protocol,network,fault,n,f,m,batch_size,crypto,workers,seed,throughput_tps,tail_tps,\
              latency_mean_ms,latency_p50_ms,latency_p99_ms,committed_txns,committed_batches,\
              messages,bytes,events,suspicions,view_changes,handoffs,peak_retained,\
              adversary_strikes,trace_fingerprint\n",
@@ -569,7 +574,7 @@ impl CampaignResults {
             let s = &row.spec;
             let _ = writeln!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{:016x}",
+                "{},{},{},{},{},{},{},{},{},{},{:.1},{:.1},{:.3},{:.3},{:.3},{},{},{},{},{},{},{},{},{},{},{:016x}",
                 s.protocol.name(),
                 s.network.name(),
                 s.fault.name(),
@@ -578,6 +583,7 @@ impl CampaignResults {
                 s.m,
                 s.batch_size,
                 s.crypto_name(),
+                s.workers,
                 s.seed,
                 row.throughput_tps,
                 row.tail_tps,
@@ -605,14 +611,14 @@ impl CampaignResults {
         let mut out = String::new();
         let _ = writeln!(out, "### Campaign `{}`\n", self.name);
         out.push_str(
-            "| protocol | network | fault | n | m | batch | crypto | throughput (txn/s) | tail (txn/s) | p50 (ms) | p99 (ms) | view changes | hand-offs | peak log |\n\
-             |---|---|---|---:|---:|---:|---|---:|---:|---:|---:|---:|---:|---:|\n",
+            "| protocol | network | fault | n | m | batch | crypto | workers | throughput (txn/s) | tail (txn/s) | p50 (ms) | p99 (ms) | view changes | hand-offs | peak log |\n\
+             |---|---|---|---:|---:|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n",
         );
         for row in &self.rows {
             let s = &row.spec;
             let _ = writeln!(
                 out,
-                "| {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.1} | {:.1} | {} | {} | {} |",
+                "| {} | {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.1} | {:.1} | {} | {} | {} |",
                 s.protocol.name(),
                 s.network.name(),
                 s.fault.name(),
@@ -620,6 +626,7 @@ impl CampaignResults {
                 s.m,
                 s.batch_size,
                 s.crypto_name(),
+                s.workers,
                 row.throughput_tps,
                 row.tail_tps,
                 row.latency_p50_ms,
@@ -646,6 +653,7 @@ pub fn smoke_campaign(seed: u64) -> Campaign {
         batch_size: 100,
         crypto: CryptoMode::Mac,
         seed,
+        workers: 16,
     };
     Campaign {
         name: "smoke".into(),
@@ -675,6 +683,7 @@ pub fn fig7_campaign(seed: u64) -> Campaign {
                 batch_size: 100,
                 crypto: CryptoMode::Mac,
                 seed,
+                workers: 16,
             });
         }
     }
@@ -686,22 +695,29 @@ pub fn fig7_campaign(seed: u64) -> Campaign {
 }
 
 /// The Fig. 7-right-shaped sweep: standalone PBFT on a LAN under the three
-/// authentication modes (no authentication, MACs, ED25519 signatures).
-/// Column `crypto` is Fig. 7-right's x-axis.
+/// authentication modes (no authentication, MACs, ED25519 signatures), each
+/// crossed with verify/execute worker-pool widths {1, 2, 4, 8}. Column
+/// `crypto` is Fig. 7-right's x-axis; the `workers` column exposes how much
+/// of the authentication cost the staged pipeline parallelizes away (CI's
+/// `--pipeline-gate` holds mac-mode throughput at 8 workers above the
+/// 1-worker row).
 pub fn fig7_auth_campaign(seed: u64) -> Campaign {
-    let specs = [CryptoMode::None, CryptoMode::Mac, CryptoMode::PublicKey]
-        .into_iter()
-        .map(|crypto| ExperimentSpec {
-            protocol: ProtocolKind::Pbft,
-            network: NetworkKind::Lan,
-            fault: FaultScenario::None,
-            n: 16,
-            m: 1,
-            batch_size: 100,
-            crypto,
-            seed,
-        })
-        .collect();
+    let mut specs = Vec::new();
+    for crypto in [CryptoMode::None, CryptoMode::Mac, CryptoMode::PublicKey] {
+        for workers in [1u32, 2, 4, 8] {
+            specs.push(ExperimentSpec {
+                protocol: ProtocolKind::Pbft,
+                network: NetworkKind::Lan,
+                fault: FaultScenario::None,
+                n: 16,
+                m: 1,
+                batch_size: 100,
+                crypto,
+                seed,
+                workers,
+            });
+        }
+    }
     Campaign {
         name: "fig7-auth".into(),
         specs,
@@ -724,6 +740,7 @@ pub fn fig8_campaign(seed: u64) -> Campaign {
             batch_size: 100,
             crypto: CryptoMode::Mac,
             seed,
+            workers: 16,
         });
         specs.push(ExperimentSpec {
             protocol: ProtocolKind::Pbft,
@@ -734,6 +751,7 @@ pub fn fig8_campaign(seed: u64) -> Campaign {
             batch_size: 100,
             crypto: CryptoMode::Mac,
             seed,
+            workers: 16,
         });
     }
     Campaign {
@@ -762,6 +780,7 @@ pub fn faults_campaign(seed: u64) -> Campaign {
         batch_size: 100,
         crypto: CryptoMode::Mac,
         seed,
+        workers: 16,
     })
     .collect();
     Campaign {
@@ -800,6 +819,7 @@ pub fn recovery_campaign(seed: u64) -> Campaign {
         batch_size: 100,
         crypto: CryptoMode::Mac,
         seed,
+        workers: 16,
     })
     .collect();
     Campaign {
@@ -832,6 +852,7 @@ pub fn long_horizon_campaign(seed: u64) -> Campaign {
             batch_size: 100,
             crypto: CryptoMode::Mac,
             seed,
+            workers: 16,
         })
         .collect();
     Campaign {
@@ -875,6 +896,7 @@ pub fn chaos_campaign(seed: u64) -> Campaign {
         batch_size: 100,
         crypto: CryptoMode::Mac,
         seed,
+        workers: 16,
     })
     .collect();
     Campaign {
@@ -925,6 +947,7 @@ mod tests {
             batch_size: 10,
             crypto: CryptoMode::Mac,
             seed,
+            workers: 16,
         };
         Campaign {
             name: "tiny".into(),
@@ -974,6 +997,7 @@ mod tests {
             batch_size: 10,
             crypto: CryptoMode::Mac,
             seed: 1,
+            workers: 16,
         };
         let phases = Phases {
             warmup: Duration::from_millis(100),
@@ -1053,6 +1077,7 @@ mod tests {
             batch_size: 10,
             crypto: CryptoMode::Mac,
             seed: 7,
+            workers: 16,
         };
         let phases = Phases {
             warmup: Duration::from_millis(150),
@@ -1064,6 +1089,54 @@ mod tests {
         assert!(
             row.committed_transactions > 0,
             "chaos run stopped committing"
+        );
+    }
+
+    #[test]
+    fn fig7_auth_sweeps_every_crypto_mode_by_worker_width() {
+        let campaign = fig7_auth_campaign(1);
+        assert_eq!(campaign.specs.len(), 12, "3 crypto modes × 4 pool widths");
+        for crypto in [CryptoMode::None, CryptoMode::Mac, CryptoMode::PublicKey] {
+            for workers in [1u32, 2, 4, 8] {
+                assert!(
+                    campaign
+                        .specs
+                        .iter()
+                        .any(|s| s.crypto == crypto && s.workers == workers),
+                    "missing {crypto:?} × {workers} workers"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widening_the_worker_pool_raises_mac_throughput() {
+        // The pipeline acceptance property at unit-test scale: with MAC
+        // batch verification dominating the CPU, a wider verify/execute
+        // pool must raise committed throughput.
+        let spec = |workers| ExperimentSpec {
+            protocol: ProtocolKind::Pbft,
+            network: NetworkKind::Lan,
+            fault: FaultScenario::None,
+            n: 4,
+            m: 1,
+            batch_size: 100,
+            crypto: CryptoMode::Mac,
+            seed: 3,
+            workers,
+        };
+        let phases = Phases {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(400),
+            cooldown: Duration::from_millis(50),
+        };
+        let narrow = run_spec(&spec(1), &phases);
+        let wide = run_spec(&spec(8), &phases);
+        assert!(
+            wide.throughput_tps > narrow.throughput_tps,
+            "8 workers ({:.0} tps) should beat 1 worker ({:.0} tps)",
+            wide.throughput_tps,
+            narrow.throughput_tps
         );
     }
 

@@ -19,6 +19,8 @@
 //!   threshold, batching, pipelining, timeouts, and cryptography mode.
 //! * [`metrics`] — throughput meters, latency histograms, and time series
 //!   used by the benchmark harness.
+//! * [`pool`] — the fixed worker pool (std threads + bounded channels)
+//!   shared by the staged verify/execute pipeline.
 //! * [`rng`] — the SplitMix64 generator behind every piece of deterministic
 //!   randomness in the workspace (simulated jitter, workload contents).
 //! * [`status`] — the per-instance coordination status exposed by an RCC
@@ -40,6 +42,7 @@ pub mod digest;
 pub mod error;
 pub mod ids;
 pub mod metrics;
+pub mod pool;
 pub mod rng;
 pub mod status;
 pub mod time;
@@ -51,6 +54,7 @@ pub use config::{CryptoMode, SystemConfig, WireCosts};
 pub use digest::Digest;
 pub use error::{Error, Result};
 pub use ids::{ClientId, InstanceId, ReplicaId, Round, View};
+pub use pool::WorkerPool;
 pub use rng::SplitMix64;
 pub use status::InstanceStatus;
 pub use time::{Duration, Time};

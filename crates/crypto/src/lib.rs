@@ -19,6 +19,8 @@
 //! * [`authenticator`] — a unified per-replica authenticator that applies the
 //!   configured [`rcc_common::CryptoMode`].
 //! * [`keys`] — deterministic key-material generation for whole deployments.
+//! * [`pipeline`] — the batch-verification stage: bursts of authentication
+//!   checks fanned out to a worker pool, verdicts delivered in arrival order.
 //! * [`cost`] — a calibrated CPU-cost model of every primitive, used by the
 //!   discrete-event simulator instead of executing real cryptography for
 //!   millions of simulated messages.
@@ -31,6 +33,7 @@ pub mod cost;
 pub mod hash;
 pub mod keys;
 pub mod mac;
+pub mod pipeline;
 pub mod signature;
 pub mod threshold;
 
@@ -39,5 +42,6 @@ pub use cost::{CryptoCostModel, CryptoOp};
 pub use hash::{digest_batch, digest_bytes, digest_chain, digest_request};
 pub use keys::{ClientKeys, DeploymentKeys, ReplicaKeys};
 pub use mac::{MacKey, MacTag};
+pub use pipeline::{VerifyJob, VerifyPool, VerifySource};
 pub use signature::{KeyPair, PublicKey, Signature};
 pub use threshold::{ThresholdAuthenticator, ThresholdCertificate, ThresholdShare};

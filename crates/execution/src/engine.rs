@@ -1,11 +1,30 @@
 //! The deterministic execution engine.
+//!
+//! Two execution paths produce byte-identical results:
+//!
+//! * [`ExecutionEngine::execute_round`] — the sequential reference: every
+//!   transaction of the round applied in the agreed order.
+//! * [`ExecutionEngine::execute_round_parallel`] — the pipelined path: the
+//!   round's transactions are partitioned into independent conflict groups
+//!   (see [`crate::conflict`]), groups execute concurrently on a
+//!   [`WorkerPool`] with their writes buffered in per-group overlays, and
+//!   the overlays merge back in deterministic group order. Groups touch
+//!   provably disjoint written state and the storage fingerprints compose
+//!   by XOR over final records, so the merged state, ledger, summary, and
+//!   replies are bit-identical to the sequential path — the property the
+//!   `parallel_equivalence` harness pins across seeds and worker counts.
 
+use crate::conflict::{access_set, conflict_groups};
 use crate::reply::{ClientReply, ExecutionOutcome};
+use rcc_common::pool::WorkerPool;
 use rcc_common::BatchId;
-use rcc_common::{Batch, Digest, ReplicaId, Round, TransactionKind};
+use rcc_common::{Batch, ClientRequest, Digest, ReplicaId, Round, TransactionKind};
 use rcc_crypto::hash::digest_batch;
 use rcc_storage::ledger::BlockEntry;
+use rcc_storage::table::Record;
 use rcc_storage::{AccountStore, Checkpoint, Ledger, RecordTable};
+use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Summary statistics of everything the engine has executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -210,6 +229,265 @@ impl ExecutionEngine {
         }
         self.summary.rounds += 1;
         replies
+    }
+
+    /// Executes one ordered round with non-conflicting transactions running
+    /// concurrently on `pool`, producing results byte-identical to
+    /// [`ExecutionEngine::execute_round`] — same state fingerprints, same
+    /// ledger blocks, same summary, same replies in the same order.
+    ///
+    /// The ledger append, reply positions, and summary counters are computed
+    /// sequentially (they depend only on the agreed order, not on outcomes);
+    /// the transactions themselves execute in conflict groups buffered
+    /// against the shared pre-round state, and each group's final writes and
+    /// access counts merge back in deterministic group order.
+    pub fn execute_round_parallel(
+        &mut self,
+        round: Round,
+        ordered: &[(BatchId, Batch)],
+        pool: &WorkerPool,
+    ) -> Vec<ClientReply> {
+        let entries: Vec<BlockEntry> = ordered
+            .iter()
+            .map(|(id, batch)| BlockEntry {
+                batch: *id,
+                digest: digest_batch(batch),
+                transactions: batch.effective_transactions(),
+            })
+            .collect();
+        let block_digest: Digest = {
+            let block = self.ledger.append(round, entries);
+            block.digest
+        };
+
+        // Flatten the round into its deterministic execution order: batches
+        // in instance-id order, requests in batch order, no-ops skipped.
+        // Positions are assigned here, before anything runs.
+        let mut txns: Vec<(u32, ClientRequest)> = Vec::new();
+        let mut sets = Vec::new();
+        let mut position: u32 = 0;
+        for (_, batch) in ordered {
+            self.summary.batches += 1;
+            for request in &batch.requests {
+                if request.is_noop() {
+                    self.summary.noops += 1;
+                    continue;
+                }
+                sets.push(access_set(&request.transaction.kind));
+                txns.push((position, request.clone()));
+                self.summary.transactions += 1;
+                position += 1;
+            }
+        }
+        self.summary.rounds += 1;
+        if txns.is_empty() {
+            return Vec::new();
+        }
+
+        let groups = conflict_groups(&sets);
+        // Workers read the pre-round state concurrently; shared ownership
+        // is temporary and reclaimed below once every job has finished.
+        let base_table = Arc::new(std::mem::take(&mut self.table));
+        let base_accounts = Arc::new(std::mem::take(&mut self.accounts));
+        let mut slots: Vec<Option<(u32, ClientRequest)>> = txns.into_iter().map(Some).collect();
+        let replica = self.replica;
+        let jobs: Vec<_> = groups
+            .into_iter()
+            .map(|members| {
+                let members: Vec<(u32, ClientRequest)> = members
+                    .into_iter()
+                    .map(|i| slots[i].take().expect("each txn is in exactly one group"))
+                    .collect();
+                let table = Arc::clone(&base_table);
+                let accounts = Arc::clone(&base_accounts);
+                move || {
+                    let mut group = GroupExecution::new(&table, &accounts);
+                    let outcomes: Vec<(u32, ClientReply)> = members
+                        .into_iter()
+                        .map(|(pos, request)| {
+                            let outcome = group.execute(&request.transaction.kind);
+                            (
+                                pos,
+                                ClientReply {
+                                    request: request.id,
+                                    replica,
+                                    executed_in_round: round,
+                                    position_in_round: pos,
+                                    outcome,
+                                    block_digest,
+                                },
+                            )
+                        })
+                        .collect();
+                    group.finish(outcomes)
+                }
+            })
+            .collect();
+        let results = pool.run_ordered(jobs);
+
+        // Every job has returned, so the temporary shared ownership is back
+        // to exactly one reference each.
+        self.table = Arc::try_unwrap(base_table).expect("workers released the table");
+        self.accounts = Arc::try_unwrap(base_accounts).expect("workers released the accounts");
+
+        // Merge in deterministic group order. Groups write disjoint keys, so
+        // the order provably cannot matter — it is fixed anyway so that any
+        // future invariant violation shows up as a deterministic divergence,
+        // not a heisenbug.
+        let mut replies: Vec<(u32, ClientReply)> = Vec::with_capacity(position as usize);
+        for result in results {
+            for (key, record) in result.records {
+                self.table.install(key, record.payload, record.version);
+            }
+            for (account, balance) in result.balances {
+                self.accounts.set_balance(account, balance);
+            }
+            self.table.note_accesses(result.reads, result.writes);
+            replies.extend(result.outcomes);
+        }
+        replies.sort_by_key(|(pos, _)| *pos);
+        replies.into_iter().map(|(_, reply)| reply).collect()
+    }
+}
+
+/// What one conflict group produced: its buffered writes and statistics.
+struct GroupResult {
+    records: BTreeMap<u64, Record>,
+    balances: BTreeMap<u32, i64>,
+    reads: u64,
+    writes: u64,
+    outcomes: Vec<(u32, ClientReply)>,
+}
+
+/// Executes one conflict group against the shared pre-round state, buffering
+/// all writes in overlays. The semantics of every operation mirror
+/// [`ExecutionEngine`]'s sequential `execute_kind` exactly — versions,
+/// access-counter increments, entry creation, and outcome payloads included.
+/// Other groups cannot observe or disturb this group's keys (that is what
+/// the conflict partition guarantees), so overlay-over-base reads see
+/// precisely the state the sequential schedule would have seen.
+struct GroupExecution<'a> {
+    table: &'a RecordTable,
+    accounts: &'a AccountStore,
+    records: BTreeMap<u64, Record>,
+    balances: BTreeMap<u32, i64>,
+    reads: u64,
+    writes: u64,
+}
+
+impl<'a> GroupExecution<'a> {
+    fn new(table: &'a RecordTable, accounts: &'a AccountStore) -> Self {
+        GroupExecution {
+            table,
+            accounts,
+            records: BTreeMap::new(),
+            balances: BTreeMap::new(),
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    fn record(&self, key: u64) -> Option<&Record> {
+        self.records.get(&key).or_else(|| self.table.peek(key))
+    }
+
+    fn balance(&self, account: u32) -> i64 {
+        self.balances
+            .get(&account)
+            .copied()
+            .unwrap_or_else(|| self.accounts.balance(account))
+    }
+
+    fn write(&mut self, key: u64, payload: Vec<u8>) -> u64 {
+        self.writes += 1;
+        let version = self.record(key).map(|r| r.version + 1).unwrap_or(0);
+        self.records.insert(key, Record { payload, version });
+        version
+    }
+
+    fn execute(&mut self, kind: &TransactionKind) -> ExecutionOutcome {
+        match kind {
+            TransactionKind::YcsbRead { key } => {
+                self.reads += 1;
+                match self.record(*key) {
+                    Some(record) => ExecutionOutcome::ReadResult {
+                        bytes: record.payload.len(),
+                        found: true,
+                    },
+                    None => ExecutionOutcome::ReadResult {
+                        bytes: 0,
+                        found: false,
+                    },
+                }
+            }
+            TransactionKind::YcsbWrite { key, value } => {
+                let version = self.write(*key, value.clone());
+                ExecutionOutcome::WriteApplied { version }
+            }
+            TransactionKind::YcsbReadModifyWrite { key, delta } => {
+                self.reads += 1;
+                let mut payload = self
+                    .record(*key)
+                    .map(|r| r.payload.clone())
+                    .unwrap_or_default();
+                payload.extend_from_slice(delta);
+                let version = self.write(*key, payload);
+                ExecutionOutcome::WriteApplied { version }
+            }
+            TransactionKind::YcsbScan { start, count } => {
+                self.reads += *count as u64;
+                // Base records in range, plus overlay-created keys the base
+                // does not know. Writers inside the range are necessarily in
+                // this group, so the overlay is the only delta to consider.
+                let end = start.saturating_add(*count as u64);
+                let created = self
+                    .records
+                    .range(*start..end)
+                    .filter(|(key, _)| self.table.peek(**key).is_none())
+                    .count();
+                ExecutionOutcome::ScanResult {
+                    records: self.table.count_range(*start, *count) + created,
+                }
+            }
+            TransactionKind::Transfer {
+                from,
+                to,
+                min_balance,
+                amount,
+            } => {
+                let applied = self.balance(*from) > *min_balance;
+                if applied {
+                    let debited = self.balance(*from) - amount;
+                    self.balances.insert(*from, debited);
+                    let credited = self.balance(*to) + amount;
+                    self.balances.insert(*to, credited);
+                }
+                ExecutionOutcome::TransferResult {
+                    applied,
+                    from_balance: self.balance(*from),
+                    to_balance: self.balance(*to),
+                }
+            }
+            TransactionKind::Deposit { account, amount } => {
+                let balance = self.balance(*account) + amount;
+                self.balances.insert(*account, balance);
+                ExecutionOutcome::Balance { balance }
+            }
+            TransactionKind::BalanceQuery { account } => ExecutionOutcome::Balance {
+                balance: self.balance(*account),
+            },
+            TransactionKind::NoOp => ExecutionOutcome::NoOp,
+        }
+    }
+
+    fn finish(self, outcomes: Vec<(u32, ClientReply)>) -> GroupResult {
+        GroupResult {
+            records: self.records,
+            balances: self.balances,
+            reads: self.reads,
+            writes: self.writes,
+            outcomes,
+        }
     }
 }
 

@@ -7,12 +7,19 @@
 //! client replies. The engine executes ordered batches against the storage
 //! substrate (`rcc-storage`), appends the resulting block to the ledger, and
 //! produces the per-client replies that replicas send back.
+//!
+//! Execution comes in two provably equivalent flavours: the sequential
+//! reference path, and a conflict-aware parallel path ([`conflict`]) that
+//! executes non-conflicting transactions of a released round concurrently
+//! on a worker pool while conflicting ones keep the agreed order.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod conflict;
 pub mod engine;
 pub mod reply;
 
+pub use conflict::{access_set, conflict_groups, AccessKey, AccessSet};
 pub use engine::{ExecutionEngine, ExecutionSummary};
 pub use reply::{ClientReply, ExecutionOutcome};

@@ -4,12 +4,13 @@
 //! rcc-node cluster [--replicas N] [--instances M] [--clients C]
 //!                  [--batch-size B] [--crypto none|mac|pk] [--seed S]
 //!                  [--duration-ms D] [--window W] [--in-process]
+//!                  [--execution-workers W]
 //!                  [--kill R --kill-after-ms K --down-for-ms T]
 //!                  [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]
 //!     Launch an N-replica localhost cluster (TCP by default) with C
 //!     closed-loop client nodes, optionally kill-and-restart replica R
-//!     mid-run, verify identical release orders, and exit non-zero on any
-//!     violation. This is the CI smoke scenario. `--chaos wire-mangle`
+//!     mid-run, verify identical release orders and executed ledgers, and
+//!     exit non-zero on any violation. This is the CI smoke scenario. `--chaos wire-mangle`
 //!     routes every replica's outbound consensus frames through a seeded
 //!     `ByteMangler` (corruption, truncation, splices, duplicates, replays,
 //!     reorders at P per million, default 20000); `--chaos kill-coordinator`
@@ -30,8 +31,9 @@
 use rcc_common::{ClientId, CryptoMode, InstanceId, ReplicaId};
 use rcc_network::cluster::{run_client, ClusterPlan, RestartPlan};
 use rcc_network::{
-    parse_deployment, queue_capacity, run_local_cluster, spawn_node, verify_identical_orders,
-    MangleConfig, NodeConfig, TcpClientChannel, TcpTransport, TransportKind,
+    parse_deployment, queue_capacity, run_local_cluster, spawn_node, verify_identical_ledgers,
+    verify_identical_orders, MangleConfig, NodeConfig, TcpClientChannel, TcpTransport,
+    TransportKind,
 };
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
@@ -56,7 +58,7 @@ fn main() {
 
 const USAGE: &str = "usage:\n  rcc-node cluster [--replicas N] [--instances M] [--clients C] \
 [--batch-size B] [--crypto none|mac|pk] [--seed S] [--duration-ms D] [--window W] \
-[--in-process] [--kill R --kill-after-ms K --down-for-ms T] \
+[--in-process] [--execution-workers W] [--kill R --kill-after-ms K --down-for-ms T] \
 [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]\n  rcc-node replica --config FILE \
 [--duration-ms D]\n  rcc-node client --config FILE --stream S [--instance I] [--window W] \
 --duration-ms D\n";
@@ -158,6 +160,16 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         },
         clients: flags.int("--clients", 2)? as usize,
         client_window: flags.int("--window", 4)? as usize,
+        execution_workers: {
+            let workers = flags.int(
+                "--execution-workers",
+                rcc_network::DEFAULT_EXECUTION_WORKERS as u64,
+            )? as usize;
+            if workers == 0 {
+                return Err("--execution-workers must be at least 1".into());
+            }
+            workers
+        },
         run_for,
         restart,
         mangle,
@@ -209,6 +221,7 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         );
     }
     verify_identical_orders(&outcome.reports)?;
+    verify_identical_ledgers(&outcome.reports)?;
     if outcome.completed_batches() == 0 {
         return Err("no client batch completed its reply quorum".into());
     }
@@ -218,7 +231,8 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         }
     }
     println!(
-        "OK: identical release orders on all {} replicas, {} client batches completed",
+        "OK: identical release orders and executed ledgers on all {} replicas, \
+         {} client batches completed",
         outcome.reports.len(),
         outcome.completed_batches()
     );
@@ -269,6 +283,7 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
         NodeConfig {
             system: file.system,
             replica,
+            execution_workers: file.execution_workers,
         },
         transport,
     );

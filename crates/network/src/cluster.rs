@@ -65,6 +65,9 @@ pub struct ClusterPlan {
     /// frames pass through a seeded [`crate::mangle::ByteMangler`] (each
     /// replica gets its own stream derived from the configured seed).
     pub mangle: Option<MangleConfig>,
+    /// Width of each node's verify/execute worker pool
+    /// (`--execution-workers` on the CLI).
+    pub execution_workers: usize,
 }
 
 impl ClusterPlan {
@@ -79,6 +82,7 @@ impl ClusterPlan {
             run_for: Duration::from_millis(2_000),
             restart: None,
             mangle: None,
+            execution_workers: crate::node::DEFAULT_EXECUTION_WORKERS,
         }
     }
 }
@@ -423,6 +427,7 @@ fn run_timeline<R>(
             NodeConfig {
                 system: plan.system.clone(),
                 replica: restart.replica,
+                execution_workers: plan.execution_workers,
             },
             BoxedTransport(transport),
         ));
@@ -471,6 +476,7 @@ fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
                 NodeConfig {
                     system: plan.system.clone(),
                     replica,
+                    execution_workers: plan.execution_workers,
                 },
                 BoxedTransport(maybe_mangled(hub.transport(replica), plan.mangle, replica)),
             ))
@@ -511,6 +517,7 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                 NodeConfig {
                     system: plan.system.clone(),
                     replica,
+                    execution_workers: plan.execution_workers,
                 },
                 BoxedTransport(maybe_mangled(
                     TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),

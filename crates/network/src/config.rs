@@ -16,6 +16,7 @@
 //! replica = 0
 //! listen = "127.0.0.1:7100"
 //! peers = ["127.0.0.1:7100", "127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+//! execution_workers = 4   # verify/execute worker-pool width
 //! ```
 //!
 //! Unknown keys are rejected (a typo silently ignored is a
@@ -35,6 +36,9 @@ pub struct DeploymentFile {
     pub listen: Option<String>,
     /// Every replica's address, indexed by replica id (`peers = [...]`).
     pub peers: Vec<String>,
+    /// Width of the node's verify/execute worker pool
+    /// (`execution_workers = N`; defaults to 4).
+    pub execution_workers: usize,
 }
 
 /// Parses the TOML-ish subset. Returns a human-readable error naming the
@@ -48,6 +52,7 @@ pub fn parse_deployment(text: &str) -> Result<DeploymentFile, String> {
     let mut replica = None;
     let mut listen = None;
     let mut peers = Vec::new();
+    let mut execution_workers = crate::node::DEFAULT_EXECUTION_WORKERS;
 
     for (number, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -100,6 +105,12 @@ pub fn parse_deployment(text: &str) -> Result<DeploymentFile, String> {
                 peers = parse_string_array(value)
                     .ok_or_else(|| context("peers must be a single-line array of strings"))?
             }
+            "execution_workers" => {
+                execution_workers = parse_int(value)
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| context("execution_workers must be a positive integer"))?
+                    as usize
+            }
             other => return Err(context(&format!("unknown key `{other}`"))),
         }
     }
@@ -123,6 +134,7 @@ pub fn parse_deployment(text: &str) -> Result<DeploymentFile, String> {
         replica,
         listen,
         peers,
+        execution_workers,
     })
 }
 
@@ -163,6 +175,7 @@ mod tests {
             replica = 1            # this node
             listen = "127.0.0.1:7101"
             peers = ["127.0.0.1:7100", "127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
+            execution_workers = 8
             "#,
         )
         .expect("parses");
@@ -174,6 +187,22 @@ mod tests {
         assert_eq!(file.replica, Some(ReplicaId(1)));
         assert_eq!(file.listen.as_deref(), Some("127.0.0.1:7101"));
         assert_eq!(file.peers.len(), 4);
+        assert_eq!(file.execution_workers, 8);
+    }
+
+    #[test]
+    fn execution_workers_defaults_and_rejects_zero() {
+        let file = parse_deployment("n = 4").expect("parses");
+        assert_eq!(
+            file.execution_workers,
+            crate::node::DEFAULT_EXECUTION_WORKERS
+        );
+        assert!(parse_deployment("execution_workers = 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_deployment("execution_workers = \"four\"")
+            .unwrap_err()
+            .contains("positive"));
     }
 
     #[test]

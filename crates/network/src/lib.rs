@@ -47,6 +47,9 @@ pub use cluster::{run_local_cluster, ClusterOutcome, ClusterPlan, RestartPlan, T
 pub use config::{parse_deployment, DeploymentFile};
 pub use frame::{Frame, PeerKind, MAX_FRAME_BYTES, WIRE_VERSION};
 pub use mangle::{ByteMangler, MangleConfig, MangleStats, MangledTransport};
-pub use node::{spawn_node, verify_identical_orders, NodeConfig, NodeHandle, NodeReport};
+pub use node::{
+    spawn_node, verify_identical_ledgers, verify_identical_orders, NodeConfig, NodeHandle,
+    NodeReport, DEFAULT_EXECUTION_WORKERS,
+};
 pub use tcp::{TcpClientChannel, TcpTransport};
 pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};

@@ -15,12 +15,24 @@
 //!                    (BTreeMap deadline heap)    │ Commit → client replies
 //! ```
 //!
-//! The mailbox loop alternates between draining inbound frames (verify
-//! authentication at the frame boundary, decode, feed `on_message`/
-//! `propose_for`) and firing due wall-clock timers through the existing
+//! The mailbox loop alternates between draining inbound frames and firing
+//! due wall-clock timers through the existing
 //! [`rcc_protocols::bca::TimerId`] seam. Logical [`Time`] is nanoseconds
 //! since the node started (`Instant`-derived), which is all the protocol
 //! timers need.
+//!
+//! # Staged verify/execute pipeline
+//!
+//! Authentication and execution no longer run inline on the mailbox thread.
+//! Each drained burst of frames is decoded, its authentication checks are
+//! fanned out to a shared [`WorkerPool`] via [`VerifyPool`] (verdicts come
+//! back in arrival order, so the protocol observes exactly the sequence
+//! inline verification would have produced), and only then are the verified
+//! messages dispatched. After every burst the node executes newly released
+//! rounds through [`ExecutionEngine::execute_round_parallel`] on the same
+//! pool: the conflict-aware parallel path whose results are bit-identical
+//! to sequential execution (see `crates/execution/tests/`). The pool width
+//! is [`NodeConfig::execution_workers`] (`--execution-workers` on the CLI).
 //!
 //! Replies implement §III-A: every replica sends the released batch's
 //! certified digest to the client node that submitted it (recovered from
@@ -30,15 +42,22 @@
 use crate::frame::Frame;
 use crate::transport::Transport;
 use rcc_common::codec::{Decode, Encode};
-use rcc_common::{Batch, ClientId, Digest, ReplicaId, Round, SystemConfig, Time};
+use rcc_common::{
+    Batch, BatchId, ClientId, Digest, ReplicaId, Round, SystemConfig, Time, WorkerPool,
+};
 use rcc_core::{RccMessage, RccReplica};
-use rcc_crypto::{Authenticator, DeploymentKeys};
+use rcc_crypto::{Authenticator, DeploymentKeys, VerifyJob, VerifyPool, VerifySource};
+use rcc_execution::ExecutionEngine;
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId};
 use rcc_protocols::pbft::{Pbft, PbftMessage};
 use std::collections::BTreeMap;
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Pool width used when a deployment does not configure one.
+pub const DEFAULT_EXECUTION_WORKERS: usize = 4;
 
 /// Configuration of one deployed replica node.
 #[derive(Clone, Debug)]
@@ -47,6 +66,9 @@ pub struct NodeConfig {
     pub system: SystemConfig,
     /// Which replica this node is.
     pub replica: ReplicaId,
+    /// Width of the node's verify/execute worker pool (the staged
+    /// pipeline's parallel lane; clamped to at least 1).
+    pub execution_workers: usize,
 }
 
 /// What a node measured and held when it shut down.
@@ -67,6 +89,15 @@ pub struct NodeReport {
     pub execution_digests: Vec<Digest>,
     /// Chained digest over the *entire* release history (pruned included).
     pub ledger_head: Digest,
+    /// `(round, content digest)` of every block the node's execution engine
+    /// appended. Content digests exclude the chain position, so replicas
+    /// whose engines started at different rounds (a restarted node begins
+    /// at its adopted checkpoint) still compare equal on the overlap —
+    /// see [`verify_identical_ledgers`].
+    pub ledger_blocks: Vec<(Round, Digest)>,
+    /// Combined fingerprint of the engine's post-execution state (record
+    /// table ⊕ account store).
+    pub state_fingerprint: u64,
     /// Client replies sent.
     pub replies_sent: u64,
     /// Frames that arrived but failed authentication.
@@ -105,11 +136,16 @@ pub fn spawn_node(config: NodeConfig, transport: impl Transport + 'static) -> No
             let keys = DeploymentKeys::generate(&config.system);
             let auth = Authenticator::new(config.system.crypto, keys.replica_keys(config.replica));
             let replica = RccReplica::over_pbft(config.system.clone(), config.replica);
+            let pool = Arc::new(WorkerPool::new(config.execution_workers));
+            let engine = ExecutionEngine::new(config.replica);
             let node = Node {
-                config,
                 transport,
                 replica,
-                auth,
+                verify: VerifyPool::new(auth, Arc::clone(&pool)),
+                pool,
+                engine,
+                next_exec_round: 0,
+                config,
                 timers: BTreeMap::new(),
                 epoch: Instant::now(),
                 replies_sent: 0,
@@ -137,7 +173,17 @@ struct Node<T: Transport> {
     config: NodeConfig,
     transport: T,
     replica: RccReplica<Pbft>,
-    auth: Authenticator,
+    /// Batch-verification stage: fans frame authentication out to `pool`,
+    /// verdicts return in arrival order. Also owns the signing side.
+    verify: VerifyPool,
+    /// Shared verify/execute worker pool.
+    pool: Arc<WorkerPool>,
+    /// Deterministic execution engine fed by released rounds.
+    engine: ExecutionEngine,
+    /// Next released round the engine has not executed yet. Checkpoint
+    /// adoption can jump the release frontier past pruned rounds; execution
+    /// resumes from whatever the replica still retains.
+    next_exec_round: Round,
     /// Armed wall-clock timers: protocol `TimerId` → absolute logical time.
     timers: BTreeMap<TimerId, Time>,
     epoch: Instant,
@@ -173,16 +219,20 @@ impl<T: Transport> Node<T> {
                 .unwrap_or(IDLE_WAIT)
                 .min(IDLE_WAIT);
             let Some(first) = self.transport.recv_timeout(wait) else {
+                self.execute_released();
                 continue;
             };
-            self.on_frame_bytes(first);
+            let mut burst = vec![first];
             for _ in 0..DRAIN_BURST {
                 match self.transport.try_recv() {
-                    Some(bytes) => self.on_frame_bytes(bytes),
+                    Some(bytes) => burst.push(bytes),
                     None => break,
                 }
             }
+            self.process_burst(burst);
+            self.execute_released();
         }
+        self.execute_released();
         self.transport.shutdown();
         self.report()
     }
@@ -207,20 +257,71 @@ impl<T: Transport> Node<T> {
         }
     }
 
-    fn on_frame_bytes(&mut self, bytes: Vec<u8>) {
-        let frame = match Frame::decode_frame(&bytes) {
-            Ok(frame) => frame,
-            Err(_) => {
-                self.decode_failures += 1;
-                return;
+    /// Decodes a drained burst, fans its authentication checks out to the
+    /// worker pool in one batch, and dispatches the frames **in arrival
+    /// order** with their verdicts — observably identical to inline
+    /// verification, minus the sequential crypto bill.
+    fn process_burst(&mut self, burst: Vec<Vec<u8>>) {
+        let mut frames: Vec<Option<Frame>> = Vec::with_capacity(burst.len());
+        let mut jobs: Vec<VerifyJob> = Vec::new();
+        let mut job_slots: Vec<usize> = Vec::new();
+        for bytes in &burst {
+            let slot = frames.len();
+            match Frame::decode_frame(bytes) {
+                Ok(frame) => {
+                    match &frame {
+                        // A frame claiming to be from ourselves is rejected
+                        // without wasting a worker on it (dispatch counts it).
+                        Frame::Replica { from, payload, tag } if *from != self.config.replica => {
+                            jobs.push(VerifyJob {
+                                source: VerifySource::Replica(*from),
+                                payload: payload.clone(),
+                                tag: *tag,
+                            });
+                            job_slots.push(slot);
+                        }
+                        Frame::ClientSubmit {
+                            client,
+                            payload,
+                            tag,
+                            ..
+                        } => {
+                            jobs.push(VerifyJob {
+                                source: VerifySource::Client(*client),
+                                payload: payload.clone(),
+                                tag: *tag,
+                            });
+                            job_slots.push(slot);
+                        }
+                        _ => {}
+                    }
+                    frames.push(Some(frame));
+                }
+                Err(_) => {
+                    self.decode_failures += 1;
+                    frames.push(None);
+                }
             }
-        };
+        }
+        let verdicts = self.verify.verify_batch(jobs);
+        let mut verdict_of: BTreeMap<usize, bool> = BTreeMap::new();
+        for (slot, (_, ok)) in job_slots.into_iter().zip(&verdicts) {
+            verdict_of.insert(slot, *ok);
+        }
+        for (slot, frame) in frames.into_iter().enumerate() {
+            if let Some(frame) = frame {
+                self.dispatch(frame, verdict_of.get(&slot).copied());
+            }
+        }
+    }
+
+    /// Handles one decoded frame whose authentication verdict (if the frame
+    /// needed one) was already computed by the verify stage.
+    fn dispatch(&mut self, frame: Frame, verified: Option<bool>) {
         match frame {
             Frame::Hello { .. } => {} // transport-level concern; nothing to do
-            Frame::Replica { from, payload, tag } => {
-                if from == self.config.replica
-                    || self.auth.verify_from_replica(from, &payload, &tag).is_err()
-                {
+            Frame::Replica { from, payload, .. } => {
+                if from == self.config.replica || verified != Some(true) {
                     self.auth_failures += 1;
                     return;
                 }
@@ -238,13 +339,9 @@ impl<T: Transport> Node<T> {
                 client,
                 instance,
                 payload,
-                tag,
+                ..
             } => {
-                if self
-                    .auth
-                    .verify_from_client(client, &payload, &tag)
-                    .is_err()
-                {
+                if verified != Some(true) {
                     self.auth_failures += 1;
                     return;
                 }
@@ -312,9 +409,43 @@ impl<T: Transport> Node<T> {
         }
     }
 
+    /// Executes every newly released round the replica retains through the
+    /// conflict-aware parallel engine. Checkpoint adoption can jump the
+    /// release frontier past rounds this node never saw (they were pruned
+    /// cluster-wide); execution resumes at the first retained round, which
+    /// is exactly what the restart-robust ledger comparison in
+    /// [`verify_identical_ledgers`] accounts for.
+    fn execute_released(&mut self) {
+        let rounds: Vec<(Round, Vec<(BatchId, Batch)>)> = self
+            .replica
+            .execution_log()
+            .iter()
+            .filter(|released| released.round >= self.next_exec_round)
+            .map(|released| {
+                (
+                    released.round,
+                    released
+                        .batches
+                        .iter()
+                        .map(|b| (b.id, b.batch.clone()))
+                        .collect(),
+                )
+            })
+            .collect();
+        for (round, ordered) in rounds {
+            // Replies to clients travel via the §III-A digest protocol
+            // (`Action::Commit` → `reply`); the engine's own reply records
+            // are not re-sent here.
+            let _ = self
+                .engine
+                .execute_round_parallel(round, &ordered, &self.pool);
+            self.next_exec_round = round + 1;
+        }
+    }
+
     fn send(&mut self, to: ReplicaId, message: &RccMessage<PbftMessage>) {
         let payload = message.encoded();
-        let tag = self.auth.tag_for_replica(to, &payload);
+        let tag = self.verify.authenticator().tag_for_replica(to, &payload);
         let frame = Frame::Replica {
             from: self.config.replica,
             payload,
@@ -339,7 +470,10 @@ impl<T: Transport> Node<T> {
             }
             last_stream = Some(stream);
             let client = ClientId(stream);
-            let tag = self.auth.tag_for_client(client, digest.as_bytes());
+            let tag = self
+                .verify
+                .authenticator()
+                .tag_for_client(client, digest.as_bytes());
             let frame = Frame::ClientReply {
                 replica: self.config.replica,
                 digest,
@@ -358,6 +492,13 @@ impl<T: Transport> Node<T> {
             execution_window_start: self.replica.execution_window_start(),
             execution_digests: self.replica.execution_digests(),
             ledger_head: self.replica.ledger_head(),
+            ledger_blocks: self
+                .engine
+                .ledger()
+                .blocks()
+                .map(|block| (block.round, block.content_digest()))
+                .collect(),
+            state_fingerprint: self.engine.state_fingerprint(),
             replies_sent: self.replies_sent,
             auth_failures: self.auth_failures,
             decode_failures: self.decode_failures,
@@ -397,6 +538,41 @@ pub fn verify_identical_orders(reports: &[NodeReport]) -> Result<(), String> {
     Ok(())
 }
 
+/// Compares the executed ledgers of a set of node reports, keyed by round:
+/// wherever two replicas both executed a round, their blocks' content
+/// digests must match, and replicas that executed the *same* span of rounds
+/// must also agree on the post-execution state fingerprint. Keying by round
+/// (rather than chain position) makes the check robust to restarts: a
+/// rejoined replica's engine starts empty at its adopted checkpoint round,
+/// so its chain is shorter but its per-round content must still agree.
+pub fn verify_identical_ledgers(reports: &[NodeReport]) -> Result<(), String> {
+    for (i, a) in reports.iter().enumerate() {
+        for b in reports.iter().skip(i + 1) {
+            let by_round: BTreeMap<Round, Digest> = b.ledger_blocks.iter().copied().collect();
+            for &(round, digest) in &a.ledger_blocks {
+                if let Some(&other) = by_round.get(&round) {
+                    if other != digest {
+                        return Err(format!(
+                            "{} and {} executed different ledger blocks for round {round}",
+                            a.replica, b.replica
+                        ));
+                    }
+                }
+            }
+            let rounds_a: Vec<Round> = a.ledger_blocks.iter().map(|&(r, _)| r).collect();
+            let rounds_b: Vec<Round> = b.ledger_blocks.iter().map(|&(r, _)| r).collect();
+            if rounds_a == rounds_b && a.state_fingerprint != b.state_fingerprint {
+                return Err(format!(
+                    "{} and {} executed identical rounds but diverge on state \
+                     fingerprints ({:016x} vs {:016x})",
+                    a.replica, b.replica, a.state_fingerprint, b.state_fingerprint
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +588,8 @@ mod tests {
                 .map(|b| Digest::from_bytes([b; 32]))
                 .collect(),
             ledger_head: Digest::ZERO,
+            ledger_blocks: Vec::new(),
+            state_fingerprint: 0,
             replies_sent: 0,
             auth_failures: 0,
             decode_failures: 0,
@@ -434,5 +612,40 @@ mod tests {
         let b = report(1, 0, vec![1, 9, 3]);
         let err = verify_identical_orders(&[a, b]).expect_err("divergence");
         assert!(err.contains("diverge"), "{err}");
+    }
+
+    fn ledgered(replica: u32, blocks: Vec<(Round, u8)>, fingerprint: u64) -> NodeReport {
+        let mut r = report(replica, 0, vec![]);
+        r.ledger_blocks = blocks
+            .into_iter()
+            .map(|(round, b)| (round, Digest::from_bytes([b; 32])))
+            .collect();
+        r.state_fingerprint = fingerprint;
+        r
+    }
+
+    #[test]
+    fn identical_ledgers_verify_across_offset_windows() {
+        // Replica 1 restarted from a round-2 checkpoint: its engine holds a
+        // shorter chain, but the per-round content agrees.
+        let a = ledgered(0, vec![(0, 1), (1, 2), (2, 3), (3, 4)], 77);
+        let b = ledgered(1, vec![(2, 3), (3, 4)], 99);
+        verify_identical_ledgers(&[a, b]).expect("round overlap agrees");
+    }
+
+    #[test]
+    fn diverging_ledger_content_is_reported() {
+        let a = ledgered(0, vec![(0, 1), (1, 2)], 77);
+        let b = ledgered(1, vec![(0, 1), (1, 9)], 77);
+        let err = verify_identical_ledgers(&[a, b]).expect_err("divergence");
+        assert!(err.contains("round 1"), "{err}");
+    }
+
+    #[test]
+    fn equal_round_spans_must_agree_on_state() {
+        let a = ledgered(0, vec![(0, 1), (1, 2)], 77);
+        let b = ledgered(1, vec![(0, 1), (1, 2)], 78);
+        let err = verify_identical_ledgers(&[a, b]).expect_err("fingerprints");
+        assert!(err.contains("fingerprints"), "{err}");
     }
 }

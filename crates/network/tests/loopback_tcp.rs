@@ -3,13 +3,15 @@
 //!
 //! These run under `cargo test` in debug builds, so the workloads are kept
 //! modest; the interesting assertions are about *agreement* (identical
-//! release orders across replicas), *liveness* (clients complete reply
-//! quorums), and *recovery* (a killed-and-restarted node catches up, and a
-//! killed coordinator is deposed by the survivors).
+//! release orders across replicas AND identical executed-ledger digests —
+//! the parallel execution stage must not diverge), *liveness* (clients
+//! complete reply quorums), and *recovery* (a killed-and-restarted node
+//! catches up, and a killed coordinator is deposed by the survivors).
 
 use rcc_common::{ReplicaId, SystemConfig};
 use rcc_network::{
-    run_local_cluster, verify_identical_orders, ClusterPlan, RestartPlan, TransportKind,
+    run_local_cluster, verify_identical_ledgers, verify_identical_orders, ClusterPlan, RestartPlan,
+    TransportKind,
 };
 use std::time::Duration;
 
@@ -20,6 +22,10 @@ fn plan(transport: TransportKind, run_ms: u64) -> ClusterPlan {
         transport,
         clients: 2,
         client_window: 4,
+        // Stress the conflict-aware executor: every release executes
+        // across a 4-worker pool, and the ledger-digest assertions below
+        // prove it stayed bit-identical across replicas.
+        execution_workers: 4,
         run_for: Duration::from_millis(run_ms),
         restart: None,
         mangle: None,
@@ -28,6 +34,7 @@ fn plan(transport: TransportKind, run_ms: u64) -> ClusterPlan {
 
 fn assert_healthy(outcome: &rcc_network::ClusterOutcome) {
     verify_identical_orders(&outcome.reports).expect("identical release orders");
+    verify_identical_ledgers(&outcome.reports).expect("identical executed ledgers");
     assert!(
         outcome.completed_batches() > 0,
         "no client batch completed its f + 1 reply quorum"
@@ -42,6 +49,11 @@ fn assert_healthy(outcome: &rcc_network::ClusterOutcome) {
         assert_eq!(
             report.decode_failures, 0,
             "{} decode failures",
+            report.replica
+        );
+        assert!(
+            !report.ledger_blocks.is_empty(),
+            "{} executed no ledger blocks — the execution stage never ran",
             report.replica
         );
     }

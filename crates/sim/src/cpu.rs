@@ -23,10 +23,16 @@ pub struct CpuModel {
     /// ordering).
     pub proposal_overhead: Duration,
     /// Cost of executing one client transaction once its batch commits.
-    /// Charged on the worker cores (divided by `cores`).
+    /// Charged on the worker pool (divided by `workers`).
     pub execute_per_transaction: Duration,
     /// Worker cores available for parallel batch verification and execution.
     pub cores: u32,
+    /// Threads in the verify/execute worker pool. Batch verification and
+    /// round execution run on this pool's own timeline (the worker lane),
+    /// overlapping with the sequential consensus path; each job's duration
+    /// shrinks with the pool width. Defaults to `cores` (the paper's
+    /// replicas dedicate all 16 cores to the worker stages).
+    pub workers: u32,
 }
 
 impl Default for CpuModel {
@@ -36,6 +42,7 @@ impl Default for CpuModel {
             proposal_overhead: Duration::from_micros(10),
             execute_per_transaction: Duration::from_nanos(500),
             cores: 16,
+            workers: 16,
         }
     }
 }
@@ -46,6 +53,15 @@ impl CpuModel {
     pub fn single_core() -> Self {
         CpuModel {
             cores: 1,
+            workers: 1,
+            ..CpuModel::default()
+        }
+    }
+
+    /// The default model with a pool of `workers` verify/execute threads.
+    pub fn with_workers(workers: u32) -> Self {
+        CpuModel {
+            workers: workers.max(1),
             ..CpuModel::default()
         }
     }
@@ -53,6 +69,12 @@ impl CpuModel {
     /// Spreads `work` across the worker cores.
     pub fn parallelized(&self, work: Duration) -> Duration {
         work.mul_f64(1.0 / self.cores.max(1) as f64)
+    }
+
+    /// Spreads `work` across the verify/execute worker pool: the wall-clock
+    /// time one batched job occupies the worker lane.
+    pub fn worker_share(&self, work: Duration) -> Duration {
+        work.mul_f64(1.0 / self.workers.max(1) as f64)
     }
 }
 
@@ -72,5 +94,24 @@ mod tests {
             single.parallelized(Duration::from_micros(1600)),
             Duration::from_micros(1600)
         );
+    }
+
+    #[test]
+    fn worker_share_divides_by_pool_width() {
+        let cpu = CpuModel::with_workers(8);
+        assert_eq!(
+            cpu.worker_share(Duration::from_micros(1600)),
+            Duration::from_micros(200)
+        );
+        // Zero-width pools clamp to one worker instead of dividing by zero.
+        let degenerate = CpuModel {
+            workers: 0,
+            ..CpuModel::default()
+        };
+        assert_eq!(
+            degenerate.worker_share(Duration::from_micros(100)),
+            Duration::from_micros(100)
+        );
+        assert_eq!(CpuModel::with_workers(0).workers, 1);
     }
 }

@@ -229,6 +229,10 @@ struct SimNode<P: ByzantineCommitAlgorithm> {
     bca: P,
     /// The consensus path is busy until this time.
     busy_until: Time,
+    /// The verify/execute worker pool is busy until this time. Batch
+    /// verification and round execution run on this lane, overlapping with
+    /// the sequential consensus path.
+    worker_busy: Time,
     /// The egress NIC is busy until this time.
     egress_busy: Time,
     /// CPU slow-down factor (Section-IV throttling; 1.0 = full speed).
@@ -404,6 +408,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             .map(|r| SimNode {
                 bca: factory(r),
                 busy_until: Time::ZERO,
+                worker_busy: Time::ZERO,
                 egress_busy: Time::ZERO,
                 throttle: 1.0,
                 clock_skew: 1.0,
@@ -644,22 +649,36 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         if crypto_mode != rcc_common::CryptoMode::None {
             self.nodes[idx].counters.crypto_operations += 1;
         }
+        // Sequential consensus-path work: parse, authenticate the frame,
+        // protocol bookkeeping. Batch verification of the payload's client
+        // signatures is handed to the worker pool, whose lane overlaps the
+        // sequential path: the next message can start parsing while the
+        // workers still verify this proposal's batch.
         let mut cost =
             self.config.cpu.message_overhead + self.config.costs.incoming_message_cost(crypto_mode);
         if proposal {
-            cost = cost
-                + self.config.cpu.proposal_overhead
-                + self.config.costs.digest
-                + self.config.cpu.parallelized(
-                    self.config
-                        .costs
-                        .batch_verify_cost(crypto_mode, payload_transactions),
-                );
+            cost = cost + self.config.cpu.proposal_overhead + self.config.costs.digest;
         }
         let cost = self.scaled(idx, cost);
         let start = at.max(self.nodes[idx].busy_until);
-        let ready = start + cost;
-        self.nodes[idx].busy_until = ready;
+        let parsed = start + cost;
+        self.nodes[idx].busy_until = parsed;
+        let ready = if proposal {
+            let verify = self.scaled(
+                idx,
+                self.config.cpu.worker_share(
+                    self.config
+                        .costs
+                        .batch_verify_cost(crypto_mode, payload_transactions),
+                ),
+            );
+            let verify_start = parsed.max(self.nodes[idx].worker_busy);
+            let verified = verify_start + verify;
+            self.nodes[idx].worker_busy = verified;
+            verified
+        } else {
+            parsed
+        };
         let actions = self.nodes[idx].bca.on_message(ready, from, message);
         self.apply_actions(to, ready, actions);
         self.maybe_pump(to);
@@ -789,20 +808,28 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                 let arrival = at + link.serialization_delay(request_bytes) + link.latency + jitter;
                 self.nodes[idx].counters.messages_received += 1;
                 self.nodes[idx].counters.bytes_received += request_bytes as u64;
-                // Coordinator-side cost: verify the clients' signatures
-                // (parallel), digest the batch, assemble the proposal.
+                // Coordinator-side cost: assemble and digest the proposal on
+                // the sequential path, then verify the clients' signatures on
+                // the worker pool. The proposal cannot be broadcast before
+                // the pool finishes, but the sequential path is free to start
+                // on the next client batch meanwhile.
                 let cost = self.scaled(
                     idx,
-                    self.config.cpu.proposal_overhead
-                        + self.config.costs.digest
-                        + self.config.cpu.parallelized(
-                            self.config
-                                .costs
-                                .batch_verify_cost(crypto_mode, batch.len()),
-                        ),
+                    self.config.cpu.proposal_overhead + self.config.costs.digest,
                 );
                 t_cpu = t_cpu.max(arrival) + cost;
-                let actions = self.nodes[idx].bca.propose_for(t_cpu, instance, batch);
+                let verify = self.scaled(
+                    idx,
+                    self.config.cpu.worker_share(
+                        self.config
+                            .costs
+                            .batch_verify_cost(crypto_mode, batch.len()),
+                    ),
+                );
+                let verify_start = t_cpu.max(self.nodes[idx].worker_busy);
+                let verified = verify_start + verify;
+                self.nodes[idx].worker_busy = verified;
+                let actions = self.nodes[idx].bca.propose_for(verified, instance, batch);
                 if actions.is_empty() {
                     // The coordinator turned the batch away (lost the
                     // instance, raced out of capacity): the client frees the
@@ -822,7 +849,10 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                         client: ci,
                     },
                 );
-                self.apply_actions(node, t_cpu, actions);
+                // The broadcast itself waits for the pool to finish
+                // verifying; the sequential path resumes from wherever the
+                // send serialization leaves it.
+                self.apply_actions(node, verified, actions);
                 t_cpu = t_cpu.max(self.nodes[idx].busy_until);
             }
         }
@@ -927,20 +957,25 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                     self.nodes[idx].timers.remove(&timer);
                 }
                 Action::Commit(slot) => {
+                    // Execution runs on the worker pool: replies wait for the
+                    // executor, but the consensus path moves on immediately —
+                    // conflict-aware parallel execution is off the hot path.
                     let cost = self.scaled(
                         idx,
-                        self.config.cpu.parallelized(
+                        self.config.cpu.worker_share(
                             self.config
                                 .cpu
                                 .execute_per_transaction
                                 .saturating_mul(slot.batch.len() as u64),
                         ),
                     );
-                    t_cpu += cost;
+                    let start = t_cpu.max(self.nodes[idx].worker_busy);
+                    let executed = start + cost;
+                    self.nodes[idx].worker_busy = executed;
                     self.nodes[idx].counters.slots_accepted += 1;
                     self.nodes[idx].counters.transactions_executed +=
                         slot.batch.effective_transactions() as u64;
-                    self.record_commit(node, t_cpu, slot.digest, &slot.batch);
+                    self.record_commit(node, executed, slot.digest, &slot.batch);
                 }
                 Action::SuspectPrimary { .. } => {
                     self.suspicions += 1;

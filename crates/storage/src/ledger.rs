@@ -51,6 +51,18 @@ fn block_digest(height: u64, round: Round, parent: &Digest, entries: &[BlockEntr
     digest_chain(parent, &digest_bytes(&bytes))
 }
 
+impl Block {
+    /// Digest over the block's round and ordered entries **without** the
+    /// chain position (height and parent). Two replicas that executed the
+    /// same round with the same ordered entries produce the same content
+    /// digest even when their ledgers start at different rounds — e.g. a
+    /// replica that rejoined from a checkpoint mid-history — which is what
+    /// cross-replica ledger comparison needs.
+    pub fn content_digest(&self) -> Digest {
+        block_digest(0, self.round, &Digest::ZERO, &self.entries)
+    }
+}
+
 /// An append-only hash-chained ledger.
 #[derive(Clone, Debug, Default)]
 pub struct Ledger {
