@@ -138,6 +138,17 @@ impl<'a> Reader<'a> {
         Ok(head)
     }
 
+    /// Consumes exactly `N` bytes as a fixed-width array. This is the
+    /// panic-free counterpart of `take(N)?.try_into().unwrap()`: the length
+    /// is correct by construction ([`Reader::take`] returns exactly `N`
+    /// bytes or a typed error), so no fallible conversion remains.
+    pub fn array<const N: usize>(&mut self) -> Result<[u8; N], WireError> {
+        let bytes = self.take(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(bytes);
+        Ok(out)
+    }
+
     /// Consumes one byte.
     pub fn u8(&mut self) -> Result<u8, WireError> {
         Ok(self.take(1)?[0])
@@ -145,22 +156,22 @@ impl<'a> Reader<'a> {
 
     /// Consumes a big-endian `u16`.
     pub fn u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_be_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_be_bytes(self.array()?))
     }
 
     /// Consumes a big-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_be_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_be_bytes(self.array()?))
     }
 
     /// Consumes a big-endian `u64`.
     pub fn u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_be_bytes(self.array()?))
     }
 
     /// Consumes a big-endian `i64`.
     pub fn i64(&mut self) -> Result<i64, WireError> {
-        Ok(i64::from_be_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_be_bytes(self.array()?))
     }
 
     /// Consumes a `u32` sequence-length prefix, rejecting lengths that the
@@ -355,7 +366,7 @@ impl Encode for Digest {
 
 impl Decode for Digest {
     fn decode(input: &mut Reader<'_>) -> Result<Self, WireError> {
-        Ok(Digest::from_bytes(input.take(32)?.try_into().unwrap()))
+        Ok(Digest::from_bytes(input.array()?))
     }
 }
 

@@ -51,6 +51,9 @@ impl WorkerPool {
                             Err(_) => return, // pool dropped: drain and exit
                         }
                     })
+                    // rcc-lint: allow(panic) — pool construction happens at
+                    // node boot; an OS that cannot spawn a thread leaves no
+                    // degraded mode to fall back to.
                     .expect("spawn worker thread")
             })
             .collect();
@@ -74,7 +77,12 @@ impl WorkerPool {
         F: FnOnce() -> T + Send + 'static,
     {
         let total = jobs.len();
+        // rcc-lint: allow(unbounded-channel) — occupancy is bounded by the
+        // jobs in flight: at most `total` results are ever queued, and the
+        // injector's own bounded queue back-pressures submission upstream.
         let (results_tx, results_rx) = std::sync::mpsc::channel::<(usize, T)>();
+        // rcc-lint: allow(panic) — the injector `Option` exists solely so
+        // `Drop` can hang up the channel; a live pool always holds it.
         let injector = self.injector.as_ref().expect("pool is live");
         for (index, job) in jobs.into_iter().enumerate() {
             let results_tx = results_tx.clone();
@@ -84,16 +92,26 @@ impl WorkerPool {
                     // panicked; dropping the result is the right response.
                     let _ = results_tx.send((index, job()));
                 }))
+                // rcc-lint: allow(panic) — workers only exit after the
+                // injector is dropped; a send failing on a live pool means
+                // a worker thread died, which propagates that panic.
                 .expect("worker pool hung up");
         }
         drop(results_tx);
         let mut slots: Vec<Option<T>> = (0..total).map(|_| None).collect();
         for _ in 0..total {
+            // rcc-lint: allow(panic) — a worker that panicked mid-job drops
+            // its sender without reporting; re-raising the panic on the
+            // submitting thread is deliberate (silently returning fewer
+            // results would corrupt the ordered pipeline downstream).
             let (index, value) = results_rx.recv().expect("a worker panicked mid-job");
             slots[index] = Some(value);
         }
         slots
             .into_iter()
+            // rcc-lint: allow(panic) — every index in 0..total was submitted
+            // exactly once and the loop above received exactly `total`
+            // results, so each slot is filled by construction.
             .map(|slot| slot.expect("every index reported"))
             .collect()
     }

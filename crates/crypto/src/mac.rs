@@ -53,7 +53,7 @@ impl rcc_common::Encode for MacTag {
 
 impl rcc_common::Decode for MacTag {
     fn decode(input: &mut rcc_common::Reader<'_>) -> Result<Self, rcc_common::WireError> {
-        Ok(MacTag(input.take(32)?.try_into().unwrap()))
+        Ok(MacTag(input.array()?))
     }
 }
 

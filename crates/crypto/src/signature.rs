@@ -109,7 +109,7 @@ impl rcc_common::Encode for Signature {
 impl rcc_common::Decode for Signature {
     fn decode(input: &mut rcc_common::Reader<'_>) -> Result<Self, rcc_common::WireError> {
         Ok(Signature {
-            bytes: input.take(64)?.try_into().unwrap(),
+            bytes: input.array()?,
         })
     }
 }

@@ -1,0 +1,667 @@
+//! A comment- and string-aware Rust lexer, plus the two source-shape
+//! analyses every rule needs: which tokens belong to test-only code, and
+//! which line comments exist (the rule layer parses allow-annotations out
+//! of them).
+//!
+//! This is not a full Rust parser — it is exactly the subset the invariant
+//! rules require: a token stream with line numbers in which string/char
+//! literals, lifetimes, raw strings, raw identifiers, and (nested) comments
+//! can never be mistaken for code. Everything downstream (token-sequence
+//! rules, wire-grammar extraction) works on [`LexedFile`].
+
+use std::fmt;
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `fn`, `HashMap`, `r#type`).
+    Ident,
+    /// A numeric literal (`0`, `0xFF`, `1_000u64`, `2.5`).
+    Number,
+    /// A string literal of any flavor (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// A character or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, …).
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The token text. For raw identifiers the `r#` prefix is stripped so
+    /// rules compare against the bare name; string/char literals keep their
+    /// quotes.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+impl Token {
+    /// True when the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// True when the token is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == ch.len_utf8() && {
+            let mut chars = self.text.chars();
+            chars.next() == Some(ch)
+        }
+    }
+
+    /// The numeric value of a `Number` token, when it is an integer literal
+    /// (handles `_` separators, `0x`/`0o`/`0b` prefixes, and type
+    /// suffixes).
+    pub fn int_value(&self) -> Option<u64> {
+        if self.kind != TokenKind::Number {
+            return None;
+        }
+        let text: String = self.text.chars().filter(|&c| c != '_').collect();
+        let (digits, radix) = if let Some(hex) = text.strip_prefix("0x") {
+            (hex, 16)
+        } else if let Some(oct) = text.strip_prefix("0o") {
+            (oct, 8)
+        } else if let Some(bin) = text.strip_prefix("0b") {
+            (bin, 2)
+        } else {
+            (text.as_str(), 10)
+        };
+        // Strip a type suffix (`u8`, `i64`, `usize`, …). Suffixes start at
+        // the first character that is not a digit of the radix.
+        let end = digits
+            .char_indices()
+            .find(|(_, c)| !c.is_digit(radix))
+            .map(|(i, _)| i)
+            .unwrap_or(digits.len());
+        if end == 0 {
+            return None;
+        }
+        u64::from_str_radix(&digits[..end], radix).ok()
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// One `//` comment, kept out of the token stream but retained for
+/// annotation parsing.
+#[derive(Clone, Debug)]
+pub struct LineComment {
+    /// 1-based source line.
+    pub line: usize,
+    /// Comment text after the `//` (or `///`, `//!`) marker, untrimmed.
+    pub text: String,
+}
+
+/// A lexed source file: tokens, line comments, per-token test mask, and the
+/// raw lines (for diagnostic snippets).
+#[derive(Clone, Debug, Default)]
+pub struct LexedFile {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// Every `//` comment in the file.
+    pub comments: Vec<LineComment>,
+    /// `in_test[i]` is true when token `i` sits inside a `#[test]` item or
+    /// a `#[cfg(test)]`-gated item (typically `mod tests { … }`).
+    pub in_test: Vec<bool>,
+    /// The raw source lines (for `file:line` snippets in diagnostics).
+    pub lines: Vec<String>,
+}
+
+impl LexedFile {
+    /// The trimmed source text of 1-based `line`, for diagnostics.
+    pub fn snippet(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|l| l.trim())
+            .unwrap_or("")
+    }
+}
+
+/// Lexes `source` into tokens, comments, and the test-code mask.
+pub fn lex(source: &str) -> LexedFile {
+    let mut lx = Lexer {
+        chars: source.chars().collect(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+        comments: Vec::new(),
+    };
+    lx.run();
+    let in_test = test_mask(&lx.tokens);
+    LexedFile {
+        tokens: lx.tokens,
+        comments: lx.comments,
+        in_test,
+        lines: source.lines().map(str::to_owned).collect(),
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    tokens: Vec<Token>,
+    comments: Vec<LineComment>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: usize) {
+        self.tokens.push(Token { kind, text, line });
+    }
+
+    fn run(&mut self) {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    let text = self.string_literal();
+                    self.push(TokenKind::Str, text, line);
+                }
+                'r' | 'b' if self.literal_prefix().is_some() => {
+                    let kind = self.literal_prefix().unwrap_or(TokenKind::Str);
+                    let text = match kind {
+                        TokenKind::Char => self.char_or_byte_literal(),
+                        _ => self.raw_or_byte_string(),
+                    };
+                    self.push(kind, text, line);
+                }
+                '\'' => self.lifetime_or_char(line),
+                c if c.is_ascii_digit() => {
+                    let text = self.number();
+                    self.push(TokenKind::Number, text, line);
+                }
+                c if c.is_alphabetic() || c == '_' => {
+                    let text = self.ident();
+                    self.push(TokenKind::Ident, text, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+    }
+
+    /// When the cursor sits on `r`/`b`/`br` starting a literal, the literal
+    /// kind; `None` when it is a plain identifier (or a raw identifier).
+    fn literal_prefix(&self) -> Option<TokenKind> {
+        match (self.peek(0), self.peek(1), self.peek(2)) {
+            // r"…" or r#"…"# (but r#ident is a raw identifier).
+            (Some('r'), Some('"'), _) => Some(TokenKind::Str),
+            (Some('r'), Some('#'), Some('"' | '#')) => Some(TokenKind::Str),
+            // b"…", br"…", br#"…"#, b'…'
+            (Some('b'), Some('"'), _) => Some(TokenKind::Str),
+            (Some('b'), Some('\''), _) => Some(TokenKind::Char),
+            (Some('b'), Some('r'), Some('"' | '#')) => Some(TokenKind::Str),
+            _ => None,
+        }
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.comments.push(LineComment { line, text });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    fn string_literal(&mut self) -> String {
+        let mut text = String::new();
+        text.push('"');
+        self.bump();
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                text.push(c);
+                self.bump();
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+                continue;
+            }
+            text.push(c);
+            self.bump();
+            if c == '"' {
+                break;
+            }
+        }
+        text
+    }
+
+    /// Consumes `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` — any hash depth.
+    fn raw_or_byte_string(&mut self) -> String {
+        let mut text = String::new();
+        // Prefix letters.
+        while matches!(self.peek(0), Some('r' | 'b')) {
+            let Some(c) = self.bump() else { break };
+            text.push(c);
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            text.push('#');
+            self.bump();
+        }
+        if self.peek(0) != Some('"') {
+            // `b` or `r` that turned out not to start a string after all;
+            // treat what we consumed as an identifier.
+            return text;
+        }
+        text.push('"');
+        self.bump();
+        if hashes == 0 && text.starts_with('b') && !text.contains('r') {
+            // b"…" is an ordinary (escaped) string body.
+            while let Some(c) = self.peek(0) {
+                if c == '\\' {
+                    text.push(c);
+                    self.bump();
+                    if let Some(escaped) = self.bump() {
+                        text.push(escaped);
+                    }
+                    continue;
+                }
+                text.push(c);
+                self.bump();
+                if c == '"' {
+                    break;
+                }
+            }
+            return text;
+        }
+        // Raw body: ends at `"` followed by `hashes` hash marks.
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some('"') => {
+                    let closes = (0..hashes).all(|i| self.peek(1 + i) == Some('#'));
+                    text.push('"');
+                    self.bump();
+                    if closes {
+                        for _ in 0..hashes {
+                            text.push('#');
+                            self.bump();
+                        }
+                        break;
+                    }
+                }
+                Some(c) => {
+                    text.push(c);
+                    self.bump();
+                }
+            }
+        }
+        text
+    }
+
+    fn char_or_byte_literal(&mut self) -> String {
+        let mut text = String::new();
+        if self.peek(0) == Some('b') {
+            text.push('b');
+            self.bump();
+        }
+        text.push('\'');
+        self.bump();
+        match self.peek(0) {
+            Some('\\') => {
+                text.push('\\');
+                self.bump();
+                if let Some(escaped) = self.bump() {
+                    text.push(escaped);
+                }
+            }
+            Some(c) => {
+                text.push(c);
+                self.bump();
+            }
+            None => return text,
+        }
+        if self.peek(0) == Some('\'') {
+            text.push('\'');
+            self.bump();
+        }
+        text
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`) or a char literal
+    /// (`'x'`, `'\n'`). A lifetime is an identifier NOT followed by a
+    /// closing quote.
+    fn lifetime_or_char(&mut self, line: usize) {
+        let next = self.peek(1);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokenKind::Lifetime, text, line);
+        } else {
+            let text = self.char_or_byte_literal();
+            self.push(TokenKind::Char, text, line);
+        }
+    }
+
+    fn number(&mut self) -> String {
+        let mut text = String::new();
+        // Integer part (covers 0x/0o/0b bodies too: hex digits and the
+        // radix letters are all alphanumeric).
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // Fractional part: a dot followed by a digit (not `..` ranges, not
+        // `1.max(…)` method calls).
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            text.push('.');
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c.is_alphanumeric() || c == '_' {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        text
+    }
+
+    fn ident(&mut self) -> String {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.bump();
+            } else if c == '#' && text == "r" {
+                // Raw identifier r#type: strip the prefix, keep the name.
+                text.clear();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        text
+    }
+}
+
+/// Marks every token inside a `#[test]` / `#[cfg(test)]`-gated item.
+///
+/// The extent of a gated item is the attribute itself, any further
+/// attributes stacked after it, and then either the first `;` at bracket
+/// depth zero (gated `use`/statement) or the matching `}` of the first `{`
+/// (gated `mod`/`fn`/`impl` body).
+fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && matches!(tokens.get(i + 1), Some(t) if t.is_punct('[')) {
+            if let Some(close) = matching_bracket(tokens, i + 1) {
+                if is_test_attr(&tokens[i + 2..close]) {
+                    // Swallow any further stacked attributes.
+                    let mut k = close + 1;
+                    while k < tokens.len()
+                        && tokens[k].is_punct('#')
+                        && matches!(tokens.get(k + 1), Some(t) if t.is_punct('['))
+                    {
+                        match matching_bracket(tokens, k + 1) {
+                            Some(end) => k = end + 1,
+                            None => break,
+                        }
+                    }
+                    let end = item_end(tokens, k);
+                    for flag in mask.iter_mut().take(end.min(tokens.len())).skip(i) {
+                        *flag = true;
+                    }
+                    i = end;
+                    continue;
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// True for `#[test]`, `#[cfg(test)]`, and `#[cfg(any(test, …))]` attribute
+/// bodies (the tokens between `[` and `]`).
+fn is_test_attr(body: &[Token]) -> bool {
+    match body.first() {
+        Some(t) if t.is_ident("test") => body.len() == 1,
+        Some(t) if t.is_ident("cfg") => body.iter().any(|t| t.is_ident("test")),
+        _ => false,
+    }
+}
+
+/// Index just past the item starting at `start`: past the first `;` at
+/// depth zero, or past the matching `}` of the first `{`.
+fn item_end(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        if t.kind == TokenKind::Punct {
+            match t.text.as_str() {
+                "{" | "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        return i + 1;
+                    }
+                }
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    tokens.len()
+}
+
+/// For an opening `[`/`(`/`{` at `open`, the index of its matching closer.
+pub fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let (open_ch, close_ch) = match tokens.get(open)?.text.as_str() {
+        "[" => ('[', ']'),
+        "(" => ('(', ')'),
+        "{" => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct(open_ch) {
+            depth += 1;
+        } else if t.is_punct(close_ch) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(source: &str) -> Vec<String> {
+        lex(source)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_content() {
+        let source = r##"
+            // HashMap in a comment
+            /* HashMap in /* a nested */ block comment */
+            let a = "HashMap in a string";
+            let b = r#"HashMap in a raw "quoted" string"#;
+            let c = b"HashMap bytes";
+            let d = 'H';
+        "##;
+        assert!(!idents(source).iter().any(|i| i == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_following_code() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }");
+        assert!(toks.tokens.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(
+            toks.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_their_bare_name() {
+        let toks = lex("let r#type = 1; let r = 2;");
+        assert!(toks.tokens.iter().any(|t| t.is_ident("type")));
+        assert!(toks.tokens.iter().any(|t| t.is_ident("r")));
+    }
+
+    #[test]
+    fn numbers_and_lines_are_tracked() {
+        let file = lex("let a = 0x2A;\nlet b = 1_000u64;\nlet c = 1..4;");
+        let nums: Vec<(u64, usize)> = file
+            .tokens
+            .iter()
+            .filter_map(|t| t.int_value().map(|v| (v, t.line)))
+            .collect();
+        assert_eq!(nums, vec![(42, 1), (1000, 2), (1, 3), (4, 3)]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_masked() {
+        let source = "
+            fn live() { x.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { y.unwrap(); }
+            }
+        ";
+        let file = lex(source);
+        let unwraps: Vec<bool> = file
+            .tokens
+            .iter()
+            .zip(&file.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &masked)| masked)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+    }
+
+    #[test]
+    fn test_attribute_masks_only_its_item() {
+        let source = "
+            #[test]
+            fn t() { y.unwrap(); }
+            fn live() { x.unwrap(); }
+        ";
+        let file = lex(source);
+        let unwraps: Vec<bool> = file
+            .tokens
+            .iter()
+            .zip(&file.in_test)
+            .filter(|(t, _)| t.is_ident("unwrap"))
+            .map(|(_, &masked)| masked)
+            .collect();
+        assert_eq!(unwraps, vec![true, false]);
+    }
+
+    #[test]
+    fn cfg_test_use_statement_masks_to_the_semicolon() {
+        let source = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}";
+        let file = lex(source);
+        let hashmap = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("HashMap"))
+            .expect("lexed");
+        assert!(file.in_test[hashmap]);
+        let live = file
+            .tokens
+            .iter()
+            .position(|t| t.is_ident("live"))
+            .expect("lexed");
+        assert!(!file.in_test[live]);
+    }
+}

@@ -286,7 +286,8 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
             execution_workers: file.execution_workers,
         },
         transport,
-    );
+    )
+    .map_err(|e| e.to_string())?;
     match flags.get("--duration-ms") {
         Some(_) => {
             let wait = Duration::from_millis(flags.int("--duration-ms", 0)?);
@@ -297,7 +298,7 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
             std::thread::sleep(Duration::from_secs(3600));
         },
     }
-    let report = handle.shutdown();
+    let report = handle.shutdown().map_err(|e| e.to_string())?;
     println!(
         "{}: executed {} batches, ledger head {}",
         report.replica,

@@ -361,6 +361,8 @@ fn verify_reply(
 /// Panics when the plan's system configuration is invalid or (TCP) when
 /// localhost sockets cannot be bound.
 pub fn run_local_cluster(plan: &ClusterPlan) -> ClusterOutcome {
+    // rcc-lint: allow(panic) — orchestration harness (see `# Panics`): an
+    // invalid plan is a caller bug, not a runtime condition to recover.
     plan.system.validate().expect("invalid cluster plan");
     match plan.transport {
         TransportKind::InProcess => run_in_process(plan),
@@ -397,6 +399,8 @@ where
                         deadline,
                     )
                 })
+                // rcc-lint: allow(panic) — orchestration harness: a host
+                // that cannot spawn threads cannot run the scenario.
                 .expect("spawn client thread")
         })
         .collect()
@@ -423,14 +427,18 @@ fn run_timeline<R>(
         }
         sleep_until((kill_at + restart.down_for).min(deadline));
         let transport = respawn(restart.replica);
-        nodes[index] = Some(spawn_node(
+        let node = spawn_node(
             NodeConfig {
                 system: plan.system.clone(),
                 replica: restart.replica,
                 execution_workers: plan.execution_workers,
             },
             BoxedTransport(transport),
-        ));
+        )
+        // rcc-lint: allow(panic) — orchestration harness: a restart the
+        // host refuses is a scenario failure, reported by process exit.
+        .expect("respawn restarted node");
+        nodes[index] = Some(node);
     }
     sleep_until(deadline);
 }
@@ -472,14 +480,18 @@ fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
     let hub = InProcessNetwork::new(n, queue_capacity(&plan.system));
     let mut nodes: Vec<Option<NodeHandle>> = ReplicaId::all(n)
         .map(|replica| {
-            Some(spawn_node(
+            let node = spawn_node(
                 NodeConfig {
                     system: plan.system.clone(),
                     replica,
                     execution_workers: plan.execution_workers,
                 },
                 BoxedTransport(maybe_mangled(hub.transport(replica), plan.mangle, replica)),
-            ))
+            )
+            // rcc-lint: allow(panic) — orchestration harness: no nodes,
+            // no scenario.
+            .expect("spawn in-process node");
+            Some(node)
         })
         .collect();
     let started = Instant::now();
@@ -501,10 +513,13 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
     // Bind every listener first (ephemeral ports) so all addresses are
     // known before any node starts dialing.
     let listeners: Vec<TcpListener> = (0..n)
+        // rcc-lint: allow(panic) — orchestration harness: localhost that
+        // cannot bind ephemeral ports cannot host the cluster.
         .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind localhost listener"))
         .collect();
     let addrs: Vec<SocketAddr> = listeners
         .iter()
+        // rcc-lint: allow(panic) — orchestration harness, same as above.
         .map(|l| l.local_addr().expect("listener address"))
         .collect();
     let capacity = queue_capacity(&plan.system);
@@ -513,7 +528,7 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
         .enumerate()
         .map(|(index, listener)| {
             let replica = ReplicaId(index as u32);
-            Some(spawn_node(
+            let node = spawn_node(
                 NodeConfig {
                     system: plan.system.clone(),
                     replica,
@@ -524,7 +539,11 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                     plan.mangle,
                     replica,
                 )),
-            ))
+            )
+            // rcc-lint: allow(panic) — orchestration harness: no nodes,
+            // no scenario.
+            .expect("spawn TCP node");
+            Some(node)
         })
         .collect();
     let started = Instant::now();
@@ -534,6 +553,8 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
     let clients = client_threads(plan, deadline, move |id| {
         Box::new(
             TcpClientChannel::connect(id, &addrs_for_clients, connect_deadline)
+                // rcc-lint: allow(panic) — orchestration harness: clients
+                // that cannot reach localhost replicas end the scenario.
                 .expect("client connects to localhost cluster"),
         )
     });
@@ -546,6 +567,9 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
             match TcpListener::bind(addr) {
                 Ok(listener) => break listener,
                 Err(e) => {
+                    // rcc-lint: allow(panic) — orchestration harness: a
+                    // restart address stuck in TIME_WAIT past the deadline
+                    // fails the scenario loudly.
                     assert!(
                         Instant::now() < rebind_deadline,
                         "could not re-bind {addr} for restart: {e}"
@@ -569,11 +593,21 @@ fn finish(
 ) -> ClusterOutcome {
     let client_outcomes: Vec<ClientOutcome> = clients
         .into_iter()
+        // rcc-lint: allow(panic) — orchestration harness: re-raise a
+        // client driver's panic instead of reporting a partial outcome.
         .map(|thread| thread.join().expect("client thread panicked"))
         .collect();
     let reports: Vec<NodeReport> = nodes
         .into_iter()
-        .map(|handle| handle.expect("every node live at run end").shutdown())
+        .map(|handle| {
+            // rcc-lint: allow(panic) — orchestration harness: every node is
+            // live here by construction (run_timeline respawns what it kills).
+            let node = handle.expect("every node live at run end");
+            // rcc-lint: allow(panic) — orchestration harness: a node that
+            // panicked mid-run must fail the scenario rather than vanish
+            // from the safety comparison.
+            node.shutdown().expect("node thread panicked")
+        })
         .collect();
     ClusterOutcome {
         reports,

@@ -48,8 +48,23 @@ pub use config::{parse_deployment, DeploymentFile};
 pub use frame::{Frame, PeerKind, MAX_FRAME_BYTES, WIRE_VERSION};
 pub use mangle::{ByteMangler, MangleConfig, MangleStats, MangledTransport};
 pub use node::{
-    spawn_node, verify_identical_ledgers, verify_identical_orders, NodeConfig, NodeHandle,
-    NodeReport, DEFAULT_EXECUTION_WORKERS,
+    spawn_node, verify_identical_ledgers, verify_identical_orders, NodeConfig, NodeError,
+    NodeHandle, NodeReport, DEFAULT_EXECUTION_WORKERS,
 };
 pub use tcp::{TcpClientChannel, TcpTransport};
 pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};
+
+/// Locks `mutex`, recovering the guard when a previous holder panicked.
+///
+/// Every mutex in this crate protects a plain registry (peer senders,
+/// client reply routes, the mangler's RNG state) whose individual updates
+/// are single inserts or removals — there is no multi-step invariant a
+/// mid-update panic could have torn. Recovering from poison therefore
+/// keeps the transport delivering frames, which strictly dominates the
+/// alternative of cascading one thread's panic into every thread that
+/// subsequently touches the registry.
+pub(crate) fn lock_unpoisoned<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -243,7 +243,7 @@ impl<T: Transport> MangledTransport<T> {
 
     /// What the interposer's mangler has done so far.
     pub fn stats(&self) -> MangleStats {
-        self.mangler.lock().expect("mangler lock").stats()
+        crate::lock_unpoisoned(&self.mangler).stats()
     }
 }
 
@@ -253,7 +253,7 @@ impl<T: Transport> Transport for MangledTransport<T> {
     }
 
     fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>) {
-        let frames = self.mangler.lock().expect("mangler lock").mangle(frame);
+        let frames = crate::lock_unpoisoned(&self.mangler).mangle(frame);
         for frame in frames {
             self.inner.send_to_replica(to, frame);
         }

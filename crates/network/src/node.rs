@@ -51,7 +51,8 @@ use rcc_execution::ExecutionEngine;
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId};
 use rcc_protocols::pbft::{Pbft, PbftMessage};
 use std::collections::BTreeMap;
-use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::fmt;
+use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -110,26 +111,59 @@ pub struct NodeReport {
     pub view_changes: u64,
 }
 
+/// Why spawning or stopping a node failed.
+#[derive(Debug)]
+pub enum NodeError {
+    /// The OS refused to spawn the node's mailbox thread.
+    Spawn(std::io::Error),
+    /// The node thread panicked; its report is lost.
+    Panicked,
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Spawn(e) => write!(f, "could not spawn node thread: {e}"),
+            NodeError::Panicked => write!(f, "node thread panicked"),
+        }
+    }
+}
+
+impl std::error::Error for NodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NodeError::Spawn(e) => Some(e),
+            NodeError::Panicked => None,
+        }
+    }
+}
+
 /// Handle to a running node; dropping it does **not** stop the node — call
 /// [`NodeHandle::shutdown`].
 pub struct NodeHandle {
-    stop: Sender<()>,
+    stop: SyncSender<()>,
     thread: JoinHandle<NodeReport>,
 }
 
 impl NodeHandle {
-    /// Stops the node and returns its final report.
-    pub fn shutdown(self) -> NodeReport {
+    /// Stops the node and returns its final report, or
+    /// [`NodeError::Panicked`] when the node thread died before reporting.
+    pub fn shutdown(self) -> Result<NodeReport, NodeError> {
         let _ = self.stop.send(());
-        self.thread.join().expect("node thread panicked")
+        self.thread.join().map_err(|_| NodeError::Panicked)
     }
 }
 
 /// Spawns a replica node over `transport`. Key material is derived
 /// deterministically from the deployment seed (the offline-crypto trusted
 /// dealer every other layer already uses), so nodes need no key exchange.
-pub fn spawn_node(config: NodeConfig, transport: impl Transport + 'static) -> NodeHandle {
-    let (stop_tx, stop_rx) = std::sync::mpsc::channel();
+pub fn spawn_node(
+    config: NodeConfig,
+    transport: impl Transport + 'static,
+) -> Result<NodeHandle, NodeError> {
+    // The stop channel carries at most one message over its whole life
+    // (shutdown consumes the handle), so depth 1 is exactly its traffic.
+    let (stop_tx, stop_rx) = std::sync::mpsc::sync_channel(1);
     let thread = std::thread::Builder::new()
         .name(format!("rcc-node-{}", config.replica.0))
         .spawn(move || {
@@ -156,11 +190,11 @@ pub fn spawn_node(config: NodeConfig, transport: impl Transport + 'static) -> No
             };
             node.run(stop_rx)
         })
-        .expect("spawn node thread");
-    NodeHandle {
+        .map_err(NodeError::Spawn)?;
+    Ok(NodeHandle {
         stop: stop_tx,
         thread,
-    }
+    })
 }
 
 /// How many inbound frames the mailbox drains before giving timers a turn.

@@ -147,6 +147,10 @@ impl TcpTransport {
             let inbox_tx = inbox_tx.clone();
             listener
                 .set_nonblocking(true)
+                // rcc-lint: allow(panic) — transport construction at node
+                // boot: without a nonblocking listener the accept loop can
+                // never observe shutdown, so failing loudly is the only
+                // honest mode.
                 .expect("listener nonblocking");
             threads.push(std::thread::spawn(move || {
                 let mut readers: Vec<JoinHandle<()>> = Vec::new();
@@ -244,10 +248,7 @@ fn read_connection(
                             std::thread::spawn(move || {
                                 write_client_replies(write_half, rx);
                             });
-                            clients
-                                .lock()
-                                .expect("client registry lock")
-                                .insert(client.0, tx);
+                            crate::lock_unpoisoned(clients).insert(client.0, tx);
                             registered = Some(client.0);
                         }
                     }
@@ -264,10 +265,7 @@ fn read_connection(
     }
     if let Some(client) = registered {
         // Dropping the queue sender ends the writer thread.
-        clients
-            .lock()
-            .expect("client registry lock")
-            .remove(&client);
+        crate::lock_unpoisoned(clients).remove(&client);
     }
 }
 
@@ -344,7 +342,7 @@ impl Transport for TcpTransport {
         // consensus mailbox thread must never wait on a client socket. A
         // full queue drops the frame; a disconnected queue means the
         // reader already unregistered (or will momentarily).
-        let registry = self.clients.lock().expect("client registry lock");
+        let registry = crate::lock_unpoisoned(&self.clients);
         if let Some(tx) = registry.get(&to.0) {
             match tx.try_send(frame) {
                 Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
@@ -365,7 +363,7 @@ impl Transport for TcpTransport {
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
-        self.clients.lock().expect("client registry lock").clear();
+        crate::lock_unpoisoned(&self.clients).clear();
     }
 }
 
@@ -385,13 +383,17 @@ const REDIAL_BACKOFF_CAP: Duration = Duration::from_millis(500);
 /// happens inline in `submit` and must not stall the client's driver loop).
 const REDIAL_CONNECT_TIMEOUT: Duration = Duration::from_millis(100);
 
+/// Bound on a client's merged reply inbox (replies from all replicas).
+/// Sized for hundreds of in-flight reply quorums; replies are ~100 B each.
+const CLIENT_INBOX_CAPACITY: usize = 4096;
+
 /// Dials one replica, announces the client, and spawns the reader thread
 /// that merges that connection's replies into the shared inbox.
 fn dial_replica(
     id: ClientId,
     addr: SocketAddr,
     connect_timeout: Duration,
-    inbox_tx: &std::sync::mpsc::Sender<Vec<u8>>,
+    inbox_tx: &std::sync::mpsc::SyncSender<Vec<u8>>,
     shutdown: &Arc<AtomicBool>,
 ) -> std::io::Result<(TcpStream, JoinHandle<()>)> {
     let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
@@ -407,11 +409,15 @@ fn dial_replica(
     let thread = std::thread::spawn(move || {
         while !shutdown_flag.load(Ordering::Relaxed) {
             match read_frame(&mut reader, &shutdown_flag) {
-                Ok(frame) => {
-                    if inbox_tx.send(frame).is_err() {
-                        break;
-                    }
-                }
+                Ok(frame) => match inbox_tx.try_send(frame) {
+                    // A full inbox drops the reply: the client driver polls
+                    // its inbox continuously, so a sustained backlog means
+                    // the session is already stalled and the aged-out batch
+                    // will be regenerated anyway. Blocking here instead
+                    // would wedge `shutdown` joining this reader.
+                    Ok(()) | Err(TrySendError::Full(_)) => {}
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
                 Err(_) => break,
             }
         }
@@ -433,7 +439,7 @@ pub struct TcpClientChannel {
     redial_at: Vec<Instant>,
     backoff: Vec<Duration>,
     inbox: Receiver<Vec<u8>>,
-    inbox_tx: std::sync::mpsc::Sender<Vec<u8>>,
+    inbox_tx: std::sync::mpsc::SyncSender<Vec<u8>>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
 }
@@ -447,7 +453,10 @@ impl TcpClientChannel {
         deadline: Instant,
     ) -> std::io::Result<TcpClientChannel> {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (inbox_tx, inbox_rx) = std::sync::mpsc::channel::<Vec<u8>>();
+        // Replies are a digest plus a tag (~100 B); this bound holds far
+        // more than any reply quorum in flight while keeping a dead client
+        // from accumulating unread replies without limit.
+        let (inbox_tx, inbox_rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(CLIENT_INBOX_CAPACITY);
         let mut streams = Vec::new();
         let mut threads = Vec::new();
         for addr in replica_addrs {

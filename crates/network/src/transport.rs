@@ -121,7 +121,7 @@ impl InProcessNetwork {
     /// wiring its fresh inbox into the hub.
     pub fn transport(&self, replica: ReplicaId) -> InProcessTransport {
         let (tx, rx) = std::sync::mpsc::sync_channel(self.capacity * self.n.max(1));
-        self.replicas.lock().expect("hub lock")[replica.index()] = Some(tx);
+        crate::lock_unpoisoned(&self.replicas)[replica.index()] = Some(tx);
         InProcessTransport {
             me: replica,
             replicas: Arc::clone(&self.replicas),
@@ -133,7 +133,7 @@ impl InProcessNetwork {
     /// Connects a client node to every replica of the hub.
     pub fn client(&self, client: ClientId) -> InProcessClientChannel {
         let (tx, rx) = std::sync::mpsc::sync_channel(self.capacity);
-        self.clients.lock().expect("hub lock").insert(client.0, tx);
+        crate::lock_unpoisoned(&self.clients).insert(client.0, tx);
         InProcessClientChannel {
             id: client,
             n: self.n,
@@ -152,7 +152,7 @@ pub struct InProcessTransport {
 }
 
 fn shared_send(senders: &SharedSenders, index: usize, frame: Vec<u8>) {
-    let guard = senders.lock().expect("hub lock");
+    let guard = crate::lock_unpoisoned(senders);
     if let Some(Some(tx)) = guard.get(index) {
         match tx.try_send(frame) {
             Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
@@ -172,7 +172,7 @@ impl Transport for InProcessTransport {
     }
 
     fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
-        let guard = self.clients.lock().expect("hub lock");
+        let guard = crate::lock_unpoisoned(&self.clients);
         if let Some(tx) = guard.get(&to.0) {
             let _ = tx.try_send(frame);
         }

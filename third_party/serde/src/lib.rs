@@ -17,6 +17,8 @@
 //!
 //! See `third_party/README.md` for the swap-back procedure.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 /// Deserialization-side error machinery.

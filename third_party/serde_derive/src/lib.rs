@@ -7,6 +7,8 @@
 //! decorative until the real crates are restored. See
 //! `third_party/README.md`.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::TokenStream;
 
 /// No-op stand-in for `#[derive(Serialize)]`.
