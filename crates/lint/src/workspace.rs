@@ -8,10 +8,12 @@
 //!   sim, protocols}`: these run identically on every replica, so hash
 //!   collections and wall-clock reads are banned there.
 //! * **Panic-free deployment path** — all of `crates/network/src` (the
-//!   node runner, transports, and the binary) plus the codec
+//!   node runner, transports, the client-edge event loop and fleet
+//!   driver, and the binary) plus the codec
 //!   (`crates/common/src/codec.rs`), the worker pool
-//!   (`crates/common/src/pool.rs`), and the crypto pipeline
-//!   (`crates/crypto/src/pipeline.rs`).
+//!   (`crates/common/src/pool.rs`), the crypto pipeline
+//!   (`crates/crypto/src/pipeline.rs`), and the client driver session
+//!   (`crates/workload/src/session.rs`).
 //! * **Channel discipline and annotation syntax** — every first-party
 //!   source file.
 //! * **`#![forbid(unsafe_code)]`** — every crate root, including the
@@ -31,11 +33,15 @@ use std::path::{Path, PathBuf};
 const DETERMINISTIC_CRATES: [&str; 5] = ["execution", "protocols", "rcc-core", "sim", "storage"];
 
 /// Individual files on the panic-free deployment path (beyond the network
-/// crate, which is covered wholesale).
-const PANIC_FREE_FILES: [&str; 3] = [
+/// crate, which is covered wholesale — including its client-edge event
+/// loop and fan-out fleet driver).
+const PANIC_FREE_FILES: [&str; 4] = [
     "crates/common/src/codec.rs",
     "crates/common/src/pool.rs",
     "crates/crypto/src/pipeline.rs",
+    // The §III-E driver session is sans-io workload code, but every
+    // deployed client embedding (thread-per-client and fleet) runs it.
+    "crates/workload/src/session.rs",
 ];
 
 /// The result of one whole-workspace analysis pass.
@@ -197,6 +203,17 @@ mod tests {
         assert!(node.panic_free && !node.deterministic);
         let node_bin = scope_for(Path::new("crates/network/src/bin/rcc-node.rs"));
         assert!(node_bin.panic_free);
+        // The client-edge event loop and fleet driver ride the network
+        // crate's wholesale coverage; the driver session is listed
+        // individually.
+        let edge = scope_for(Path::new("crates/network/src/event_loop.rs"));
+        assert!(edge.panic_free);
+        let fleet = scope_for(Path::new("crates/network/src/fleet.rs"));
+        assert!(fleet.panic_free);
+        let session = scope_for(Path::new("crates/workload/src/session.rs"));
+        assert!(session.panic_free && !session.deterministic);
+        let client = scope_for(Path::new("crates/workload/src/client.rs"));
+        assert!(!client.panic_free);
 
         let codec = scope_for(Path::new("crates/common/src/codec.rs"));
         assert!(codec.panic_free && !codec.deterministic);

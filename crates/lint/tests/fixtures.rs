@@ -146,6 +146,60 @@ fn suppressions_need_reasons_and_cover_one_line() {
 }
 
 #[test]
+fn the_client_edge_modules_are_on_the_panic_free_path() {
+    // The readiness event loop, the fleet driver, and the sans-io driver
+    // session all run in deployed processes serving thousands of
+    // connections — a panic there takes the whole edge down, so they are
+    // governed by the panic rule like the rest of the deployment path.
+    for path in [
+        "crates/network/src/event_loop.rs",
+        "crates/network/src/fleet.rs",
+        "crates/workload/src/session.rs",
+    ] {
+        assert!(
+            rcc_lint::workspace::scope_for(Path::new(path)).panic_free,
+            "{path} must be in panic-freedom scope"
+        );
+    }
+}
+
+#[test]
+fn event_loop_style_sweeps_cannot_hide_panics() {
+    // The shape of edge event-loop code: a nonblocking read sweep whose
+    // error arm is *handled*, but with a panicking shortcut buried in the
+    // happy path. The panic rule must see through it.
+    let bad = r#"
+        fn sweep(conn: &mut Conn) {
+            loop {
+                match conn.stream.read(&mut conn.scratch) {
+                    Ok(0) => { conn.dead = true; return; }
+                    Ok(n) => conn.rbuf.extend_from_slice(conn.scratch.get(..n).unwrap()),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => { conn.dead = true; return; }
+                }
+            }
+        }
+    "#;
+    assert_eq!(rules_found(bad, DEPLOYMENT), vec![Rule::Panic]);
+    let good = r#"
+        fn sweep(conn: &mut Conn) {
+            loop {
+                match conn.stream.read(&mut conn.scratch) {
+                    Ok(0) => { conn.dead = true; return; }
+                    Ok(n) => match conn.scratch.get(..n) {
+                        Some(read) => conn.rbuf.extend_from_slice(read),
+                        None => break,
+                    },
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(_) => { conn.dead = true; return; }
+                }
+            }
+        }
+    "#;
+    assert!(rules_found(good, DEPLOYMENT).is_empty());
+}
+
+#[test]
 fn forbid_unsafe_is_required_on_crate_roots_only() {
     let scope = FileScope {
         crate_root: true,

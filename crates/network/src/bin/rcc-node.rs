@@ -5,6 +5,8 @@
 //!                  [--batch-size B] [--crypto none|mac|pk] [--seed S]
 //!                  [--duration-ms D] [--window W] [--in-process]
 //!                  [--execution-workers W]
+//!                  [--io-threads T] [--max-clients L] [--fleet-sessions F]
+//!                  [--min-completed Q] [--stats-out FILE]
 //!                  [--kill R --kill-after-ms K --down-for-ms T]
 //!                  [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]
 //!     Launch an N-replica localhost cluster (TCP by default) with C
@@ -17,6 +19,18 @@
 //!     is shorthand for killing replica 1 — instance 1's initial
 //!     coordinator — a quarter into the run and restarting it a quarter
 //!     later. Safety (identical orders) is asserted under both.
+//!
+//!     The client edge: every node multiplexes its client connections onto
+//!     T readiness-sweep I/O threads (default 2) and admits at most L
+//!     clients (default 4096; the excess is rejected so clients fail
+//!     over). `--fleet-sessions F` drives F extra multiplexed closed-loop
+//!     sessions (each holding one connection per replica) through the
+//!     fan-out fleet driver — `--fleet-sessions 256` against 4 replicas is
+//!     the ≥ 1,000-concurrent-connection edge smoke. `--min-completed Q`
+//!     fails the run when fewer than Q batches completed their reply
+//!     quorum (the CI throughput floor); `--stats-out FILE` writes the
+//!     per-replica transport counters (dropped frames, rejected
+//!     connections, peak clients) as CSV for artifact archiving.
 //!
 //! rcc-node replica --config FILE [--duration-ms D]
 //!     Run one replica of a multi-process deployment described by a
@@ -32,7 +46,7 @@ use rcc_common::{ClientId, CryptoMode, InstanceId, ReplicaId};
 use rcc_network::cluster::{run_client, ClusterPlan, RestartPlan};
 use rcc_network::{
     parse_deployment, queue_capacity, run_local_cluster, spawn_node, verify_identical_ledgers,
-    verify_identical_orders, MangleConfig, NodeConfig, TcpClientChannel, TcpTransport,
+    verify_identical_orders, EdgeConfig, MangleConfig, NodeConfig, TcpClientChannel, TcpTransport,
     TransportKind,
 };
 use std::net::SocketAddr;
@@ -58,7 +72,9 @@ fn main() {
 
 const USAGE: &str = "usage:\n  rcc-node cluster [--replicas N] [--instances M] [--clients C] \
 [--batch-size B] [--crypto none|mac|pk] [--seed S] [--duration-ms D] [--window W] \
-[--in-process] [--execution-workers W] [--kill R --kill-after-ms K --down-for-ms T] \
+[--in-process] [--execution-workers W] [--io-threads T] [--max-clients L] \
+[--fleet-sessions F] [--min-completed Q] [--stats-out FILE] \
+[--kill R --kill-after-ms K --down-for-ms T] \
 [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]\n  rcc-node replica --config FILE \
 [--duration-ms D]\n  rcc-node client --config FILE --stream S [--instance I] [--window W] \
 --duration-ms D\n";
@@ -170,11 +186,29 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             }
             workers
         },
+        io_threads: {
+            let threads =
+                flags.int("--io-threads", rcc_network::DEFAULT_IO_THREADS as u64)? as usize;
+            if threads == 0 {
+                return Err("--io-threads must be at least 1".into());
+            }
+            threads
+        },
+        max_clients: {
+            let cap = flags.int("--max-clients", rcc_network::DEFAULT_MAX_CLIENTS as u64)? as usize;
+            if cap == 0 {
+                return Err("--max-clients must be at least 1".into());
+            }
+            cap
+        },
+        fleet_sessions: flags.int("--fleet-sessions", 0)? as usize,
         run_for,
         restart,
         mangle,
     };
     plan.system.validate().map_err(|e| e.to_string())?;
+    let min_completed = flags.int("--min-completed", 0)?;
+    let stats_out = flags.get("--stats-out").map(str::to_string);
 
     eprintln!(
         "rcc-node cluster: n = {}, m = {}, {} clients, {:?}, {} ms{}",
@@ -199,11 +233,23 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             mangle.rate_ppm, mangle.seed
         );
     }
+    if plan.fleet_sessions > 0 {
+        eprintln!(
+            "rcc-node cluster: {} fleet sessions × {} replicas = {} edge connections, \
+             {} edge I/O threads per node, admission cap {}",
+            plan.fleet_sessions,
+            plan.system.n,
+            plan.fleet_sessions * plan.system.n,
+            plan.io_threads,
+            plan.max_clients,
+        );
+    }
     let outcome = run_local_cluster(&plan);
     for report in &outcome.reports {
         println!(
             "{}: executed {} batches (window from round {}), {} replies, \
-             {} suspicions, {} view changes, {} auth failures, {} decode failures",
+             {} suspicions, {} view changes, {} auth failures, {} decode failures, \
+             {} dropped frames, {} rejected connections, peak {} clients",
             report.replica,
             report.executed_batches,
             report.execution_window_start,
@@ -212,18 +258,64 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
             report.view_changes,
             report.auth_failures,
             report.decode_failures,
+            report.transport.dropped_frames,
+            report.transport.rejected_connections,
+            report.transport.peak_clients,
         );
     }
-    for client in &outcome.clients {
+    // Per-client lines drown the summary past a handful of drivers; the
+    // fleet's sessions are reported in aggregate instead.
+    if outcome.clients.len() <= 8 {
+        for client in &outcome.clients {
+            println!(
+                "client {}: {} submitted, {} completed, {} abandoned",
+                client.stream, client.submitted, client.completed, client.abandoned
+            );
+        }
+    } else {
+        let submitted: u64 = outcome.clients.iter().map(|c| c.submitted).sum();
+        let abandoned: u64 = outcome.clients.iter().map(|c| c.abandoned).sum();
+        let served = outcome.clients.iter().filter(|c| c.completed > 0).count();
         println!(
-            "client {}: {} submitted, {} completed, {} abandoned",
-            client.stream, client.submitted, client.completed, client.abandoned
+            "clients: {} sessions ({} with ≥ 1 completed batch), {} submitted, \
+             {} completed, {} abandoned",
+            outcome.clients.len(),
+            served,
+            submitted,
+            outcome.completed_batches(),
+            abandoned
         );
+    }
+    if let Some(path) = stats_out {
+        let mut csv = String::from(
+            "replica,executed_batches,replies_sent,dropped_frames,\
+             rejected_connections,peak_clients\n",
+        );
+        for report in &outcome.reports {
+            csv.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                report.replica.0,
+                report.executed_batches,
+                report.replies_sent,
+                report.transport.dropped_frames,
+                report.transport.rejected_connections,
+                report.transport.peak_clients,
+            ));
+        }
+        std::fs::write(&path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("rcc-node cluster: transport counters written to {path}");
     }
     verify_identical_orders(&outcome.reports)?;
     verify_identical_ledgers(&outcome.reports)?;
     if outcome.completed_batches() == 0 {
         return Err("no client batch completed its reply quorum".into());
+    }
+    if outcome.completed_batches() < min_completed {
+        return Err(format!(
+            "throughput floor missed: {} batches completed < --min-completed {}",
+            outcome.completed_batches(),
+            min_completed
+        ));
     }
     for report in &outcome.reports {
         if report.executed_batches == 0 {
@@ -276,9 +368,18 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
     }
     let peers = parse_addrs(&file.peers)?;
     let capacity = queue_capacity(&file.system);
-    let transport = TcpTransport::bind(replica, listen, peers, capacity)
+    let edge = EdgeConfig {
+        io_threads: file.io_threads,
+        max_clients: file.max_clients,
+        ..EdgeConfig::default()
+    };
+    let transport = TcpTransport::bind_with_edge(replica, listen, peers, capacity, edge)
         .map_err(|e| format!("cannot bind {listen}: {e}"))?;
-    eprintln!("rcc-node replica {replica}: listening on {listen}");
+    eprintln!(
+        "rcc-node replica {replica}: listening on {listen} \
+         ({} edge I/O threads, admission cap {})",
+        file.io_threads, file.max_clients
+    );
     let handle = spawn_node(
         NodeConfig {
             system: file.system,
@@ -300,10 +401,14 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
     }
     let report = handle.shutdown().map_err(|e| e.to_string())?;
     println!(
-        "{}: executed {} batches, ledger head {}",
+        "{}: executed {} batches, ledger head {}, {} dropped frames, \
+         {} rejected connections, peak {} clients",
         report.replica,
         report.executed_batches,
-        report.ledger_head.short_hex()
+        report.ledger_head.short_hex(),
+        report.transport.dropped_frames,
+        report.transport.rejected_connections,
+        report.transport.peak_clients,
     );
     Ok(())
 }

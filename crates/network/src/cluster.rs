@@ -12,15 +12,17 @@
 //! coordinator (how a real client tracks view changes without a directory
 //! service).
 
+use crate::event_loop::EdgeConfig;
+use crate::fleet::{run_fleet, FleetPlan};
 use crate::frame::Frame;
 use crate::mangle::{MangleConfig, MangledTransport};
 use crate::node::{spawn_node, NodeConfig, NodeHandle, NodeReport};
 use crate::tcp::{TcpClientChannel, TcpTransport};
 use crate::transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};
 use rcc_common::codec::Encode;
-use rcc_common::{ClientId, CryptoMode, Digest, InstanceId, ReplicaId, SystemConfig, Time};
+use rcc_common::{ClientId, CryptoMode, Digest, InstanceId, ReplicaId, SystemConfig};
 use rcc_crypto::{AuthTag, ClientKeys, DeploymentKeys};
-use rcc_workload::{Client, ClientMode};
+use rcc_workload::{DriverSession, SessionConfig};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 
@@ -68,6 +70,20 @@ pub struct ClusterPlan {
     /// Width of each node's verify/execute worker pool
     /// (`--execution-workers` on the CLI).
     pub execution_workers: usize,
+    /// Width of each node's client-edge I/O thread pool (TCP only;
+    /// `--io-threads` on the CLI).
+    pub io_threads: usize,
+    /// Each node's client-edge admission cap (TCP only; `--max-clients`
+    /// on the CLI). Connections past the cap are rejected with the
+    /// zero-digest `ClientReject` sentinel so clients fail over.
+    pub max_clients: usize,
+    /// Multiplexed client sessions driven through the fan-out
+    /// [`crate::fleet`] driver, *in addition to* the `clients`
+    /// thread-per-client drivers (TCP only — the fleet dials sockets).
+    /// Each session opens one connection per replica, so this is how the
+    /// ≥ 1,000-connection edge smoke is generated without a thousand
+    /// driver threads.
+    pub fleet_sessions: usize,
 }
 
 impl ClusterPlan {
@@ -83,7 +99,25 @@ impl ClusterPlan {
             restart: None,
             mangle: None,
             execution_workers: crate::node::DEFAULT_EXECUTION_WORKERS,
+            io_threads: crate::event_loop::DEFAULT_IO_THREADS,
+            max_clients: crate::event_loop::DEFAULT_MAX_CLIENTS,
+            fleet_sessions: 0,
         }
+    }
+
+    /// The client-edge acceptance scenario: a 4-replica loopback cluster
+    /// under 256 fleet sessions × 4 replicas = 1,024 concurrent client
+    /// connections, all multiplexed through each node's 2-thread
+    /// readiness edge (no per-client threads on either side). Small
+    /// batches keep the load about connection *count*, not payload bytes.
+    pub fn client_edge_smoke() -> ClusterPlan {
+        let mut plan = ClusterPlan::smoke();
+        plan.system = plan.system.with_batch_size(10);
+        plan.clients = 0;
+        plan.client_window = 2;
+        plan.fleet_sessions = 256;
+        plan.run_for = Duration::from_millis(10_000);
+        plan
     }
 }
 
@@ -139,33 +173,14 @@ impl ClusterOutcome {
     }
 }
 
-/// How long a submitted batch may go without a reply before the driver
-/// abandons it and rotates coordinator candidates.
-const REPLY_TIMEOUT: Duration = Duration::from_millis(700);
-
-/// After this many consecutive age-out rounds on the home instance, the
-/// client drains to a fallback instance (the deployed analogue of the
-/// §III-E drain: a stalled instance must not idle its clients, because the
-/// healthy instances' advancing frontier is exactly what trips the σ-lag
-/// detection that replaces the failed coordinator).
-const HOME_FAILURES_BEFORE_DRAIN: u32 = 2;
-
-/// While drained to a fallback instance, how often the home instance is
-/// probed (the hand-back half of §III-E: return once the replacement
-/// coordinator actually serves again).
-const HOME_PROBE_INTERVAL: Duration = Duration::from_millis(1_500);
-
 /// Drives one closed-loop client node against a cluster until `deadline`.
 ///
-/// Failure handling mirrors Section III-E without a directory service:
-/// batches that draw no reply within `REPLY_TIMEOUT` are abandoned and
-/// the instance's candidate coordinator rotates (PBFT's view rotation is
-/// `base + view mod n`, so rotation finds the live coordinator); after
-/// `HOME_FAILURES_BEFORE_DRAIN` consecutive failures the client drains
-/// to the next instance — keeping the deployment's frontier moving, which
-/// is what lets the replicas' σ-lag detection depose the dead coordinator
-/// — and probes its home instance every `HOME_PROBE_INTERVAL` until the
-/// replacement serves it again.
+/// This is a thin wall-clock/socket shell around the sans-io
+/// [`DriverSession`] (see `rcc-workload`), which owns the whole §III-E
+/// policy: reply age-out with candidate rotation, drain-to-fallback after
+/// consecutive home failures, periodic home probes, and connection-level
+/// admission rejects (the edge's zero-digest `ClientReject` sentinel),
+/// which fail the session over to another replica.
 pub fn run_client(
     system: &SystemConfig,
     stream: u64,
@@ -175,167 +190,67 @@ pub fn run_client(
     keys: &ClientKeys,
     deadline: Instant,
 ) -> ClientOutcome {
-    let mut client = Client::new(
-        system.seed,
-        stream,
-        system.batch_size,
-        system.client_reply_quorum(),
-        ClientMode::Closed { window },
-    );
-    let n = system.n;
-    let m = system.instances.max(1) as u32;
-    // Per-instance believed coordinator, rotated when a candidate proves
-    // unresponsive (never acks) or explicitly rejects.
-    let mut candidates: Vec<ReplicaId> = (0..m).map(|i| InstanceId(i).primary()).collect();
-    let mut active = home;
-    let mut home_failures = 0u32;
-    let mut next_home_probe = Instant::now();
-    // In-flight bookkeeping: where each batch went, when, and whether the
-    // coordinator acknowledged accepting it.
-    struct Pending {
-        instance: InstanceId,
-        candidate: ReplicaId,
-        at: Instant,
-        acked: bool,
-    }
-    let mut pending: Vec<(Digest, Pending)> = Vec::new();
-    let mut abandoned = 0u64;
-    let rotate = |candidates: &mut [ReplicaId], instance: InstanceId, from: ReplicaId| {
-        // Rotate only when the blamed candidate is still current — stale
-        // verdicts about an already-replaced candidate must not skip past
-        // the coordinator the rotation just found.
-        if candidates[instance.index()] == from {
-            candidates[instance.index()] = ReplicaId((from.0 + 1) % n as u32);
-        }
-    };
+    let mut session = DriverSession::new(system, stream, home, window, SessionConfig::default());
+    let started = Instant::now();
+    let now_ms = |at: Instant| at.duration_since(started).as_millis() as u64;
     while Instant::now() < deadline {
-        // Drained clients periodically try their home instance again.
-        if active != home && Instant::now() >= next_home_probe {
-            active = home;
-        }
         // Fill the window toward the active instance's believed coordinator.
-        while client.ready(Time::ZERO) {
-            let (digest, batch) = client.submit(Time::ZERO);
-            let payload = batch.encoded();
-            let candidate = candidates[active.index()];
+        for action in session.poll(now_ms(Instant::now())) {
+            let payload = action.batch.encoded();
             let tag = match system.crypto {
                 CryptoMode::None => AuthTag::None,
                 CryptoMode::Mac => {
-                    AuthTag::Mac(keys.mac_with_replicas[candidate.index()].tag(&payload))
+                    AuthTag::Mac(keys.mac_with_replicas[action.candidate.index()].tag(&payload))
                 }
                 CryptoMode::PublicKey => AuthTag::Signature(keys.signing.sign(&payload)),
             };
             let frame = Frame::ClientSubmit {
                 client: ClientId(stream),
-                instance: active,
+                instance: action.instance,
                 payload,
                 tag,
             };
-            channel.submit(candidate, frame.encode_frame());
-            pending.push((
-                digest,
-                Pending {
-                    instance: active,
-                    candidate,
-                    at: Instant::now(),
-                    acked: false,
-                },
-            ));
+            channel.submit(action.candidate, frame.encode_frame());
         }
         // Drain replies/acks/rejects.
-        let mut rejected_this_pass = false;
         while let Some(bytes) = channel.recv_timeout(Duration::from_millis(5)) {
+            let at = now_ms(Instant::now());
             match Frame::decode_frame(&bytes) {
+                // Replies from out-of-range replicas or with bad tags fall
+                // through to the ignore arm.
                 Ok(Frame::ClientReply {
                     replica,
                     digest,
                     tag,
-                }) => {
-                    let valid = replica.index() < n
-                        && verify_reply(keys, system.crypto, replica, &digest, &tag);
-                    if valid
-                        && client.on_reply(replica, digest) == rcc_workload::ReplyOutcome::Completed
-                    {
-                        pending.retain(|(d, _)| *d != digest);
-                        if active == home {
-                            home_failures = 0;
-                        }
-                    }
+                }) if replica.index() < system.n
+                    && verify_reply(keys, system.crypto, replica, &digest, &tag) =>
+                {
+                    let _ = session.on_reply(replica, digest);
                 }
-                Ok(Frame::ClientAccept { digest, .. }) => {
-                    if let Some((_, entry)) = pending.iter_mut().find(|(d, _)| *d == digest) {
-                        entry.acked = true;
-                    }
-                }
+                Ok(Frame::ClientAccept { digest, .. }) => session.on_accept(digest),
                 Ok(Frame::ClientReject { replica, digest }) => {
-                    // "Not my instance / no capacity": free the slot and try
-                    // the next candidate.
-                    if let Some(index) = pending.iter().position(|(d, _)| *d == digest) {
-                        let (_, entry) = pending.remove(index);
-                        client.forget(&digest);
-                        abandoned += 1;
-                        if entry.candidate == replica {
-                            rotate(&mut candidates, entry.instance, replica);
-                        }
-                        rejected_this_pass = true;
+                    if digest == Digest::ZERO {
+                        session.on_connection_refused(at, replica);
+                    } else {
+                        session.on_reject(at, replica, digest);
                     }
                 }
                 _ => {}
             }
         }
-        if rejected_this_pass {
-            // Freed slots resubmit on the next loop pass; pace the retry so
-            // a misrouted burst cannot hot-spin against a rejecting replica.
-            std::thread::sleep(Duration::from_millis(10));
-        }
-        // Age out batches that drew neither reply nor ack. An *acked* aged
-        // batch means a live coordinator with stalled releases: free the
-        // window slot (keep the frontier fed — the σ-lag detection needs
-        // the healthy instances to advance) but keep the candidate. A
-        // never-acked batch means the candidate is dead or unreachable:
-        // rotate.
-        let now = Instant::now();
-        let mut home_aged = false;
-        let mut index = 0;
-        while index < pending.len() {
-            if now.duration_since(pending[index].1.at) <= REPLY_TIMEOUT {
-                index += 1;
-                continue;
-            }
-            let (digest, entry) = pending.remove(index);
-            client.forget(&digest);
-            abandoned += 1;
-            if !entry.acked {
-                rotate(&mut candidates, entry.instance, entry.candidate);
-            }
-            if entry.instance == home {
-                home_aged = true;
-            }
-        }
-        if home_aged && active == home && m > 1 {
-            home_failures += 1;
-            if home_failures >= HOME_FAILURES_BEFORE_DRAIN {
-                // Drain to the neighbouring instance; probe home later.
-                active = InstanceId((home.0 + 1) % m);
-                next_home_probe = now + HOME_PROBE_INTERVAL;
-                home_failures = 0;
-            }
-        }
     }
+    let stats = session.stats();
     ClientOutcome {
         stream,
-        // `Client::forget` nets rejected batches out of its submitted
-        // counter; add the abandonments back so the reported total is
-        // actual submissions (submitted = completed + abandoned + lost
-        // in flight at the deadline).
-        submitted: client.submitted_batches() + abandoned,
-        completed: client.completed_batches(),
-        abandoned,
+        submitted: stats.submitted,
+        completed: stats.completed,
+        abandoned: stats.abandoned,
     }
 }
 
-/// Verifies a reply frame's tag against the deployment keys.
-fn verify_reply(
+/// Verifies a reply frame's tag against the deployment keys (shared with
+/// the fan-out fleet driver in [`crate::fleet`]).
+pub(crate) fn verify_reply(
     keys: &ClientKeys,
     mode: CryptoMode,
     replica: ReplicaId,
@@ -473,6 +388,10 @@ impl Transport for BoxedTransport {
     fn shutdown(&mut self) {
         self.0.shutdown()
     }
+
+    fn stats(&self) -> crate::transport::TransportStats {
+        self.0.stats()
+    }
 }
 
 fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
@@ -523,6 +442,11 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
         .map(|l| l.local_addr().expect("listener address"))
         .collect();
     let capacity = queue_capacity(&plan.system);
+    let edge_config = EdgeConfig {
+        io_threads: plan.io_threads,
+        max_clients: plan.max_clients,
+        ..EdgeConfig::default()
+    };
     let mut nodes: Vec<Option<NodeHandle>> = listeners
         .into_iter()
         .enumerate()
@@ -535,7 +459,13 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                     execution_workers: plan.execution_workers,
                 },
                 BoxedTransport(maybe_mangled(
-                    TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),
+                    TcpTransport::with_listener_and_edge(
+                        replica,
+                        listener,
+                        addrs.clone(),
+                        capacity,
+                        edge_config,
+                    ),
                     plan.mangle,
                     replica,
                 )),
@@ -558,6 +488,27 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                 .expect("client connects to localhost cluster"),
         )
     });
+    // The multiplexed fan-out fleet (if any) drives its sessions from a
+    // handful of sweep threads — this is where the ≥ 1,000-connection
+    // load against the readiness edge comes from.
+    let fleet = (plan.fleet_sessions > 0).then(|| {
+        let mut fleet_plan = FleetPlan::new(
+            plan.system.clone(),
+            addrs.clone(),
+            plan.fleet_sessions,
+            plan.client_window,
+            plan.run_for,
+        );
+        // Offset fleet streams past the thread-per-client drivers so
+        // stream ids (and thus reply routes) never collide.
+        fleet_plan.first_stream = plan.clients as u64;
+        std::thread::Builder::new()
+            .name("rcc-fleet".to_string())
+            .spawn(move || run_fleet(&fleet_plan))
+            // rcc-lint: allow(panic) — orchestration harness: a fleet the
+            // host cannot spawn ends the scenario.
+            .expect("spawn fleet driver")
+    });
     run_timeline(plan, started, &mut nodes, move |replica| {
         // Re-bind the replica's fixed address. Closing leaves connections
         // in TIME_WAIT briefly, so retry with backoff.
@@ -579,12 +530,34 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
             }
         };
         maybe_mangled(
-            TcpTransport::with_listener(replica, listener, addrs.clone(), capacity),
+            TcpTransport::with_listener_and_edge(
+                replica,
+                listener,
+                addrs.clone(),
+                capacity,
+                edge_config,
+            ),
             plan.mangle,
             replica,
         )
     });
-    finish(nodes, clients)
+    let mut outcome = finish(nodes, clients);
+    if let Some(thread) = fleet {
+        let stats = thread
+            .join()
+            // rcc-lint: allow(panic) — orchestration harness: re-raise a
+            // fleet driver's panic instead of reporting a partial outcome.
+            .expect("fleet driver panicked");
+        outcome
+            .clients
+            .extend(stats.into_iter().map(|s| ClientOutcome {
+                stream: s.stream,
+                submitted: s.submitted,
+                completed: s.completed,
+                abandoned: s.abandoned,
+            }));
+    }
+    outcome
 }
 
 fn finish(

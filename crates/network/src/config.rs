@@ -17,6 +17,8 @@
 //! listen = "127.0.0.1:7100"
 //! peers = ["127.0.0.1:7100", "127.0.0.1:7101", "127.0.0.1:7102", "127.0.0.1:7103"]
 //! execution_workers = 4   # verify/execute worker-pool width
+//! io_threads = 2          # client-edge sweep threads (readiness pool)
+//! max_clients = 4096      # client-edge admission cap
 //! ```
 //!
 //! Unknown keys are rejected (a typo silently ignored is a
@@ -39,6 +41,13 @@ pub struct DeploymentFile {
     /// Width of the node's verify/execute worker pool
     /// (`execution_workers = N`; defaults to 4).
     pub execution_workers: usize,
+    /// Width of the client-edge I/O thread pool (`io_threads = N`;
+    /// defaults to [`crate::event_loop::DEFAULT_IO_THREADS`]).
+    pub io_threads: usize,
+    /// Client-edge admission cap (`max_clients = N`; connections past it
+    /// are rejected so clients fail over — defaults to
+    /// [`crate::event_loop::DEFAULT_MAX_CLIENTS`]).
+    pub max_clients: usize,
 }
 
 /// Parses the TOML-ish subset. Returns a human-readable error naming the
@@ -53,6 +62,8 @@ pub fn parse_deployment(text: &str) -> Result<DeploymentFile, String> {
     let mut listen = None;
     let mut peers = Vec::new();
     let mut execution_workers = crate::node::DEFAULT_EXECUTION_WORKERS;
+    let mut io_threads = crate::event_loop::DEFAULT_IO_THREADS;
+    let mut max_clients = crate::event_loop::DEFAULT_MAX_CLIENTS;
 
     for (number, raw) in text.lines().enumerate() {
         let line = raw.split('#').next().unwrap_or("").trim();
@@ -111,6 +122,18 @@ pub fn parse_deployment(text: &str) -> Result<DeploymentFile, String> {
                     .ok_or_else(|| context("execution_workers must be a positive integer"))?
                     as usize
             }
+            "io_threads" => {
+                io_threads = parse_int(value)
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| context("io_threads must be a positive integer"))?
+                    as usize
+            }
+            "max_clients" => {
+                max_clients = parse_int(value)
+                    .filter(|&v| v >= 1)
+                    .ok_or_else(|| context("max_clients must be a positive integer"))?
+                    as usize
+            }
             other => return Err(context(&format!("unknown key `{other}`"))),
         }
     }
@@ -135,6 +158,8 @@ pub fn parse_deployment(text: &str) -> Result<DeploymentFile, String> {
         listen,
         peers,
         execution_workers,
+        io_threads,
+        max_clients,
     })
 }
 
@@ -201,6 +226,22 @@ mod tests {
             .unwrap_err()
             .contains("positive"));
         assert!(parse_deployment("execution_workers = \"four\"")
+            .unwrap_err()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn edge_knobs_default_and_reject_zero() {
+        let file = parse_deployment("n = 4").expect("parses");
+        assert_eq!(file.io_threads, crate::event_loop::DEFAULT_IO_THREADS);
+        assert_eq!(file.max_clients, crate::event_loop::DEFAULT_MAX_CLIENTS);
+        let file = parse_deployment("io_threads = 3\nmax_clients = 128").expect("parses");
+        assert_eq!(file.io_threads, 3);
+        assert_eq!(file.max_clients, 128);
+        assert!(parse_deployment("io_threads = 0")
+            .unwrap_err()
+            .contains("positive"));
+        assert!(parse_deployment("max_clients = 0")
             .unwrap_err()
             .contains("positive"));
     }

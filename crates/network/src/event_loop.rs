@@ -1,0 +1,1046 @@
+//! The readiness-driven client edge: every inbound connection multiplexed
+//! onto a small fixed pool of I/O threads — no thread per client.
+//!
+//! # Why this exists
+//!
+//! The paper's headline scenario is many concurrent clients feeding `m`
+//! consensus instances. A thread-per-connection edge (what `tcp.rs` had:
+//! one reader thread per accepted socket plus one writer thread per
+//! registered client) exhausts the host's thread budget at a few hundred
+//! clients, long before consensus is the bottleneck. This module replaces
+//! it for the *client* side of the edge; replica↔replica links keep their
+//! ordered thread-per-peer path, which is deep and narrow (`n - 1` links).
+//!
+//! # Readiness model
+//!
+//! The workspace forbids `unsafe` everywhere (`rcc-lint` gates
+//! `#![forbid(unsafe_code)]` on every crate root) and vendors no FFI
+//! bindings, so `epoll(7)`/`poll(2)` cannot be called directly. The edge
+//! is therefore a **level-triggered readiness sweep in safe Rust**: every
+//! connection's socket is nonblocking, and each I/O thread repeatedly
+//! sweeps its connections — one nonblocking `read`/`write` per connection
+//! per wake, `WouldBlock` meaning "not ready" — then parks on its bounded
+//! command mailbox with an adaptive timeout when a sweep makes no
+//! progress. Semantically this is exactly a level-triggered poller with a
+//! timeout-bounded wait; a real `epoll` backend would slot into the
+//! sweeper's park step without touching the connection state
+//! machines. What the design guarantees either way: the thread count is
+//! `1 + io_threads` (acceptor + sweepers) regardless of how many thousand
+//! clients connect.
+//!
+//! # Connection lifecycle and admission control
+//!
+//! ```text
+//!              accept()                 first frame?
+//!   listener ───────────► io thread ──┬── Hello{Replica} → hand socket
+//!   (acceptor,            (sweep, no  │     back to the blocking
+//!    round-robin)          thread per │     thread-per-peer reader
+//!                          conn)      ├── Hello{Client} ──┬─ under cap:
+//!                                     │                   │  register
+//!                                     │                   │  reply route
+//!                                     │                   └─ at cap:
+//!                                     │                      ClientReject
+//!                                     │                      (zero digest)
+//!                                     │                      + close
+//!                                     └── anything else → anonymous
+//!                                          (forwarded, counted, no route)
+//! ```
+//!
+//! Admission control is two-layered, per the paper's §III-E client
+//! failover: a **hard cap** ([`EdgeConfig::max_clients`]) answers new
+//! client hellos beyond it with a [`Frame::ClientReject`] carrying
+//! [`Digest::ZERO`] — no submission carries the zero digest, so the
+//! sentinel unambiguously means "connection refused, fail over to another
+//! replica" — and **backpressure**: a connection with more than
+//! [`EdgeConfig::max_inflight`] unanswered submissions, or a frame parked
+//! on a full node inbox, simply stops being read until the node catches
+//! up. TCP's own flow control then pushes back to the client; nothing is
+//! buffered without bound and nothing is silently dropped on the read
+//! path. On the write path every connection has a bounded outbound queue;
+//! overflow drops the frame and increments the dropped-frame counter
+//! surfaced through [`crate::transport::TransportStats`].
+
+use crate::frame::{Frame, PeerKind, MAX_FRAME_BYTES};
+use crate::transport::TransportStats;
+use rcc_common::{ClientId, Digest, ReplicaId};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default number of edge I/O threads.
+pub const DEFAULT_IO_THREADS: usize = 2;
+/// Default hard cap on simultaneously-connected clients.
+pub const DEFAULT_MAX_CLIENTS: usize = 4096;
+/// Default bound of one connection's outbound frame queue.
+pub const DEFAULT_CONN_QUEUE: usize = 64;
+/// Default per-connection unanswered-submission bound before the edge
+/// stops reading that connection.
+pub const DEFAULT_MAX_INFLIGHT: usize = 64;
+
+/// Shortest park when a sweep made progress recently.
+const MIN_PARK: Duration = Duration::from_millis(1);
+/// Longest park of a fully idle I/O thread.
+const MAX_PARK: Duration = Duration::from_millis(10);
+/// How long a connection may sit silent before its first frame.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+/// Most bytes one connection may read per sweep (fairness bound).
+const SWEEP_READ_BUDGET: usize = 64 * 1024;
+/// Bound of each I/O thread's command mailbox (registrations + replies).
+const EDGE_MAILBOX_CAPACITY: usize = 16 * 1024;
+
+/// Frame kind-byte offset and values, peeked without a full decode so the
+/// hot path never re-parses reply traffic. Must match `Frame::kind_tag`
+/// (`frame.rs`); the frame round-trip tests pin that mapping.
+const KIND_OFFSET: usize = 3;
+const KIND_CLIENT_SUBMIT: u8 = 2;
+const KIND_CLIENT_REPLY: u8 = 3;
+const KIND_CLIENT_REJECT: u8 = 4;
+
+/// Tuning of one replica's client edge.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeConfig {
+    /// I/O threads sweeping client connections (clamped to ≥ 1).
+    pub io_threads: usize,
+    /// Hard cap on simultaneously-connected clients; beyond it new
+    /// connections are answered with a zero-digest `ClientReject` and
+    /// closed so the client fails over (§III-E).
+    pub max_clients: usize,
+    /// Bound of each connection's outbound frame queue.
+    pub conn_queue: usize,
+    /// Unanswered submissions a connection may have in flight before the
+    /// edge stops reading it (read-side backpressure).
+    pub max_inflight: usize,
+}
+
+impl Default for EdgeConfig {
+    fn default() -> EdgeConfig {
+        EdgeConfig {
+            io_threads: DEFAULT_IO_THREADS,
+            max_clients: DEFAULT_MAX_CLIENTS,
+            conn_queue: DEFAULT_CONN_QUEUE,
+            max_inflight: DEFAULT_MAX_INFLIGHT,
+        }
+    }
+}
+
+/// The length prefix of a framed record exceeds [`MAX_FRAME_BYTES`]: the
+/// stream is poisoned and the connection must be dropped — there is no
+/// way to resynchronize a length-prefixed stream past a bad prefix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OversizeFrame;
+
+/// Splits one `[u32 BE length][frame]` record off the front of `buf`.
+/// `Ok(None)` means the buffer holds only a partial record;
+/// [`OversizeFrame`] means the caller must drop the connection.
+pub fn split_frame(buf: &mut Vec<u8>) -> Result<Option<Vec<u8>>, OversizeFrame> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(OversizeFrame);
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    let frame = buf[4..4 + len].to_vec();
+    buf.drain(..4 + len);
+    Ok(Some(frame))
+}
+
+/// A nonblocking framed connection: the per-connection read/write state
+/// machine both the server edge and the fan-out client driver
+/// (`crate::fleet`) run. Reads accumulate into a buffer that
+/// [`NbConn::next_frame`] parses with the `tcp.rs` length-prefix framing;
+/// writes drain a bounded queue of pre-encoded frames, surviving partial
+/// writes via an offset cursor.
+pub struct NbConn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wqueue: VecDeque<Vec<u8>>,
+    wpending: Vec<u8>,
+    woffset: usize,
+    queue_limit: usize,
+    dead: bool,
+}
+
+impl NbConn {
+    /// Wraps `stream`, switching it to nonblocking mode. `queue_limit`
+    /// bounds the outbound frame queue (clamped to ≥ 1).
+    pub fn new(stream: TcpStream, queue_limit: usize) -> std::io::Result<NbConn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(NbConn {
+            stream,
+            rbuf: Vec::new(),
+            wqueue: VecDeque::new(),
+            wpending: Vec::new(),
+            woffset: 0,
+            queue_limit: queue_limit.max(1),
+            dead: false,
+        })
+    }
+
+    /// Whether the connection hit EOF, an I/O error, or a framing
+    /// violation. A dead connection never transmits again.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Queues one frame (length prefix added here). Returns `false` — the
+    /// frame is dropped — when the connection is dead or the bounded
+    /// queue is full; the caller owns counting that drop.
+    pub fn enqueue(&mut self, frame: &[u8]) -> bool {
+        if self.dead || self.wqueue.len() >= self.queue_limit {
+            return false;
+        }
+        let mut buf = Vec::with_capacity(frame.len() + 4);
+        buf.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        buf.extend_from_slice(frame);
+        self.wqueue.push_back(buf);
+        true
+    }
+
+    /// Writes as much queued output as the socket accepts right now.
+    /// Returns whether any bytes moved.
+    pub fn flush(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        let mut progressed = false;
+        loop {
+            if self.woffset >= self.wpending.len() {
+                match self.wqueue.pop_front() {
+                    Some(next) => {
+                        self.wpending = next;
+                        self.woffset = 0;
+                    }
+                    None => break,
+                }
+            }
+            match self.stream.write(&self.wpending[self.woffset..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.woffset += n;
+                    progressed = true;
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted =>
+                {
+                    break
+                }
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Whether everything queued has reached the socket.
+    pub fn write_idle(&self) -> bool {
+        self.woffset >= self.wpending.len() && self.wqueue.is_empty()
+    }
+
+    /// Reads whatever the socket has ready, up to `budget` bytes (the
+    /// fairness bound keeping one firehose connection from starving its
+    /// sweep siblings). Returns the bytes consumed; EOF or error marks
+    /// the connection dead.
+    pub fn fill(&mut self, budget: usize) -> usize {
+        if self.dead {
+            return 0;
+        }
+        let mut total = 0;
+        let mut scratch = [0u8; 16 * 1024];
+        while total < budget {
+            match self.stream.read(&mut scratch) {
+                Ok(0) => {
+                    self.dead = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.rbuf.extend_from_slice(&scratch[..n]);
+                    total += n;
+                    if n < scratch.len() {
+                        break;
+                    }
+                }
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::Interrupted =>
+                {
+                    break
+                }
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+        total
+    }
+
+    /// Parses the next complete frame out of the read buffer, if one
+    /// accumulated. An oversized length prefix poisons the connection.
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        match split_frame(&mut self.rbuf) {
+            Ok(frame) => frame,
+            Err(OversizeFrame) => {
+                self.dead = true;
+                None
+            }
+        }
+    }
+
+    /// Dismantles the connection into its socket and the read bytes not
+    /// yet parsed — how a `Hello{Replica}` connection is handed back to
+    /// the blocking thread-per-peer reader without losing data that
+    /// arrived behind the hello.
+    pub fn into_parts(self) -> (TcpStream, Vec<u8>) {
+        (self.stream, self.rbuf)
+    }
+}
+
+/// Where a socket that announced `Hello{Replica}` is handed, together with
+/// any already-read residue bytes (the transport spawns its blocking
+/// per-peer reader there).
+pub type ReplicaHandoff = Arc<dyn Fn(TcpStream, Vec<u8>) + Send + Sync>;
+
+/// Per-edge counters, shared by all I/O threads.
+#[derive(Default)]
+struct EdgeStats {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    dropped: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// What one registered connection is, after its first frame.
+enum Peer {
+    /// No frame yet; timed out after [`HELLO_TIMEOUT`].
+    AwaitingHello,
+    /// Announced `Hello{Client}`: replies route back here.
+    Client(u64),
+    /// First frame was not a hello: frames forward, nothing routes back.
+    Anonymous,
+}
+
+/// One connection under edge management.
+struct EdgeConn {
+    conn: NbConn,
+    peer: Peer,
+    since: Instant,
+    /// Submissions read off this connection not yet answered by a reply
+    /// or reject (read-side backpressure gauge).
+    inflight: u32,
+    /// A frame extracted from the socket that the node inbox had no room
+    /// for: delivery retries next sweep, and the connection is not read
+    /// past it (backpressure instead of loss).
+    parked: Option<Vec<u8>>,
+    /// Flushing its last frames (e.g. an admission reject), then closed.
+    doomed: bool,
+}
+
+/// Commands an I/O thread's mailbox carries.
+enum EdgeCommand {
+    /// A freshly accepted socket to take over.
+    Register(TcpStream),
+    /// A frame for one of this thread's connections (conn id, frame).
+    Deliver(u64, Vec<u8>),
+}
+
+/// Reply route of a registered client: which thread, which connection.
+#[derive(Clone, Copy)]
+struct Route {
+    thread: usize,
+    conn: u64,
+}
+
+type Routes = Arc<Mutex<BTreeMap<u64, Route>>>;
+
+/// The client edge of one replica: an acceptor hands sockets to
+/// [`EdgeConfig::io_threads`] sweep threads; client frames funnel into the
+/// node inbox; replies route back through [`ClientEdge::send_to_client`].
+pub struct ClientEdge {
+    mailboxes: Vec<SyncSender<EdgeCommand>>,
+    routes: Routes,
+    stats: Arc<EdgeStats>,
+    active: Arc<AtomicUsize>,
+    next: Arc<AtomicUsize>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+/// The acceptor's cheap cloneable view of a [`ClientEdge`]: registration
+/// only. Lets the accept loop live on its own thread while the transport
+/// keeps ownership of the edge itself.
+#[derive(Clone)]
+pub struct EdgeRegistrar {
+    mailboxes: Vec<SyncSender<EdgeCommand>>,
+    stats: Arc<EdgeStats>,
+    next: Arc<AtomicUsize>,
+}
+
+impl EdgeRegistrar {
+    /// Hands a freshly accepted socket to the next I/O thread in round
+    /// robin. An edge too overloaded to even enqueue the registration
+    /// drops the socket (the client observes a closed connection and
+    /// fails over per §III-E) and counts it as rejected.
+    pub fn register(&self, stream: TcpStream) {
+        self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+        let turn = self.next.fetch_add(1, Ordering::Relaxed);
+        let slot = turn % self.mailboxes.len().max(1);
+        match self.mailboxes.get(slot) {
+            Some(mailbox) if mailbox.try_send(EdgeCommand::Register(stream)).is_ok() => {}
+            _ => {
+                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl ClientEdge {
+    /// Spawns the edge's I/O threads for replica `me`. Client frames are
+    /// forwarded into `inbox`; sockets that turn out to be replica peer
+    /// links are passed to `on_replica`. The edge observes `shutdown` and
+    /// stops sweeping once it is raised (join via [`ClientEdge::join`]).
+    pub fn spawn(
+        me: ReplicaId,
+        config: EdgeConfig,
+        inbox: SyncSender<Vec<u8>>,
+        on_replica: ReplicaHandoff,
+        shutdown: Arc<AtomicBool>,
+    ) -> std::io::Result<ClientEdge> {
+        let routes: Routes = Arc::new(Mutex::new(BTreeMap::new()));
+        let stats = Arc::new(EdgeStats::default());
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut mailboxes = Vec::new();
+        let mut threads = Vec::new();
+        for index in 0..config.io_threads.max(1) {
+            let (tx, rx) = std::sync::mpsc::sync_channel::<EdgeCommand>(EDGE_MAILBOX_CAPACITY);
+            let worker = IoThread {
+                index,
+                me,
+                config,
+                inbox: inbox.clone(),
+                routes: Arc::clone(&routes),
+                stats: Arc::clone(&stats),
+                active: Arc::clone(&active),
+                shutdown: Arc::clone(&shutdown),
+                on_replica: Arc::clone(&on_replica),
+            };
+            let thread = std::thread::Builder::new()
+                .name(format!("rcc-edge-{}-{index}", me.0))
+                .spawn(move || worker.run(rx))
+                .map_err(std::io::Error::other)?;
+            mailboxes.push(tx);
+            threads.push(thread);
+        }
+        Ok(ClientEdge {
+            mailboxes,
+            routes,
+            stats,
+            active,
+            next: Arc::new(AtomicUsize::new(0)),
+            threads,
+        })
+    }
+
+    /// A cloneable registration-only handle for the accept loop.
+    pub fn registrar(&self) -> EdgeRegistrar {
+        EdgeRegistrar {
+            mailboxes: self.mailboxes.clone(),
+            stats: Arc::clone(&self.stats),
+            next: Arc::clone(&self.next),
+        }
+    }
+
+    /// Hands a freshly accepted socket to the next I/O thread in round
+    /// robin (see [`EdgeRegistrar::register`]).
+    pub fn register(&self, stream: TcpStream) {
+        self.registrar().register(stream);
+    }
+
+    /// Routes a frame to the connection `to` registered over. Dropped
+    /// (and counted) when the owning thread's mailbox is full; silently
+    /// ignored when the client is not connected — exactly the old
+    /// registry semantics, so the consensus mailbox thread never blocks
+    /// on a client.
+    pub fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
+        let route = crate::lock_unpoisoned(&self.routes).get(&to.0).copied();
+        let Some(route) = route else { return };
+        let Some(mailbox) = self.mailboxes.get(route.thread) else {
+            return;
+        };
+        match mailbox.try_send(EdgeCommand::Deliver(route.conn, frame)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {}
+        }
+    }
+
+    /// Clients (and anonymous connections) currently registered.
+    pub fn active_clients(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Number of sweep threads serving the edge.
+    pub fn io_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The edge's counters, in transport-stat form.
+    pub fn stats(&self) -> TransportStats {
+        TransportStats {
+            dropped_frames: self.stats.dropped.load(Ordering::Relaxed),
+            rejected_connections: self.stats.rejected.load(Ordering::Relaxed),
+            accepted_connections: self.stats.accepted.load(Ordering::Relaxed),
+            peak_clients: self.stats.peak.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Joins the I/O threads. The shared shutdown flag must already be
+    /// raised, or this blocks for the threads' lifetime.
+    pub fn join(&mut self) {
+        self.mailboxes.clear();
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// One sweep thread: owns a set of connections, alternates between
+/// draining its command mailbox, sweeping every connection's socket, and
+/// parking (adaptively, bounded by [`MAX_PARK`]) when nothing moved.
+struct IoThread {
+    index: usize,
+    me: ReplicaId,
+    config: EdgeConfig,
+    inbox: SyncSender<Vec<u8>>,
+    routes: Routes,
+    stats: Arc<EdgeStats>,
+    active: Arc<AtomicUsize>,
+    shutdown: Arc<AtomicBool>,
+    on_replica: ReplicaHandoff,
+}
+
+impl IoThread {
+    fn run(self, mailbox: Receiver<EdgeCommand>) {
+        let mut conns: BTreeMap<u64, EdgeConn> = BTreeMap::new();
+        let mut next_conn: u64 = 0;
+        let mut park = MIN_PARK;
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let mut progressed = false;
+            loop {
+                match mailbox.try_recv() {
+                    Ok(command) => {
+                        self.handle(command, &mut conns, &mut next_conn);
+                        progressed = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        self.retire_all(conns);
+                        return;
+                    }
+                }
+            }
+            progressed |= self.sweep(&mut conns);
+            if progressed {
+                park = MIN_PARK;
+                continue;
+            }
+            // Idle: park on the mailbox so a reply or a registration
+            // wakes the thread instantly, with a timeout so newly
+            // readable sockets are swept within `park`. This wait is the
+            // seam a real `epoll_wait` would replace.
+            match mailbox.recv_timeout(park) {
+                Ok(command) => {
+                    self.handle(command, &mut conns, &mut next_conn);
+                    park = MIN_PARK;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    park = (park * 2).min(MAX_PARK);
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.retire_all(conns);
+    }
+
+    fn handle(
+        &self,
+        command: EdgeCommand,
+        conns: &mut BTreeMap<u64, EdgeConn>,
+        next_conn: &mut u64,
+    ) {
+        match command {
+            EdgeCommand::Register(stream) => {
+                // A socket that cannot be switched to nonblocking mode
+                // (already reset by the peer, usually) is simply dropped;
+                // the client sees a closed connection and fails over.
+                if let Ok(conn) = NbConn::new(stream, self.config.conn_queue) {
+                    let id = *next_conn;
+                    *next_conn += 1;
+                    conns.insert(
+                        id,
+                        EdgeConn {
+                            conn,
+                            peer: Peer::AwaitingHello,
+                            since: Instant::now(),
+                            inflight: 0,
+                            parked: None,
+                            doomed: false,
+                        },
+                    );
+                }
+            }
+            EdgeCommand::Deliver(conn, frame) => {
+                let Some(entry) = conns.get_mut(&conn) else {
+                    // The connection died with replies in flight; nothing
+                    // to do (same as the old registry race on disconnect).
+                    return;
+                };
+                // A reply or reject answers one submission: release the
+                // read-side backpressure slot whether or not the frame
+                // fits the outbound queue (the gauge tracks consensus
+                // progress, not queue occupancy).
+                if matches!(
+                    frame.get(KIND_OFFSET),
+                    Some(&KIND_CLIENT_REPLY) | Some(&KIND_CLIENT_REJECT)
+                ) {
+                    entry.inflight = entry.inflight.saturating_sub(1);
+                }
+                if !entry.conn.enqueue(&frame) {
+                    self.stats.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// One pass over every connection: flush writes, deliver parked
+    /// frames, read what is ready, classify first frames. Returns whether
+    /// anything moved.
+    fn sweep(&self, conns: &mut BTreeMap<u64, EdgeConn>) -> bool {
+        let mut progressed = false;
+        let mut closed: Vec<u64> = Vec::new();
+        let mut handoffs: Vec<u64> = Vec::new();
+        for (&id, entry) in conns.iter_mut() {
+            progressed |= entry.conn.flush();
+            if entry.conn.is_dead() || (entry.doomed && entry.conn.write_idle()) {
+                closed.push(id);
+                continue;
+            }
+            if entry.doomed {
+                continue; // still draining its final frames
+            }
+            if let Some(frame) = entry.parked.take() {
+                match self.inbox.try_send(frame) {
+                    Ok(()) => progressed = true,
+                    Err(TrySendError::Full(frame)) => {
+                        entry.parked = Some(frame);
+                        continue; // inbox still full: do not read past it
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        closed.push(id);
+                        continue;
+                    }
+                }
+            }
+            if matches!(entry.peer, Peer::AwaitingHello) && entry.since.elapsed() > HELLO_TIMEOUT {
+                closed.push(id);
+                continue;
+            }
+            if (entry.inflight as usize) >= self.config.max_inflight.max(1) {
+                continue; // backpressure: stop reading this connection
+            }
+            progressed |= entry.conn.fill(SWEEP_READ_BUDGET) > 0;
+            if self.drain_frames(id, entry, &mut handoffs) {
+                progressed = true;
+            }
+            if entry.conn.is_dead() {
+                closed.push(id);
+            }
+        }
+        for id in handoffs {
+            if let Some(entry) = conns.remove(&id) {
+                let (stream, residue) = entry.conn.into_parts();
+                (self.on_replica)(stream, residue);
+            }
+        }
+        for id in closed {
+            if let Some(entry) = conns.remove(&id) {
+                self.retire(id, entry);
+            }
+        }
+        progressed
+    }
+
+    /// Parses and routes every complete frame buffered on one connection.
+    /// Returns whether any frame was consumed; pushes the connection onto
+    /// `handoffs` when it announced itself as a replica peer link.
+    fn drain_frames(&self, id: u64, entry: &mut EdgeConn, handoffs: &mut Vec<u64>) -> bool {
+        let mut any = false;
+        loop {
+            if entry.doomed || entry.parked.is_some() {
+                return any;
+            }
+            if (entry.inflight as usize) >= self.config.max_inflight.max(1) {
+                return any;
+            }
+            let Some(frame) = entry.conn.next_frame() else {
+                return any;
+            };
+            any = true;
+            match entry.peer {
+                Peer::AwaitingHello => match Frame::decode_frame(&frame) {
+                    Ok(Frame::Hello {
+                        peer: PeerKind::Replica(_),
+                    }) => {
+                        // Replica link: forward the hello for parity with
+                        // the old reader path, then hand the socket (and
+                        // any residue) back to the blocking per-peer
+                        // reader. The connection leaves this thread.
+                        self.forward(entry, frame);
+                        handoffs.push(id);
+                        return true;
+                    }
+                    Ok(Frame::Hello {
+                        peer: PeerKind::Client(client),
+                    }) => {
+                        if self.admit() {
+                            entry.peer = Peer::Client(client.0);
+                            crate::lock_unpoisoned(&self.routes).insert(
+                                client.0,
+                                Route {
+                                    thread: self.index,
+                                    conn: id,
+                                },
+                            );
+                            self.forward(entry, frame);
+                        } else {
+                            self.reject(entry);
+                        }
+                    }
+                    _ => {
+                        // No hello: an anonymous source (stray scanner or
+                        // a raw-frame tool). Its frames forward, nothing
+                        // routes back, and it occupies an admission slot.
+                        if self.admit() {
+                            entry.peer = Peer::Anonymous;
+                            self.forward(entry, frame);
+                        } else {
+                            self.reject(entry);
+                        }
+                    }
+                },
+                Peer::Client(_) | Peer::Anonymous => {
+                    if frame.get(KIND_OFFSET) == Some(&KIND_CLIENT_SUBMIT) {
+                        entry.inflight = entry.inflight.saturating_add(1);
+                    }
+                    self.forward(entry, frame);
+                }
+            }
+        }
+    }
+
+    /// Claims one admission slot; `false` means the cap is reached. The
+    /// check-and-claim is atomic, so concurrent sweeps on other threads
+    /// cannot jointly exceed the cap.
+    fn admit(&self) -> bool {
+        let prior = self.active.fetch_add(1, Ordering::Relaxed);
+        if prior >= self.config.max_clients.max(1) {
+            self.active.fetch_sub(1, Ordering::Relaxed);
+            return false;
+        }
+        self.stats
+            .peak
+            .fetch_max(prior as u64 + 1, Ordering::Relaxed);
+        true
+    }
+
+    /// Admission rejection: answer with the zero-digest `ClientReject`
+    /// sentinel (no submission hashes to zero, so the client reads it as
+    /// "connection refused — fail over") and doom the connection, which
+    /// closes once the reject flushes.
+    fn reject(&self, entry: &mut EdgeConn) {
+        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        let reject = Frame::ClientReject {
+            replica: self.me,
+            digest: Digest::ZERO,
+        };
+        let _ = entry.conn.enqueue(&reject.encode_frame());
+        entry.conn.flush();
+        entry.doomed = true;
+    }
+
+    /// Pushes one frame toward the node inbox; a full inbox parks it on
+    /// the connection (read backpressure) instead of dropping it.
+    fn forward(&self, entry: &mut EdgeConn, frame: Vec<u8>) {
+        match self.inbox.try_send(frame) {
+            Ok(()) => {}
+            Err(TrySendError::Full(frame)) => entry.parked = Some(frame),
+            Err(TrySendError::Disconnected(_)) => entry.doomed = true,
+        }
+    }
+
+    /// Releases a closed connection's admission slot and reply route.
+    fn retire(&self, id: u64, entry: EdgeConn) {
+        match entry.peer {
+            Peer::AwaitingHello => {}
+            Peer::Anonymous => {
+                self.active.fetch_sub(1, Ordering::Relaxed);
+            }
+            Peer::Client(client) => {
+                self.active.fetch_sub(1, Ordering::Relaxed);
+                // Only unhook the route while it still points at this very
+                // connection; a client that reconnected (same id, new
+                // socket, possibly another thread) owns the route now.
+                let mut routes = crate::lock_unpoisoned(&self.routes);
+                if routes
+                    .get(&client)
+                    .is_some_and(|route| route.thread == self.index && route.conn == id)
+                {
+                    routes.remove(&client);
+                }
+            }
+        }
+    }
+
+    fn retire_all(&self, conns: BTreeMap<u64, EdgeConn>) {
+        for (id, entry) in conns {
+            self.retire(id, entry);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    fn read_one_frame(stream: &mut TcpStream) -> Vec<u8> {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let shutdown = AtomicBool::new(false);
+        crate::tcp::read_frame(stream, &shutdown).unwrap()
+    }
+
+    #[test]
+    fn nb_conn_round_trips_frames_across_partial_reads() {
+        let (client, server) = pair();
+        let mut tx = NbConn::new(client, 8).unwrap();
+        let mut rx = NbConn::new(server, 8).unwrap();
+        let big = vec![7u8; 300 * 1024]; // larger than any socket buffer
+        assert!(tx.enqueue(&big));
+        assert!(tx.enqueue(b"tail"));
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        while got.len() < 2 && Instant::now() < deadline {
+            tx.flush();
+            rx.fill(usize::MAX);
+            while let Some(frame) = rx.next_frame() {
+                got.push(frame);
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], big);
+        assert_eq!(got[1], b"tail");
+        assert!(tx.write_idle());
+        assert!(!rx.is_dead());
+    }
+
+    #[test]
+    fn enqueue_respects_the_queue_bound() {
+        let (client, _server) = pair();
+        let mut conn = NbConn::new(client, 2).unwrap();
+        assert!(conn.enqueue(b"a"));
+        assert!(conn.enqueue(b"b"));
+        assert!(!conn.enqueue(b"dropped"));
+        conn.flush();
+        // Flushing drains the queue, freeing slots again.
+        assert!(conn.enqueue(b"c"));
+    }
+
+    #[test]
+    fn an_oversized_length_prefix_poisons_the_connection() {
+        let (mut client, server) = pair();
+        let mut rx = NbConn::new(server, 4).unwrap();
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_be_bytes();
+        client.write_all(&huge).unwrap();
+        client.write_all(&[0u8; 64]).unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while rx.fill(usize::MAX) == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(rx.next_frame(), None);
+        assert!(rx.is_dead());
+    }
+
+    /// Everything a test needs from a freshly spun-up edge: the edge
+    /// itself, its inbox, the replica-handoff channel, the shutdown flag,
+    /// and the listener whose address clients dial.
+    type EdgeFixture = (
+        ClientEdge,
+        Receiver<Vec<u8>>,
+        Receiver<(TcpStream, Vec<u8>)>,
+        Arc<AtomicBool>,
+        TcpListener,
+    );
+
+    fn edge_fixture(config: EdgeConfig) -> EdgeFixture {
+        let (inbox_tx, inbox_rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(1024);
+        let (handoff_tx, handoff_rx) = std::sync::mpsc::sync_channel(8);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let on_replica: ReplicaHandoff = Arc::new(move |stream, residue| {
+            let _ = handoff_tx.try_send((stream, residue));
+        });
+        let edge = ClientEdge::spawn(
+            ReplicaId(0),
+            config,
+            inbox_tx,
+            on_replica,
+            Arc::clone(&shutdown),
+        )
+        .unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        (edge, inbox_rx, handoff_rx, shutdown, listener)
+    }
+
+    fn connect_registered(edge: &ClientEdge, listener: &TcpListener) -> TcpStream {
+        let stream = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        edge.register(accepted);
+        stream
+    }
+
+    #[test]
+    fn client_frames_flow_in_and_replies_route_back() {
+        let (edge, inbox, _handoffs, shutdown, listener) = edge_fixture(EdgeConfig::default());
+        let mut client = connect_registered(&edge, &listener);
+        let hello = Frame::Hello {
+            peer: PeerKind::Client(ClientId(7)),
+        }
+        .encode_frame();
+        crate::tcp::write_frame(&mut client, &hello).unwrap();
+        let first = inbox.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(first, hello);
+        // Replies route back over the registered connection.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while edge.active_clients() == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let reply = Frame::ClientReject {
+            replica: ReplicaId(0),
+            digest: Digest::from_bytes([9; 32]),
+        }
+        .encode_frame();
+        edge.send_to_client(ClientId(7), reply.clone());
+        assert_eq!(read_one_frame(&mut client), reply);
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn the_admission_cap_rejects_with_the_zero_digest_sentinel() {
+        let config = EdgeConfig {
+            max_clients: 1,
+            ..EdgeConfig::default()
+        };
+        let (edge, inbox, _handoffs, shutdown, listener) = edge_fixture(config);
+        let mut first = connect_registered(&edge, &listener);
+        let hello_first = Frame::Hello {
+            peer: PeerKind::Client(ClientId(1)),
+        }
+        .encode_frame();
+        crate::tcp::write_frame(&mut first, &hello_first).unwrap();
+        assert_eq!(
+            inbox.recv_timeout(Duration::from_secs(5)).unwrap(),
+            hello_first
+        );
+
+        let mut second = connect_registered(&edge, &listener);
+        let hello_second = Frame::Hello {
+            peer: PeerKind::Client(ClientId(2)),
+        }
+        .encode_frame();
+        crate::tcp::write_frame(&mut second, &hello_second).unwrap();
+        let frame = read_one_frame(&mut second);
+        assert_eq!(
+            Frame::decode_frame(&frame).unwrap(),
+            Frame::ClientReject {
+                replica: ReplicaId(0),
+                digest: Digest::ZERO,
+            }
+        );
+        // The rejected connection is closed once the reject flushed.
+        second
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut scratch = [0u8; 8];
+        assert_eq!(second.read(&mut scratch).unwrap_or(0), 0);
+        assert_eq!(edge.stats().rejected_connections, 1);
+        assert_eq!(edge.stats().peak_clients, 1);
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn replica_hellos_hand_the_socket_back_with_residue() {
+        let (edge, inbox, handoffs, shutdown, listener) = edge_fixture(EdgeConfig::default());
+        let mut peer = connect_registered(&edge, &listener);
+        let hello = Frame::Hello {
+            peer: PeerKind::Replica(ReplicaId(3)),
+        }
+        .encode_frame();
+        // Write the hello and a trailing frame in one burst so the sweep
+        // reads both; the trailing frame must survive as residue.
+        let trailing = Frame::ClientReject {
+            replica: ReplicaId(3),
+            digest: Digest::from_bytes([1; 32]),
+        }
+        .encode_frame();
+        crate::tcp::write_frame(&mut peer, &hello).unwrap();
+        crate::tcp::write_frame(&mut peer, &trailing).unwrap();
+        assert_eq!(inbox.recv_timeout(Duration::from_secs(5)).unwrap(), hello);
+        let (_stream, mut residue) = handoffs.recv_timeout(Duration::from_secs(5)).unwrap();
+        // The residue may hold the trailing frame (if the sweep's read
+        // grabbed both) or be empty (if the hello arrived alone); when
+        // present it must parse exactly.
+        if !residue.is_empty() {
+            let frame = split_frame(&mut residue).unwrap().unwrap();
+            assert_eq!(frame, trailing);
+            assert!(residue.is_empty());
+        }
+        assert_eq!(edge.active_clients(), 0, "peer links hold no client slot");
+        shutdown.store(true, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn edge_threads_join_on_shutdown() {
+        let (mut edge, _inbox, _handoffs, shutdown, listener) = edge_fixture(EdgeConfig {
+            io_threads: 3,
+            ..EdgeConfig::default()
+        });
+        let _conn = connect_registered(&edge, &listener);
+        assert_eq!(edge.io_threads(), 3);
+        shutdown.store(true, Ordering::Relaxed);
+        edge.join();
+    }
+}

@@ -1,0 +1,376 @@
+//! Fan-out fleet driver: thousands of client sessions over a handful of
+//! threads.
+//!
+//! The thread-per-client harness in [`crate::cluster`] cannot *generate*
+//! the load the readiness-driven edge is built to *absorb* — a thousand
+//! closed-loop clients as a thousand OS threads exhausts the same thread
+//! budget on the driving side. This module is the mirror image of
+//! [`crate::event_loop`]: each driver thread owns a chunk of sans-io
+//! [`DriverSession`]s (the §III-E policy from `rcc-workload`) and sweeps
+//! their nonblocking connections ([`NbConn`], one per session per replica)
+//! the same way the edge sweeps its accepted sockets. `sessions × n`
+//! connections, `ceil(sessions / sessions_per_thread)` threads.
+//!
+//! Failure handling is delegated to the session: dead or refused
+//! connections surface as [`DriverSession::on_connection_refused`] (the
+//! edge's zero-digest `ClientReject` admission sentinel takes the same
+//! path), so a session turned away by a saturated replica fails over to
+//! another replica and still completes its batches — the property the
+//! admission-control regression test pins down.
+
+use crate::cluster::verify_reply;
+use crate::event_loop::{NbConn, DEFAULT_CONN_QUEUE};
+use crate::frame::{Frame, PeerKind};
+use rcc_common::codec::Encode;
+use rcc_common::{ClientId, CryptoMode, Digest, InstanceId, ReplicaId, SystemConfig};
+use rcc_crypto::{AuthTag, ClientKeys, DeploymentKeys};
+use rcc_workload::{DriverSession, SessionConfig, SessionStats};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Default number of sessions one driver thread multiplexes.
+pub const DEFAULT_SESSIONS_PER_THREAD: usize = 512;
+
+/// Connect timeout of one (re-)dial attempt. Short: a down replica costs a
+/// session a fraction of a second, and the capped backoff below keeps it
+/// from being probed hot.
+const DIAL_TIMEOUT: Duration = Duration::from_millis(100);
+/// First re-dial delay after a connection dies or is refused.
+const DIAL_BACKOFF_FLOOR_MS: u64 = 50;
+/// Re-dial backoff cap.
+const DIAL_BACKOFF_CAP_MS: u64 = 500;
+/// At most this many blocking dial attempts per sweep pass, so a pass over
+/// thousands of links toward a dead replica stays bounded.
+const DIALS_PER_PASS: usize = 256;
+/// Read budget per connection per sweep pass.
+const SWEEP_READ_BUDGET: usize = 16 * 1024;
+/// Idle park between passes that made no progress.
+const IDLE_PARK: Duration = Duration::from_millis(1);
+
+/// Everything needed to drive a fleet of client sessions at a cluster.
+#[derive(Clone, Debug)]
+pub struct FleetPlan {
+    /// The deployment (n, f, m, batching, crypto mode, seed) — must match
+    /// the replicas'.
+    pub system: SystemConfig,
+    /// Replica addresses, indexed by replica id.
+    pub replica_addrs: Vec<SocketAddr>,
+    /// Number of client sessions; session `s` drives workload stream
+    /// `first_stream + s` and is homed on instance `stream mod m`. Each
+    /// session holds one connection per replica, so the cluster-wide
+    /// connection count is `sessions × n`.
+    pub sessions: usize,
+    /// First workload stream id (offset past any other drivers sharing the
+    /// cluster, so stream ids — and thus reply routes — never collide).
+    pub first_stream: u64,
+    /// Closed-loop window of each session (batches in flight).
+    pub window: usize,
+    /// Wall-clock run time.
+    pub run_for: Duration,
+    /// Sessions per driver thread (thread count is the ceiling division).
+    pub sessions_per_thread: usize,
+    /// Timing/failover knobs shared by every session.
+    pub session: SessionConfig,
+}
+
+impl FleetPlan {
+    /// A fleet plan with the default thread chunking and session knobs.
+    pub fn new(
+        system: SystemConfig,
+        replica_addrs: Vec<SocketAddr>,
+        sessions: usize,
+        window: usize,
+        run_for: Duration,
+    ) -> FleetPlan {
+        FleetPlan {
+            system,
+            replica_addrs,
+            sessions,
+            first_stream: 0,
+            window,
+            run_for,
+            sessions_per_thread: DEFAULT_SESSIONS_PER_THREAD,
+            session: SessionConfig::default(),
+        }
+    }
+
+    /// Number of driver threads the plan will spawn.
+    pub fn driver_threads(&self) -> usize {
+        self.sessions
+            .div_ceil(self.sessions_per_thread.max(1))
+            .max(1)
+    }
+}
+
+/// One session's nonblocking connection to one replica, with re-dial state.
+struct Link {
+    conn: Option<NbConn>,
+    next_dial_ms: u64,
+    backoff_ms: u64,
+}
+
+impl Link {
+    fn down() -> Link {
+        Link {
+            conn: None,
+            next_dial_ms: 0,
+            backoff_ms: DIAL_BACKOFF_FLOOR_MS,
+        }
+    }
+
+    /// Drops the connection (if any) and schedules the next dial attempt.
+    fn fail(&mut self, now_ms: u64) {
+        self.conn = None;
+        self.next_dial_ms = now_ms + self.backoff_ms;
+        self.backoff_ms = (self.backoff_ms * 2).min(DIAL_BACKOFF_CAP_MS);
+    }
+}
+
+/// One fleet session: the sans-io policy plus its per-replica links.
+struct FleetSession {
+    session: DriverSession,
+    keys: ClientKeys,
+    links: Vec<Link>,
+}
+
+/// Runs the whole fleet and returns every session's final statistics.
+///
+/// # Panics
+///
+/// Panics when a driver thread cannot be spawned or itself panicked —
+/// harness semantics, matching the cluster orchestrator: a load generator
+/// that silently lost part of its fleet would report a throughput floor
+/// that nobody actually measured.
+pub fn run_fleet(plan: &FleetPlan) -> Vec<SessionStats> {
+    let keys = DeploymentKeys::generate(&plan.system);
+    let chunk = plan.sessions_per_thread.max(1);
+    let started = Instant::now();
+    let deadline = started + plan.run_for;
+    let threads: Vec<std::thread::JoinHandle<Vec<SessionStats>>> = (0..plan.sessions)
+        .step_by(chunk)
+        .enumerate()
+        .map(|(index, first)| {
+            let sessions: Vec<FleetSession> = (first..(first + chunk).min(plan.sessions))
+                .map(|index| {
+                    let stream = plan.first_stream + index as u64;
+                    let m = plan.system.instances.max(1) as u64;
+                    FleetSession {
+                        session: DriverSession::new(
+                            &plan.system,
+                            stream,
+                            InstanceId((stream % m) as u32),
+                            plan.window,
+                            plan.session,
+                        ),
+                        keys: keys.client_keys(ClientId(stream)),
+                        links: (0..plan.replica_addrs.len())
+                            .map(|_| Link::down())
+                            .collect(),
+                    }
+                })
+                .collect();
+            let system = plan.system.clone();
+            let addrs = plan.replica_addrs.clone();
+            std::thread::Builder::new()
+                .name(format!("rcc-fleet-{index}"))
+                .spawn(move || drive_chunk(system, addrs, sessions, started, deadline))
+                // rcc-lint: allow(panic) — load-generation harness: a host
+                // that cannot spawn the driver threads cannot run the
+                // scenario.
+                .expect("spawn fleet driver thread")
+        })
+        .collect();
+    threads
+        .into_iter()
+        // rcc-lint: allow(panic) — load-generation harness: re-raise a
+        // driver thread's panic instead of reporting a partial fleet.
+        .flat_map(|thread| thread.join().expect("fleet driver thread panicked"))
+        .collect()
+}
+
+/// Sweeps one chunk of sessions until `deadline`: re-dial down links
+/// (budgeted), flush/fill every connection, dispatch decoded frames into
+/// the sessions, put each session's fresh submissions on the wire.
+fn drive_chunk(
+    system: SystemConfig,
+    addrs: Vec<SocketAddr>,
+    mut sessions: Vec<FleetSession>,
+    started: Instant,
+    deadline: Instant,
+) -> Vec<SessionStats> {
+    while Instant::now() < deadline {
+        let now_ms = started.elapsed().as_millis() as u64;
+        let mut progressed = false;
+        let mut dials = 0usize;
+        for entry in &mut sessions {
+            progressed |= sweep_session(&system, &addrs, entry, now_ms, &mut dials);
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_PARK);
+        }
+    }
+    sessions.iter().map(|s| s.session.stats()).collect()
+}
+
+/// One sweep pass over one session. Returns `true` when anything moved.
+fn sweep_session(
+    system: &SystemConfig,
+    addrs: &[SocketAddr],
+    entry: &mut FleetSession,
+    now_ms: u64,
+    dials: &mut usize,
+) -> bool {
+    let mut progressed = false;
+    // Index-based: the body mutates `entry.links[replica]` *and* calls
+    // `entry.session` methods, which an `iter_mut` borrow would forbid.
+    #[allow(clippy::needless_range_loop)]
+    for replica in 0..entry.links.len() {
+        // Re-dial down links, bounded per pass so a dead replica cannot
+        // stall the whole chunk behind serial connect timeouts.
+        if entry.links[replica].conn.is_none() {
+            if now_ms < entry.links[replica].next_dial_ms || *dials >= DIALS_PER_PASS {
+                continue;
+            }
+            *dials += 1;
+            match dial(entry.session.stream(), addrs[replica]) {
+                Ok(conn) => {
+                    entry.links[replica].conn = Some(conn);
+                    entry.links[replica].backoff_ms = DIAL_BACKOFF_FLOOR_MS;
+                    progressed = true;
+                }
+                Err(_) => {
+                    entry.links[replica].fail(now_ms);
+                    entry
+                        .session
+                        .on_connection_refused(now_ms, ReplicaId(replica as u32));
+                    continue;
+                }
+            }
+        }
+        let mut refused = false;
+        let mut frames = Vec::new();
+        if let Some(conn) = entry.links[replica].conn.as_mut() {
+            progressed |= conn.flush();
+            if conn.fill(SWEEP_READ_BUDGET) > 0 {
+                progressed = true;
+            }
+            while let Some(bytes) = conn.next_frame() {
+                frames.push(bytes);
+            }
+            if conn.is_dead() {
+                refused = true;
+            }
+        }
+        for bytes in frames {
+            dispatch(
+                system,
+                &mut entry.session,
+                &entry.keys,
+                &bytes,
+                now_ms,
+                &mut refused,
+            );
+        }
+        if refused {
+            // Either the edge turned the connection away at admission (the
+            // zero-digest reject sentinel) or the link died: the session
+            // rotates off this replica and the link re-dials with backoff.
+            entry.links[replica].fail(now_ms);
+            entry
+                .session
+                .on_connection_refused(now_ms, ReplicaId(replica as u32));
+            progressed = true;
+        }
+    }
+    let stream = entry.session.stream();
+    for action in entry.session.poll(now_ms) {
+        let frame = encode_submit(system, &entry.keys, stream, &action);
+        let replica = action.candidate.index();
+        if let Some(Some(conn)) = entry.links.get_mut(replica).map(|l| l.conn.as_mut()) {
+            // A full outbound queue drops the submission; the session ages
+            // it out and regenerates fresh work, same as any lost frame.
+            let _ = conn.enqueue(&frame);
+            progressed = true;
+        }
+        // No live link: the batch ages out and the session rotates — same
+        // recovery as a submission lost on the wire.
+    }
+    progressed
+}
+
+/// Decodes and applies one frame from a replica connection.
+fn dispatch(
+    system: &SystemConfig,
+    session: &mut DriverSession,
+    keys: &ClientKeys,
+    bytes: &[u8],
+    now_ms: u64,
+    refused: &mut bool,
+) {
+    match Frame::decode_frame(bytes) {
+        // Replies from out-of-range replicas or with bad tags fall through
+        // to the ignore arm.
+        Ok(Frame::ClientReply {
+            replica,
+            digest,
+            tag,
+        }) if replica.index() < system.n
+            && verify_reply(keys, system.crypto, replica, &digest, &tag) =>
+        {
+            let _ = session.on_reply(replica, digest);
+        }
+        Ok(Frame::ClientAccept { digest, .. }) => session.on_accept(digest),
+        Ok(Frame::ClientReject { replica, digest }) => {
+            if digest == Digest::ZERO {
+                // Connection-level admission reject: the edge closes this
+                // connection right after; fail the whole link over now
+                // rather than waiting for the EOF.
+                *refused = true;
+            } else {
+                session.on_reject(now_ms, replica, digest);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Encodes one submission as an authenticated `ClientSubmit` frame for
+/// workload stream `stream`.
+fn encode_submit(
+    system: &SystemConfig,
+    keys: &ClientKeys,
+    stream: u64,
+    action: &rcc_workload::SubmitAction,
+) -> Vec<u8> {
+    let payload = action.batch.encoded();
+    let tag = match system.crypto {
+        CryptoMode::None => AuthTag::None,
+        CryptoMode::Mac => {
+            AuthTag::Mac(keys.mac_with_replicas[action.candidate.index()].tag(&payload))
+        }
+        CryptoMode::PublicKey => AuthTag::Signature(keys.signing.sign(&payload)),
+    };
+    Frame::ClientSubmit {
+        client: ClientId(stream),
+        instance: action.instance,
+        payload,
+        tag,
+    }
+    .encode_frame()
+}
+
+/// Dials one replica, announces the session as a client, and wraps the
+/// socket in a nonblocking connection.
+fn dial(stream_id: u64, addr: SocketAddr) -> std::io::Result<NbConn> {
+    let stream = TcpStream::connect_timeout(&addr, DIAL_TIMEOUT)?;
+    let mut conn = NbConn::new(stream, DEFAULT_CONN_QUEUE)?;
+    let hello = Frame::Hello {
+        peer: PeerKind::Client(ClientId(stream_id)),
+    }
+    .encode_frame();
+    if !conn.enqueue(&hello) {
+        return Err(std::io::ErrorKind::WouldBlock.into());
+    }
+    conn.flush();
+    Ok(conn)
+}

@@ -37,6 +37,8 @@
 
 pub mod cluster;
 pub mod config;
+pub mod event_loop;
+pub mod fleet;
 pub mod frame;
 pub mod mangle;
 pub mod node;
@@ -45,6 +47,8 @@ pub mod transport;
 
 pub use cluster::{run_local_cluster, ClusterOutcome, ClusterPlan, RestartPlan, TransportKind};
 pub use config::{parse_deployment, DeploymentFile};
+pub use event_loop::{ClientEdge, EdgeConfig, NbConn, DEFAULT_IO_THREADS, DEFAULT_MAX_CLIENTS};
+pub use fleet::{run_fleet, FleetPlan};
 pub use frame::{Frame, PeerKind, MAX_FRAME_BYTES, WIRE_VERSION};
 pub use mangle::{ByteMangler, MangleConfig, MangleStats, MangledTransport};
 pub use node::{
@@ -52,7 +56,7 @@ pub use node::{
     NodeHandle, NodeReport, DEFAULT_EXECUTION_WORKERS,
 };
 pub use tcp::{TcpClientChannel, TcpTransport};
-pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};
+pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport, TransportStats};
 
 /// Locks `mutex`, recovering the guard when a previous holder panicked.
 ///

@@ -274,6 +274,10 @@ impl<T: Transport> Transport for MangledTransport<T> {
     fn shutdown(&mut self) {
         self.inner.shutdown()
     }
+
+    fn stats(&self) -> crate::transport::TransportStats {
+        self.inner.stats()
+    }
 }
 
 #[cfg(test)]

@@ -40,7 +40,7 @@
 //! client accepts the outcome on `f + 1` matching replies.
 
 use crate::frame::Frame;
-use crate::transport::Transport;
+use crate::transport::{Transport, TransportStats};
 use rcc_common::codec::{Decode, Encode};
 use rcc_common::{
     Batch, BatchId, ClientId, Digest, ReplicaId, Round, SystemConfig, Time, WorkerPool,
@@ -109,6 +109,10 @@ pub struct NodeReport {
     pub suspicions: u64,
     /// `ViewChanged` actions the replica raised.
     pub view_changes: u64,
+    /// Transport-edge counters: frames dropped on bounded outbound queues
+    /// (previously silent), connections rejected at the admission cap, and
+    /// the client-connection high-water mark.
+    pub transport: TransportStats,
 }
 
 /// Why spawning or stopping a node failed.
@@ -538,6 +542,9 @@ impl<T: Transport> Node<T> {
             decode_failures: self.decode_failures,
             suspicions: self.suspicions,
             view_changes: self.view_changes,
+            // Counter snapshots stay readable after `shutdown` joined the
+            // I/O threads, so report order does not matter.
+            transport: self.transport.stats(),
         }
     }
 }
@@ -629,6 +636,7 @@ mod tests {
             decode_failures: 0,
             suspicions: 0,
             view_changes: 0,
+            transport: TransportStats::default(),
         }
     }
 

@@ -15,23 +15,26 @@
 //!   with capped backoff and resumes draining its queue. Frames being
 //!   written at the moment of failure are lost — exactly the loss model
 //!   the protocols already tolerate.
-//! * **Ingress.** One listener thread accepts connections; each accepted
-//!   connection gets a reader thread that pushes length-prefixed frames
-//!   into the node's single inbox. A connection whose first frame is
-//!   `Hello{Client}` registers its write half so replies can be routed
-//!   back to that client.
+//! * **Ingress.** One listener thread accepts connections and hands every
+//!   socket to the readiness-driven [`crate::event_loop::ClientEdge`]: a
+//!   small fixed pool of I/O threads multiplexing all client connections
+//!   (no thread per client — see `event_loop.rs` for the sweep model and
+//!   admission control). A connection whose first frame is
+//!   `Hello{Replica}` is handed back out of the edge to a dedicated
+//!   blocking reader thread, keeping the deep, narrow replica links on
+//!   the ordered thread-per-peer path.
 //!
 //! Stream framing: `[u32 big-endian length][frame bytes]`, length capped at
 //! [`MAX_FRAME_BYTES`]; the frame bytes themselves carry the magic/version
 //! header of [`crate::frame`].
 
+use crate::event_loop::{ClientEdge, EdgeConfig, ReplicaHandoff};
 use crate::frame::{Frame, PeerKind, MAX_FRAME_BYTES};
-use crate::transport::{ClientChannel, Transport};
+use crate::transport::{ClientChannel, Transport, TransportStats};
 use rcc_common::{ClientId, ReplicaId};
-use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -103,9 +106,14 @@ pub struct TcpTransport {
     me: ReplicaId,
     inbox: Receiver<Vec<u8>>,
     peers: Vec<Option<SyncSender<Vec<u8>>>>,
-    clients: SharedClientRegistry,
+    edge: ClientEdge,
+    /// Outbound consensus frames dropped on full per-peer queues.
+    peer_dropped: AtomicU64,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    /// Blocking readers of replica peer links, spawned when the edge hands
+    /// a `Hello{Replica}` socket back out of the sweep pool.
+    replica_readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl TcpTransport {
@@ -118,33 +126,91 @@ impl TcpTransport {
         peer_addrs: Vec<SocketAddr>,
         capacity: usize,
     ) -> std::io::Result<TcpTransport> {
+        Self::bind_with_edge(me, listen, peer_addrs, capacity, EdgeConfig::default())
+    }
+
+    /// [`TcpTransport::bind`] with an explicit client-edge configuration
+    /// (I/O thread pool width, admission cap).
+    pub fn bind_with_edge(
+        me: ReplicaId,
+        listen: SocketAddr,
+        peer_addrs: Vec<SocketAddr>,
+        capacity: usize,
+        edge: EdgeConfig,
+    ) -> std::io::Result<TcpTransport> {
         let listener = TcpListener::bind(listen)?;
-        Ok(Self::with_listener(me, listener, peer_addrs, capacity))
+        Ok(Self::with_listener_and_edge(
+            me, listener, peer_addrs, capacity, edge,
+        ))
     }
 
     /// Builds the transport around an already-bound listener (the cluster
     /// launcher binds all listeners first so every peer address is known
-    /// before any node starts).
+    /// before any node starts), with the default client edge.
     pub fn with_listener(
         me: ReplicaId,
         listener: TcpListener,
         peer_addrs: Vec<SocketAddr>,
         capacity: usize,
     ) -> TcpTransport {
+        Self::with_listener_and_edge(me, listener, peer_addrs, capacity, EdgeConfig::default())
+    }
+
+    /// [`TcpTransport::with_listener`] with an explicit client-edge
+    /// configuration.
+    pub fn with_listener_and_edge(
+        me: ReplicaId,
+        listener: TcpListener,
+        peer_addrs: Vec<SocketAddr>,
+        capacity: usize,
+        edge_config: EdgeConfig,
+    ) -> TcpTransport {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let clients: SharedClientRegistry = Arc::new(Mutex::new(BTreeMap::new()));
         // Bounded inbox, matching the in-process transport's loss model: a
         // sender that outruns the mailbox thread has its frames dropped at
         // the boundary instead of growing node memory without limit.
         let (inbox_tx, inbox_rx) =
             std::sync::mpsc::sync_channel::<Vec<u8>>(capacity.max(1) * (peer_addrs.len() + 4));
         let mut threads = Vec::new();
+        let replica_readers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        // Ingress: accept loop + one reader thread per connection.
+        // Replica peer links leave the edge's sweep pool for a dedicated
+        // blocking reader each: n - 1 inbound links at most, and their
+        // strict arrival order is worth a thread apiece.
+        let on_replica: ReplicaHandoff = {
+            let shutdown = Arc::clone(&shutdown);
+            let inbox_tx = inbox_tx.clone();
+            let readers = Arc::clone(&replica_readers);
+            Arc::new(move |stream: TcpStream, residue: Vec<u8>| {
+                let shutdown = Arc::clone(&shutdown);
+                let inbox_tx = inbox_tx.clone();
+                let spawned = std::thread::Builder::new()
+                    .name("rcc-peer-reader".to_string())
+                    .spawn(move || read_replica_frames(stream, residue, &shutdown, &inbox_tx));
+                if let Ok(handle) = spawned {
+                    let mut guard = crate::lock_unpoisoned(&readers);
+                    // Reap finished readers so reconnect-heavy lifetimes do
+                    // not accumulate a handle per connect cycle.
+                    guard.retain(|reader| !reader.is_finished());
+                    guard.push(handle);
+                }
+            })
+        };
+        let edge = ClientEdge::spawn(
+            me,
+            edge_config,
+            inbox_tx.clone(),
+            on_replica,
+            Arc::clone(&shutdown),
+        )
+        // rcc-lint: allow(panic) — transport construction at node boot: a
+        // host that cannot spawn the edge's I/O threads cannot run the
+        // node, so failing loudly is the only honest mode.
+        .expect("spawn client-edge I/O threads");
+
+        // Ingress: one accept loop handing every socket to the edge.
         {
             let shutdown = Arc::clone(&shutdown);
-            let clients = Arc::clone(&clients);
-            let inbox_tx = inbox_tx.clone();
             listener
                 .set_nonblocking(true)
                 // rcc-lint: allow(panic) — transport construction at node
@@ -152,23 +218,11 @@ impl TcpTransport {
                 // never observe shutdown, so failing loudly is the only
                 // honest mode.
                 .expect("listener nonblocking");
+            let edge_for_accept = edge.registrar();
             threads.push(std::thread::spawn(move || {
-                let mut readers: Vec<JoinHandle<()>> = Vec::new();
                 while !shutdown.load(Ordering::Relaxed) {
                     match listener.accept() {
-                        Ok((stream, _)) => {
-                            configure(&stream);
-                            let shutdown = Arc::clone(&shutdown);
-                            let clients = Arc::clone(&clients);
-                            let inbox_tx = inbox_tx.clone();
-                            readers.push(std::thread::spawn(move || {
-                                read_connection(stream, &shutdown, &clients, &inbox_tx, capacity);
-                            }));
-                            // Reap readers whose connections have closed so
-                            // long-lived nodes do not accumulate a handle
-                            // per connect/disconnect cycle.
-                            readers.retain(|reader| !reader.is_finished());
-                        }
+                        Ok((stream, _)) => edge_for_accept.register(stream),
                         // Transient accept errors (ECONNABORTED from a
                         // half-open reconnect, EMFILE under fd pressure,
                         // WouldBlock from the nonblocking listener) must
@@ -179,9 +233,6 @@ impl TcpTransport {
                             std::thread::sleep(Duration::from_millis(5));
                         }
                     }
-                }
-                for reader in readers {
-                    let _ = reader.join();
                 }
             }));
         }
@@ -206,77 +257,67 @@ impl TcpTransport {
             me,
             inbox: inbox_rx,
             peers,
-            clients,
+            edge,
+            peer_dropped: AtomicU64::new(0),
             shutdown,
             threads,
+            replica_readers,
         }
+    }
+
+    /// Number of client connections currently registered at the edge
+    /// (observability for tests and summaries).
+    pub fn active_clients(&self) -> usize {
+        self.edge.active_clients()
     }
 }
 
-/// The client-reply registry: client id → bounded queue into that client
-/// connection's dedicated writer thread. `send_to_client` only ever
-/// `try_send`s, so a stalled client can never block the consensus mailbox
-/// thread (its replies are dropped once its queue fills, exactly like a
-/// slow replica peer's).
-type SharedClientRegistry = Arc<Mutex<BTreeMap<u64, SyncSender<Vec<u8>>>>>;
-
-/// Reader side of one accepted connection. A first-frame `Hello{Client}`
-/// spawns a writer thread over the connection's write half and registers
-/// its bounded queue for reply routing; only the first frame is inspected
-/// (replica connections announce `Hello{Replica}` first, so later frames
-/// skip the peek entirely instead of being decoded twice).
-fn read_connection(
-    mut stream: TcpStream,
+/// Blocking reader of one replica peer link, taking over a socket the edge
+/// identified via its `Hello{Replica}` first frame. `residue` holds bytes
+/// the edge had already read past the hello; they are parsed first so no
+/// frame is lost in the handoff.
+fn read_replica_frames(
+    stream: TcpStream,
+    mut buf: Vec<u8>,
     shutdown: &AtomicBool,
-    clients: &SharedClientRegistry,
     inbox: &SyncSender<Vec<u8>>,
-    reply_capacity: usize,
 ) {
-    let mut registered: Option<u64> = None;
-    let mut first = true;
-    while !shutdown.load(Ordering::Relaxed) {
-        match read_frame(&mut stream, shutdown) {
-            Ok(frame) => {
-                if std::mem::take(&mut first) {
-                    if let Ok(Frame::Hello {
-                        peer: PeerKind::Client(client),
-                    }) = Frame::decode_frame(&frame)
-                    {
-                        if let Ok(write_half) = stream.try_clone() {
-                            let (tx, rx) =
-                                std::sync::mpsc::sync_channel::<Vec<u8>>(reply_capacity.max(1));
-                            std::thread::spawn(move || {
-                                write_client_replies(write_half, rx);
-                            });
-                            crate::lock_unpoisoned(clients).insert(client.0, tx);
-                            registered = Some(client.0);
-                        }
-                    }
-                }
-                match inbox.try_send(frame) {
+    // The edge ran this socket nonblocking; restore blocking mode with the
+    // short read timeout every blocking reader uses to observe shutdown.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    configure(&stream);
+    let mut stream = stream;
+    let mut scratch = [0u8; 16 * 1024];
+    loop {
+        loop {
+            match crate::event_loop::split_frame(&mut buf) {
+                Ok(Some(frame)) => match inbox.try_send(frame) {
                     // A full inbox drops the frame (bounded back-pressure);
                     // consensus recovers lost messages via state sync.
                     Ok(()) | Err(TrySendError::Full(_)) => {}
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
+                    Err(TrySendError::Disconnected(_)) => return,
+                },
+                Ok(None) => break,
+                // Oversized length prefix: the stream is poisoned.
+                Err(crate::event_loop::OversizeFrame) => return,
             }
-            Err(_) => break,
         }
-    }
-    if let Some(client) = registered {
-        // Dropping the queue sender ends the writer thread.
-        crate::lock_unpoisoned(clients).remove(&client);
-    }
-}
-
-/// Writer side of one inbound client connection: drains the reply queue
-/// onto the socket (blocking only this thread; the 2 s write timeout
-/// bounds a stalled client) and exits when the registry drops the sender
-/// or the socket dies.
-fn write_client_replies(mut stream: TcpStream, queue: Receiver<Vec<u8>>) {
-    while let Ok(frame) = queue.recv() {
-        if write_frame(&mut stream, &frame).is_err() {
-            break;
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut scratch) {
+            Ok(0) => return,
+            Ok(n) => buf.extend_from_slice(&scratch[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted =>
+            {
+                continue;
+            }
+            Err(_) => return,
         }
     }
 }
@@ -332,22 +373,20 @@ impl Transport for TcpTransport {
     fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>) {
         if let Some(Some(tx)) = self.peers.get(to.index()) {
             match tx.try_send(frame) {
-                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                Err(TrySendError::Full(_)) => {
+                    self.peer_dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(()) | Err(TrySendError::Disconnected(_)) => {}
             }
         }
     }
 
     fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
-        // Non-blocking hand-off to the connection's writer thread: the
-        // consensus mailbox thread must never wait on a client socket. A
-        // full queue drops the frame; a disconnected queue means the
-        // reader already unregistered (or will momentarily).
-        let registry = crate::lock_unpoisoned(&self.clients);
-        if let Some(tx) = registry.get(&to.0) {
-            match tx.try_send(frame) {
-                Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
-            }
-        }
+        // Non-blocking hand-off to the edge: the consensus mailbox thread
+        // must never wait on a client socket. A full queue or mailbox
+        // drops the frame (counted); an unknown client means the
+        // connection already closed.
+        self.edge.send_to_client(to, frame);
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Option<Vec<u8>> {
@@ -363,7 +402,19 @@ impl Transport for TcpTransport {
         for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
-        crate::lock_unpoisoned(&self.clients).clear();
+        self.edge.join();
+        let readers: Vec<JoinHandle<()>> = crate::lock_unpoisoned(&self.replica_readers)
+            .drain(..)
+            .collect();
+        for reader in readers {
+            let _ = reader.join();
+        }
+    }
+
+    fn stats(&self) -> TransportStats {
+        let mut stats = self.edge.stats();
+        stats.dropped_frames += self.peer_dropped.load(Ordering::Relaxed);
+        stats
     }
 }
 
@@ -382,6 +433,12 @@ const REDIAL_BACKOFF_CAP: Duration = Duration::from_millis(500);
 /// Connect timeout of a single re-dial attempt (kept short — a re-dial
 /// happens inline in `submit` and must not stall the client's driver loop).
 const REDIAL_CONNECT_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Connect timeout of one initial dial attempt in
+/// [`TcpClientChannel::connect`]. Short on purpose: a down replica must
+/// cost the connecting client a fraction of a second, not the OS's
+/// multi-second connect timeout — failover (§III-E) starts at connect.
+const CONNECT_ATTEMPT_TIMEOUT: Duration = Duration::from_millis(250);
 
 /// Bound on a client's merged reply inbox (replies from all replicas).
 /// Sized for hundreds of in-flight reply quorums; replies are ~100 B each.
@@ -445,8 +502,18 @@ pub struct TcpClientChannel {
 }
 
 impl TcpClientChannel {
-    /// Dials every replica (retrying each until `deadline`), announces the
-    /// client, and starts reader threads that merge replies into one inbox.
+    /// Dials every replica, announces the client, and starts reader
+    /// threads that merge replies into one inbox.
+    ///
+    /// Fail-fast semantics: each dial attempt is bounded by a short
+    /// connect timeout, and as soon as **at least one** replica is
+    /// connected the channel is returned — unreachable replicas are left
+    /// to the capped-backoff background re-dial that `submit` already
+    /// performs, instead of blocking the caller for a full OS connect
+    /// timeout per down replica. Only when *no* replica answers does the
+    /// constructor keep retrying (with capped backoff, covering the
+    /// cluster-startup race) until `deadline`, then surface the last
+    /// error.
     pub fn connect(
         id: ClientId,
         replica_addrs: &[SocketAddr],
@@ -457,22 +524,35 @@ impl TcpClientChannel {
         // more than any reply quorum in flight while keeping a dead client
         // from accumulating unread replies without limit.
         let (inbox_tx, inbox_rx) = std::sync::mpsc::sync_channel::<Vec<u8>>(CLIENT_INBOX_CAPACITY);
-        let mut streams = Vec::new();
+        let mut streams: Vec<Option<TcpStream>> = (0..replica_addrs.len()).map(|_| None).collect();
         let mut threads = Vec::new();
-        for addr in replica_addrs {
-            let (stream, thread) = loop {
-                match dial_replica(id, *addr, Duration::from_millis(500), &inbox_tx, &shutdown) {
-                    Ok(connected) => break connected,
-                    Err(e) => {
-                        if Instant::now() >= deadline {
-                            return Err(e);
-                        }
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
+        let mut last_error: Option<std::io::Error> = None;
+        let mut round_backoff = REDIAL_BACKOFF_FLOOR;
+        loop {
+            for (index, addr) in replica_addrs.iter().enumerate() {
+                if streams[index].is_some() {
+                    continue;
                 }
-            };
-            streams.push(Some(stream));
-            threads.push(thread);
+                match dial_replica(id, *addr, CONNECT_ATTEMPT_TIMEOUT, &inbox_tx, &shutdown) {
+                    Ok((stream, thread)) => {
+                        streams[index] = Some(stream);
+                        threads.push(thread);
+                    }
+                    Err(e) => last_error = Some(e),
+                }
+            }
+            if streams.iter().any(Option::is_some) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                return Err(
+                    last_error.unwrap_or_else(|| std::io::ErrorKind::AddrNotAvailable.into())
+                );
+            }
+            std::thread::sleep(
+                round_backoff.min(deadline.saturating_duration_since(Instant::now())),
+            );
+            round_backoff = (round_backoff * 2).min(REDIAL_BACKOFF_CAP);
         }
         let now = Instant::now();
         Ok(TcpClientChannel {

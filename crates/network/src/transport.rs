@@ -24,6 +24,36 @@ use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// Counters a transport accumulates at its delivery boundary. All counts
+/// are monotone over the transport's life; `Default` is the all-zero
+/// report transports without instrumentation return.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransportStats {
+    /// Outbound frames dropped because a bounded queue (per-peer writer
+    /// queue, per-client connection queue, or an edge mailbox) was full.
+    pub dropped_frames: u64,
+    /// Client connections turned away at the admission cap (or because the
+    /// edge was too overloaded to even register them).
+    pub rejected_connections: u64,
+    /// Client connections the edge accepted over its life.
+    pub accepted_connections: u64,
+    /// Most simultaneously-live client connections observed.
+    pub peak_clients: u64,
+}
+
+impl TransportStats {
+    /// Merges two reports (used when one transport layers over another,
+    /// e.g. the chaos mangler forwarding its inner transport's counters).
+    pub fn merged(self, other: TransportStats) -> TransportStats {
+        TransportStats {
+            dropped_frames: self.dropped_frames + other.dropped_frames,
+            rejected_connections: self.rejected_connections + other.rejected_connections,
+            accepted_connections: self.accepted_connections + other.accepted_connections,
+            peak_clients: self.peak_clients.max(other.peak_clients),
+        }
+    }
+}
+
 /// The I/O boundary a deployed replica node runs against.
 pub trait Transport: Send {
     /// The replica this transport belongs to.
@@ -47,6 +77,12 @@ pub trait Transport: Send {
     /// Tears the transport down (closes sockets, stops worker threads).
     /// Called once when the owning node shuts down.
     fn shutdown(&mut self) {}
+
+    /// Delivery-boundary counters (dropped frames, admission rejections).
+    /// Transports without instrumentation report zeros.
+    fn stats(&self) -> TransportStats {
+        TransportStats::default()
+    }
 }
 
 /// A client's connection bundle: a way to submit frames to each replica and
@@ -127,6 +163,7 @@ impl InProcessNetwork {
             replicas: Arc::clone(&self.replicas),
             clients: Arc::clone(&self.clients),
             inbox: rx,
+            dropped: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -149,15 +186,22 @@ pub struct InProcessTransport {
     replicas: SharedSenders,
     clients: SharedClients,
     inbox: Receiver<Vec<u8>>,
+    /// Outbound frames this endpoint dropped on full bounded queues.
+    dropped: std::sync::atomic::AtomicU64,
 }
 
-fn shared_send(senders: &SharedSenders, index: usize, frame: Vec<u8>) {
+/// `try_send` to a hub slot; returns `false` when the frame was dropped on
+/// a full queue (a missing or disconnected receiver is not a drop — there
+/// is no backlogged queue, just no peer).
+fn shared_send(senders: &SharedSenders, index: usize, frame: Vec<u8>) -> bool {
     let guard = crate::lock_unpoisoned(senders);
     if let Some(Some(tx)) = guard.get(index) {
         match tx.try_send(frame) {
-            Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+            Err(TrySendError::Full(_)) => return false,
+            Ok(()) | Err(TrySendError::Disconnected(_)) => {}
         }
     }
+    true
 }
 
 impl Transport for InProcessTransport {
@@ -166,15 +210,19 @@ impl Transport for InProcessTransport {
     }
 
     fn send_to_replica(&self, to: ReplicaId, frame: Vec<u8>) {
-        if to != self.me {
-            shared_send(&self.replicas, to.index(), frame);
+        if to != self.me && !shared_send(&self.replicas, to.index(), frame) {
+            self.dropped
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
     }
 
     fn send_to_client(&self, to: ClientId, frame: Vec<u8>) {
         let guard = crate::lock_unpoisoned(&self.clients);
         if let Some(tx) = guard.get(&to.0) {
-            let _ = tx.try_send(frame);
+            if let Err(TrySendError::Full(_)) = tx.try_send(frame) {
+                self.dropped
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
         }
     }
 
@@ -184,6 +232,13 @@ impl Transport for InProcessTransport {
 
     fn try_recv(&mut self) -> Option<Vec<u8>> {
         self.inbox.try_recv().ok()
+    }
+
+    fn stats(&self) -> TransportStats {
+        TransportStats {
+            dropped_frames: self.dropped.load(std::sync::atomic::Ordering::Relaxed),
+            ..TransportStats::default()
+        }
     }
 }
 

@@ -29,6 +29,9 @@ fn plan(transport: TransportKind, run_ms: u64) -> ClusterPlan {
         run_for: Duration::from_millis(run_ms),
         restart: None,
         mangle: None,
+        io_threads: 2,
+        max_clients: 4096,
+        fleet_sessions: 0,
     }
 }
 

@@ -11,9 +11,75 @@ use rcc_common::{ClientId, Digest, InstanceId, ReplicaId};
 use rcc_network::tcp::{read_frame, write_frame};
 use rcc_network::transport::ClientChannel;
 use rcc_network::{Frame, PeerKind, TcpClientChannel};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::AtomicBool;
 use std::time::{Duration, Instant};
+
+/// An address that refuses connections: bind an ephemeral port, then close
+/// the listener.
+fn refused_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind throwaway port");
+    let addr = listener.local_addr().expect("local addr");
+    drop(listener);
+    addr
+}
+
+/// Regression for the PR 5 carry-over: `connect` toward a cluster with
+/// *down* replicas must return as soon as at least one replica answers —
+/// bounded by the short per-attempt timeout — instead of serially eating a
+/// full OS connect timeout per dead address. The down replicas are left to
+/// the capped-backoff background re-dial that `submit` performs.
+#[test]
+fn connect_fails_fast_past_down_replicas() {
+    let live = TcpListener::bind("127.0.0.1:0").expect("bind live replica");
+    let live_addr = live.local_addr().expect("local addr");
+    // Three of four replicas down, and the live one deliberately *not*
+    // first in the list.
+    let addrs = vec![refused_addr(), live_addr, refused_addr(), refused_addr()];
+    let started = Instant::now();
+    let client = TcpClientChannel::connect(
+        ClientId(3),
+        &addrs,
+        Instant::now() + Duration::from_secs(30),
+    )
+    .expect("one live replica is enough to connect");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "connect blocked {elapsed:?} on down replicas (deadline was 30 s away)"
+    );
+    // The live replica really is connected: its hello arrives.
+    let shutdown = AtomicBool::new(false);
+    let (mut conn, _) = live.accept().expect("accept the live connection");
+    let hello = read_frame(&mut conn, &shutdown).expect("read Hello");
+    assert!(matches!(
+        Frame::decode_frame(&hello),
+        Ok(Frame::Hello {
+            peer: PeerKind::Client(ClientId(3))
+        })
+    ));
+    client.shutdown();
+}
+
+/// With *every* replica down, `connect` keeps retrying with capped backoff
+/// only until the caller's deadline, then surfaces the error — it must not
+/// spin forever or return a channel with zero connections.
+#[test]
+fn connect_surfaces_an_error_when_every_replica_is_down() {
+    let addrs = vec![refused_addr(), refused_addr()];
+    let started = Instant::now();
+    let result = TcpClientChannel::connect(
+        ClientId(4),
+        &addrs,
+        Instant::now() + Duration::from_millis(600),
+    );
+    assert!(result.is_err(), "no replica answered; connect must fail");
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "connect overshot its deadline by far: {elapsed:?}"
+    );
+}
 
 fn submit_frame(marker: u64) -> Vec<u8> {
     Frame::ClientSubmit {

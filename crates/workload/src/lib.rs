@@ -10,6 +10,12 @@
 //!   window of batches in flight and wait for `f + 1` *matching* replies per
 //!   batch, and **open-loop** clients that submit on a fixed interval
 //!   regardless of replies.
+//! * [`session`] — the deployed-driver face of the same policy: a sans-io
+//!   [`DriverSession`] that wraps one closed-loop client with candidate
+//!   rotation, reply age-out, drain/probe failover, and connection-level
+//!   admission rejects, clocked in caller-supplied milliseconds so the
+//!   thread-per-client harness and the multiplexed fleet driver in
+//!   `rcc-network` share one policy.
 //! * [`assignment`] — the [`InstanceAssignment`] policy: each client is homed
 //!   on one consensus instance, drains off it when the instance enters a view
 //!   change, and hands back only after the replacement coordinator has
@@ -31,8 +37,10 @@
 
 pub mod assignment;
 pub mod client;
+pub mod session;
 pub mod ycsb;
 
 pub use assignment::{Handoff, InstanceAssignment};
 pub use client::{Client, ClientMode, ReplyOutcome};
+pub use session::{DriverSession, SessionConfig, SessionStats, SubmitAction};
 pub use ycsb::{stream_of_client, YcsbGenerator};
