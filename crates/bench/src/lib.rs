@@ -23,6 +23,7 @@ use rcc_sim::{
     simulate_pbft, simulate_rcc_over_pbft, AdversaryAttack, AdversarySpec, CpuModel, FaultKind,
     FaultScript, NetworkModel, SimConfig, SimReport,
 };
+use rcc_telemetry::{FlightEvent, Snapshot};
 use std::fmt::Write as _;
 
 /// Which consensus system a row measures.
@@ -466,6 +467,13 @@ pub struct RunResult {
     pub adversary_strikes: u64,
     /// The run's event-trace fingerprint (equal ⇒ identical run).
     pub trace_fingerprint: u64,
+    /// The run's end-of-run telemetry registry snapshot (the `sim.*` metric
+    /// catalog in `docs/OBSERVABILITY.md`); the counter columns above are
+    /// sourced from it.
+    pub telemetry: Snapshot,
+    /// The run's flight-recorder trace (view changes, σ-lag detections,
+    /// checkpoint stabilizations, client hand-offs), oldest first.
+    pub flight: Vec<FlightEvent>,
 }
 
 fn to_ms(d: rcc_common::Duration) -> f64 {
@@ -493,23 +501,30 @@ pub fn run_spec(spec: &ExperimentSpec, phases: &Phases) -> RunResult {
         ProtocolKind::RccPbft => simulate_rcc_over_pbft(config),
         ProtocolKind::Pbft => simulate_pbft(config),
     };
+    // The counter columns are sourced from the run's telemetry registry —
+    // the same numbers every other consumer of the snapshot sees — so a
+    // drift between the report's native counters and the registry would
+    // show up in the CSV immediately.
+    let counter = |name: &str| report.telemetry.counter(name).unwrap_or(0);
     RunResult {
         throughput_tps: report.throughput_over(phases.measure_start(), phases.measure_end()),
         tail_tps: report.throughput_over(phases.tail_start(), phases.measure_end()),
         latency_mean_ms: to_ms(report.latency.mean()),
         latency_p50_ms: to_ms(report.latency.percentile(0.5)),
         latency_p99_ms: to_ms(report.latency.percentile(0.99)),
-        committed_transactions: report.committed_transactions,
-        committed_batches: report.committed_batches,
-        messages_delivered: report.messages_delivered,
-        bytes_delivered: report.bytes_delivered,
+        committed_transactions: counter("sim.committed_txns"),
+        committed_batches: counter("sim.committed_batches"),
+        messages_delivered: counter("sim.messages"),
+        bytes_delivered: counter("sim.bytes"),
         events_processed: report.events_processed,
-        suspicions: report.suspicions,
-        view_changes: report.view_changes,
-        client_handoffs: report.client_handoffs,
-        peak_retained_log: report.peak_retained_log,
-        adversary_strikes: report.adversary_strikes,
+        suspicions: counter("sim.suspicions"),
+        view_changes: counter("sim.view_changes"),
+        client_handoffs: counter("sim.client_handoffs"),
+        peak_retained_log: report.telemetry.gauge("sim.peak_retained_log").unwrap_or(0),
+        adversary_strikes: counter("sim.adversary_strikes"),
         trace_fingerprint: report.trace_fingerprint,
+        telemetry: report.telemetry,
+        flight: report.flight,
         spec,
     }
 }
@@ -602,6 +617,44 @@ impl CampaignResults {
                 row.adversary_strikes,
                 row.trace_fingerprint,
             );
+        }
+        out
+    }
+
+    /// The stable row key used to label telemetry/flight JSONL lines.
+    fn row_label(spec: &ExperimentSpec) -> String {
+        format!(
+            "{}/{}/{}/n{}/m{}/seed{}",
+            spec.protocol.name(),
+            spec.network.name(),
+            spec.fault.name(),
+            spec.n,
+            spec.m,
+            spec.seed,
+        )
+    }
+
+    /// JSONL emission of every row's registry snapshot: one line per metric,
+    /// each labeled with the row key. Deterministic for a fixed campaign and
+    /// seed (`docs/OBSERVABILITY.md` documents the schema).
+    pub fn to_telemetry_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&row.telemetry.to_jsonl(&Self::row_label(&row.spec)));
+        }
+        out
+    }
+
+    /// JSONL emission of every row's flight-recorder trace: one line per
+    /// structured event, each labeled with the row key and timestamped in
+    /// virtual nanoseconds.
+    pub fn to_flight_jsonl(&self) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            out.push_str(&rcc_telemetry::dump_jsonl(
+                &row.flight,
+                &Self::row_label(&row.spec),
+            ));
         }
         out
     }

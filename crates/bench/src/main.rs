@@ -49,19 +49,22 @@ struct Args {
     floor: Option<f64>,
     max_retained: Option<u64>,
     pipeline_gate: bool,
+    dump_events: bool,
     quiet: bool,
 }
 
 fn usage() -> String {
     format!(
         "usage: rcc-bench [--preset NAME] [--seed N] [--out DIR] [--floor TPS] \
-         [--max-retained N] [--pipeline-gate] [--quiet]\n\
+         [--max-retained N] [--pipeline-gate] [--dump-events] [--quiet]\n\
          presets: {}\n\
          defaults: --preset smoke --seed {} --out bench-results\n\
          --floor TPS: exit non-zero when any row's tail-window throughput falls below TPS\n\
          --max-retained N: exit non-zero when any row's peak retained log exceeds N entries\n\
          --pipeline-gate: exit non-zero when mac-mode throughput at 8 workers does not \
-         beat the 1-worker row (use with --preset fig7-auth)",
+         beat the 1-worker row (use with --preset fig7-auth)\n\
+         --dump-events: print every row's flight-recorder trace to stderr \
+         (a floor violation dumps the offending row's trace regardless)",
         CAMPAIGN_NAMES.join(", "),
         rcc_common::config::DEFAULT_SEED,
     )
@@ -81,6 +84,7 @@ fn parse_args() -> Result<Cli, String> {
         floor: None,
         max_retained: None,
         pipeline_gate: false,
+        dump_events: false,
         quiet: false,
     };
     let mut iter = std::env::args().skip(1);
@@ -108,6 +112,7 @@ fn parse_args() -> Result<Cli, String> {
                 );
             }
             "--pipeline-gate" => args.pipeline_gate = true,
+            "--dump-events" => args.dump_events = true,
             "--quiet" => args.quiet = true,
             "--help" | "-h" => return Ok(Cli::Help),
             other => return Err(format!("unknown argument: {other}\n{}", usage())),
@@ -170,7 +175,29 @@ fn main() -> ExitCode {
         eprintln!("error: cannot write {}: {e}", md_path.display());
         return ExitCode::FAILURE;
     }
+    let telemetry_path = args.out.join(format!("{}-telemetry.jsonl", results.name));
+    let flight_path = args.out.join(format!("{}-flight.jsonl", results.name));
+    if let Err(e) = std::fs::write(&telemetry_path, results.to_telemetry_jsonl()) {
+        eprintln!("error: cannot write {}: {e}", telemetry_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&flight_path, results.to_flight_jsonl()) {
+        eprintln!("error: cannot write {}: {e}", flight_path.display());
+        return ExitCode::FAILURE;
+    }
     print!("{}", results.to_markdown());
+    if args.dump_events {
+        for row in &results.rows {
+            eprintln!(
+                "--- flight: {} {} fault={} seed={} ---",
+                row.spec.protocol.name(),
+                row.spec.network.name(),
+                row.spec.fault.name(),
+                row.spec.seed,
+            );
+            eprint!("{}", rcc_telemetry::dump_text(&row.flight));
+        }
+    }
     // The floor gate runs *after* the results are on disk and stdout, so a
     // failing run still leaves its CSV/Markdown evidence for debugging.
     if let Some(floor) = args.floor {
@@ -193,6 +220,25 @@ fn main() -> ExitCode {
                     row.tail_tps,
                     row.spec.fault.liveness_floor_factor(),
                 );
+                // Dump the offending row's flight trace — with the violation
+                // stamped onto its tail — so the failure mode (missed
+                // detection? view-change loop? hand-off storm?) is visible in
+                // the CI log without a re-run.
+                let violation = rcc_telemetry::FlightEvent {
+                    at_nanos: row.flight.last().map_or(0, |event| event.at_nanos),
+                    source: 0,
+                    kind: rcc_telemetry::FlightEventKind::FloorViolation {
+                        observed: row.tail_tps as u64,
+                        floor: gate as u64,
+                    },
+                };
+                if args.dump_events {
+                    eprint!("{}", rcc_telemetry::dump_text(&[violation]));
+                } else {
+                    let mut trace = row.flight.clone();
+                    trace.push(violation);
+                    eprint!("{}", rcc_telemetry::dump_text(&trace));
+                }
             }
         }
         if failed {
@@ -212,6 +258,12 @@ fn main() -> ExitCode {
                     row.spec.fault.name(),
                     row.peak_retained_log,
                 );
+                // Same rationale as the floor gate: the flight trace shows
+                // whether checkpoints stabilized at all (and how far apart)
+                // without a re-run.
+                if !args.dump_events {
+                    eprint!("{}", rcc_telemetry::dump_text(&row.flight));
+                }
             }
         }
         if failed {

@@ -44,6 +44,14 @@ const PANIC_FREE_FILES: [&str; 4] = [
     "crates/workload/src/session.rs",
 ];
 
+/// The telemetry crate's clock seam — the one file in `crates/telemetry`
+/// allowed to touch `std::time`. Everything else in that crate is
+/// instrumentation shared with the deterministic layers, so it carries the
+/// deterministic scope; the whole crate rides the deployment path (metrics
+/// are recorded inside the node pipeline and the client edge), so it is
+/// panic-free throughout.
+const TELEMETRY_CLOCK_SEAM: &str = "crates/telemetry/src/clock.rs";
+
 /// The result of one whole-workspace analysis pass.
 pub struct Analysis {
     /// Every finding, sorted by file and line. Includes the wire symmetry
@@ -176,8 +184,11 @@ pub fn scope_for(rel: &Path) -> FileScope {
     }
     let dir = crate_dir(rel);
     FileScope {
-        deterministic: dir.is_some_and(|d| DETERMINISTIC_CRATES.contains(&d)),
-        panic_free: dir == Some("network") || PANIC_FREE_FILES.contains(&rel_str.as_str()),
+        deterministic: dir.is_some_and(|d| DETERMINISTIC_CRATES.contains(&d))
+            || (dir == Some("telemetry") && rel_str != TELEMETRY_CLOCK_SEAM),
+        panic_free: dir == Some("network")
+            || dir == Some("telemetry")
+            || PANIC_FREE_FILES.contains(&rel_str.as_str()),
         channel_discipline: true,
         crate_root: rel_str == "src/lib.rs"
             || dir.is_some_and(|d| rel_str == format!("crates/{d}/src/lib.rs")),
@@ -228,6 +239,54 @@ mod tests {
 
         let facade = scope_for(Path::new("src/lib.rs"));
         assert!(facade.crate_root && facade.channel_discipline);
+
+        // The telemetry crate: panic-free throughout, deterministic
+        // everywhere except the clock seam (the one sanctioned
+        // `std::time` site).
+        let telemetry = scope_for(Path::new("crates/telemetry/src/lib.rs"));
+        assert!(telemetry.deterministic && telemetry.panic_free && telemetry.crate_root);
+        let flight = scope_for(Path::new("crates/telemetry/src/flight.rs"));
+        assert!(flight.deterministic && flight.panic_free);
+        let seam = scope_for(Path::new("crates/telemetry/src/clock.rs"));
+        assert!(!seam.deterministic && seam.panic_free);
+    }
+
+    /// Fixture: a panic-family call in telemetry scope is a finding —
+    /// recording a metric must never be able to crash the layer being
+    /// measured.
+    #[test]
+    fn telemetry_scope_flags_panics() {
+        let rel = Path::new("crates/telemetry/src/flight.rs");
+        let lexed =
+            crate::lexer::lex("fn f(m: &std::sync::Mutex<u8>) -> u8 { *m.lock().unwrap() }");
+        let diagnostics = check_file(rel, &lexed, &scope_for(rel));
+        assert!(
+            diagnostics.iter().any(|d| d.rule == crate::Rule::Panic),
+            "unwrap in telemetry scope must be flagged: {diagnostics:?}"
+        );
+    }
+
+    /// Fixture: a wall-clock read outside the clock seam is a finding; the
+    /// identical source *inside* `clock.rs` is clean. This is the gate that
+    /// keeps sim-side instrumentation bit-deterministic.
+    #[test]
+    fn telemetry_wall_clock_gate_exempts_only_the_clock_seam() {
+        let source = "fn now() -> std::time::Instant { Instant::now() }";
+        let lexed = crate::lexer::lex(source);
+
+        let outside = Path::new("crates/telemetry/src/lib.rs");
+        let diagnostics = check_file(outside, &lexed, &scope_for(outside));
+        assert!(
+            diagnostics.iter().any(|d| d.rule == crate::Rule::WallClock),
+            "Instant outside the clock seam must be flagged: {diagnostics:?}"
+        );
+
+        let seam = Path::new("crates/telemetry/src/clock.rs");
+        let diagnostics = check_file(seam, &lexed, &scope_for(seam));
+        assert!(
+            !diagnostics.iter().any(|d| d.rule == crate::Rule::WallClock),
+            "the clock seam is the sanctioned std::time site: {diagnostics:?}"
+        );
     }
 
     #[test]

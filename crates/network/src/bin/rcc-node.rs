@@ -7,6 +7,8 @@
 //!                  [--execution-workers W]
 //!                  [--io-threads T] [--max-clients L] [--fleet-sessions F]
 //!                  [--min-completed Q] [--stats-out FILE]
+//!                  [--telemetry-interval MS] [--telemetry-out FILE]
+//!                  [--dump-events]
 //!                  [--kill R --kill-after-ms K --down-for-ms T]
 //!                  [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]
 //!     Launch an N-replica localhost cluster (TCP by default) with C
@@ -29,10 +31,21 @@
 //!     the ≥ 1,000-concurrent-connection edge smoke. `--min-completed Q`
 //!     fails the run when fewer than Q batches completed their reply
 //!     quorum (the CI throughput floor); `--stats-out FILE` writes the
-//!     per-replica transport counters (dropped frames, rejected
-//!     connections, peak clients) as CSV for artifact archiving.
+//!     per-replica transport counters and per-session completion/latency
+//!     statistics as CSV for artifact archiving (schema in
+//!     `docs/EVALUATION.md`).
+//!
+//!     Telemetry: `--telemetry-interval MS` prints each node's live metric
+//!     table to stderr every MS milliseconds and the final per-replica
+//!     tables at run end; `--telemetry-out FILE` writes every replica's
+//!     (and the fleet's) final snapshot plus flight trace as JSONL;
+//!     `--dump-events` dumps the flight traces (σ-lag suspicions, view
+//!     changes, admission rejections, reconnects) to stderr. A divergence
+//!     or a missed `--min-completed` floor dumps the traces even without
+//!     `--dump-events` — that is what the flight recorder is for.
 //!
 //! rcc-node replica --config FILE [--duration-ms D]
+//!                  [--telemetry-interval MS] [--dump-events]
 //!     Run one replica of a multi-process deployment described by a
 //!     TOML-ish file (see `rcc_network::config`). Runs until the duration
 //!     elapses, or forever when none is given.
@@ -74,10 +87,11 @@ const USAGE: &str = "usage:\n  rcc-node cluster [--replicas N] [--instances M] [
 [--batch-size B] [--crypto none|mac|pk] [--seed S] [--duration-ms D] [--window W] \
 [--in-process] [--execution-workers W] [--io-threads T] [--max-clients L] \
 [--fleet-sessions F] [--min-completed Q] [--stats-out FILE] \
+[--telemetry-interval MS] [--telemetry-out FILE] [--dump-events] \
 [--kill R --kill-after-ms K --down-for-ms T] \
 [--chaos wire-mangle|kill-coordinator [--mangle-ppm P]]\n  rcc-node replica --config FILE \
-[--duration-ms D]\n  rcc-node client --config FILE --stream S [--instance I] [--window W] \
---duration-ms D\n";
+[--duration-ms D] [--telemetry-interval MS] [--dump-events]\n  rcc-node client --config FILE \
+--stream S [--instance I] [--window W] --duration-ms D\n";
 
 /// A trivial `--flag value` scanner (no flag takes zero values except
 /// `--in-process`).
@@ -205,10 +219,16 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         run_for,
         restart,
         mangle,
+        telemetry_interval: {
+            let ms = flags.int("--telemetry-interval", 0)?;
+            (ms > 0).then(|| Duration::from_millis(ms))
+        },
     };
     plan.system.validate().map_err(|e| e.to_string())?;
     let min_completed = flags.int("--min-completed", 0)?;
     let stats_out = flags.get("--stats-out").map(str::to_string);
+    let telemetry_out = flags.get("--telemetry-out").map(str::to_string);
+    let dump_events = flags.has("--dump-events");
 
     eprintln!(
         "rcc-node cluster: n = {}, m = {}, {} clients, {:?}, {} ms{}",
@@ -287,13 +307,17 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = stats_out {
+        // Schema documented in docs/EVALUATION.md: replica rows carry the
+        // transport counters, session rows the per-session completion and
+        // latency statistics; fields foreign to a row kind stay empty.
         let mut csv = String::from(
-            "replica,executed_batches,replies_sent,dropped_frames,\
-             rejected_connections,peak_clients\n",
+            "kind,id,executed_batches,replies_sent,dropped_frames,\
+             rejected_connections,peak_clients,submitted,completed,abandoned,\
+             p50_latency_ms,p99_latency_ms\n",
         );
         for report in &outcome.reports {
             csv.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "replica,{},{},{},{},{},{},,,,,\n",
                 report.replica.0,
                 report.executed_batches,
                 report.replies_sent,
@@ -302,15 +326,127 @@ fn cmd_cluster(args: &[String]) -> Result<(), String> {
                 report.transport.peak_clients,
             ));
         }
+        for client in &outcome.clients {
+            csv.push_str(&format!(
+                "session,{},,,,,,{},{},{},{},{}\n",
+                client.stream,
+                client.submitted,
+                client.completed,
+                client.abandoned,
+                client.p50_latency_ms,
+                client.p99_latency_ms,
+            ));
+        }
         std::fs::write(&path, csv).map_err(|e| format!("cannot write {path}: {e}"))?;
-        eprintln!("rcc-node cluster: transport counters written to {path}");
+        eprintln!("rcc-node cluster: transport + session statistics written to {path}");
     }
-    verify_identical_orders(&outcome.reports)?;
-    verify_identical_ledgers(&outcome.reports)?;
+    if plan.telemetry_interval.is_some() || telemetry_out.is_some() {
+        for report in &outcome.reports {
+            println!(
+                "telemetry — {} (final):\n{}",
+                report.replica,
+                report.telemetry.to_table()
+            );
+        }
+        if !outcome.fleet_telemetry.is_empty() {
+            println!(
+                "telemetry — fleet (final):\n{}",
+                outcome.fleet_telemetry.to_table()
+            );
+        }
+    }
+    if let Some(path) = &telemetry_out {
+        let mut body = String::new();
+        for report in &outcome.reports {
+            let label = format!("replica{}", report.replica.0);
+            body.push_str(&report.telemetry.to_jsonl(&label));
+            body.push_str(&rcc_telemetry::dump_jsonl(&report.flight, &label));
+        }
+        if !outcome.fleet_telemetry.is_empty() {
+            body.push_str(&outcome.fleet_telemetry.to_jsonl("fleet"));
+            body.push_str(&rcc_telemetry::dump_jsonl(&outcome.fleet_flight, "fleet"));
+        }
+        std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("rcc-node cluster: telemetry snapshots + flight traces written to {path}");
+    }
+    let dump_flight = |reason: &str| {
+        eprintln!("--- flight dump ({reason}) ---");
+        for report in &outcome.reports {
+            let text = rcc_telemetry::dump_text(&report.flight);
+            if !text.is_empty() {
+                eprintln!("{} flight:\n{text}", report.replica);
+            }
+        }
+        if !outcome.fleet_flight.is_empty() {
+            eprintln!(
+                "fleet flight:\n{}",
+                rcc_telemetry::dump_text(&outcome.fleet_flight)
+            );
+        }
+    };
+    // A failed gate stamps a synthetic flight event describing the violation
+    // (timestamped at the end of the recorded traces), so the dump shows what
+    // tripped alongside the sequence that led there.
+    let gate_stamp = outcome
+        .reports
+        .iter()
+        .filter_map(|report| report.flight.last())
+        .map(|event| event.at_nanos)
+        .max()
+        .unwrap_or(0);
+    let dump_gate = |kind: rcc_telemetry::FlightEventKind| {
+        eprint!(
+            "gate:\n{}",
+            rcc_telemetry::dump_text(&[rcc_telemetry::FlightEvent {
+                at_nanos: gate_stamp,
+                source: 0,
+                kind,
+            }])
+        );
+    };
+    if dump_events {
+        dump_flight("--dump-events");
+    }
+    if let Err(e) = verify_identical_orders(&outcome.reports)
+        .and_then(|_| verify_identical_ledgers(&outcome.reports))
+    {
+        if !dump_events {
+            dump_flight("divergence");
+        }
+        // Pin the diverging replica structurally (the first whose pairwise
+        // check against replica 0 fails) rather than parsing the message.
+        let suspect = outcome
+            .reports
+            .iter()
+            .skip(1)
+            .find(|report| {
+                let pair = vec![outcome.reports[0].clone(), (*report).clone()];
+                verify_identical_orders(&pair)
+                    .and_then(|_| verify_identical_ledgers(&pair))
+                    .is_err()
+            })
+            .map_or(0, |report| report.replica.0);
+        dump_gate(rcc_telemetry::FlightEventKind::Divergence { replica: suspect });
+        return Err(e);
+    }
     if outcome.completed_batches() == 0 {
+        if !dump_events {
+            dump_flight("no completed batches");
+        }
+        dump_gate(rcc_telemetry::FlightEventKind::FloorViolation {
+            observed: 0,
+            floor: min_completed.max(1),
+        });
         return Err("no client batch completed its reply quorum".into());
     }
     if outcome.completed_batches() < min_completed {
+        if !dump_events {
+            dump_flight("throughput floor missed");
+        }
+        dump_gate(rcc_telemetry::FlightEventKind::FloorViolation {
+            observed: outcome.completed_batches(),
+            floor: min_completed,
+        });
         return Err(format!(
             "throughput floor missed: {} batches completed < --min-completed {}",
             outcome.completed_batches(),
@@ -389,15 +525,32 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
         transport,
     )
     .map_err(|e| e.to_string())?;
-    match flags.get("--duration-ms") {
-        Some(_) => {
-            let wait = Duration::from_millis(flags.int("--duration-ms", 0)?);
-            std::thread::sleep(wait);
+    let deadline = match flags.get("--duration-ms") {
+        Some(_) => Some(Instant::now() + Duration::from_millis(flags.int("--duration-ms", 0)?)),
+        None => None, // run until killed
+    };
+    let interval = {
+        let ms = flags.int("--telemetry-interval", 0)?;
+        (ms > 0).then(|| Duration::from_millis(ms))
+    };
+    loop {
+        let now = Instant::now();
+        if let Some(deadline) = deadline {
+            if now >= deadline {
+                break;
+            }
         }
-        None => loop {
-            // Run until killed.
-            std::thread::sleep(Duration::from_secs(3600));
-        },
+        let mut chunk = interval.unwrap_or(Duration::from_secs(3600));
+        if let Some(deadline) = deadline {
+            chunk = chunk.min(deadline - now);
+        }
+        std::thread::sleep(chunk);
+        if interval.is_some() {
+            eprintln!(
+                "telemetry — replica {replica}:\n{}",
+                handle.telemetry().snapshot().to_table()
+            );
+        }
     }
     let report = handle.shutdown().map_err(|e| e.to_string())?;
     println!(
@@ -410,6 +563,12 @@ fn cmd_replica(args: &[String]) -> Result<(), String> {
         report.transport.rejected_connections,
         report.transport.peak_clients,
     );
+    if flags.has("--dump-events") {
+        let text = rcc_telemetry::dump_text(&report.flight);
+        if !text.is_empty() {
+            eprintln!("{} flight:\n{text}", report.replica);
+        }
+    }
     Ok(())
 }
 

@@ -13,15 +13,17 @@
 //! service).
 
 use crate::event_loop::EdgeConfig;
-use crate::fleet::{run_fleet, FleetPlan};
+use crate::fleet::{run_fleet_observed, FleetPlan};
 use crate::frame::Frame;
 use crate::mangle::{MangleConfig, MangledTransport};
 use crate::node::{spawn_node, NodeConfig, NodeHandle, NodeReport};
 use crate::tcp::{TcpClientChannel, TcpTransport};
+use crate::telemetry::{EdgeTelemetry, NodeTelemetry};
 use crate::transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport};
 use rcc_common::codec::Encode;
 use rcc_common::{ClientId, CryptoMode, Digest, InstanceId, ReplicaId, SystemConfig};
 use rcc_crypto::{AuthTag, ClientKeys, DeploymentKeys};
+use rcc_telemetry::{FlightEvent, Snapshot};
 use rcc_workload::{DriverSession, SessionConfig};
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
@@ -84,6 +86,13 @@ pub struct ClusterPlan {
     /// ≥ 1,000-connection edge smoke is generated without a thousand
     /// driver threads.
     pub fleet_sessions: usize,
+    /// Periodic telemetry emission (`--telemetry-interval` on the CLI):
+    /// every interval until the run ends, each node's live metric table is
+    /// printed to stderr. `None` disables the emitter. A node restarted
+    /// mid-run re-enters the final report with a merged snapshot, but the
+    /// live emitter keeps following the first incarnation's (now idle)
+    /// registry — the emitter is a progress view, not the record.
+    pub telemetry_interval: Option<Duration>,
 }
 
 impl ClusterPlan {
@@ -102,6 +111,7 @@ impl ClusterPlan {
             io_threads: crate::event_loop::DEFAULT_IO_THREADS,
             max_clients: crate::event_loop::DEFAULT_MAX_CLIENTS,
             fleet_sessions: 0,
+            telemetry_interval: None,
         }
     }
 
@@ -154,16 +164,32 @@ pub struct ClientOutcome {
     pub completed: u64,
     /// Batches abandoned (reply timeout or explicit reject).
     pub abandoned: u64,
+    /// Median submit-to-quorum latency over completed batches (ms).
+    pub p50_latency_ms: u64,
+    /// 99th-percentile submit-to-quorum latency (ms); the slowest observed
+    /// batch when fewer than 100 completed.
+    pub p99_latency_ms: u64,
 }
 
 /// Outcome of a whole cluster run.
 #[derive(Clone, Debug)]
 pub struct ClusterOutcome {
-    /// Final report of every replica (the restarted node reports its
-    /// post-rejoin state).
+    /// Final report of every replica. A restarted node reports its
+    /// post-rejoin consensus state, but its *observability* fields —
+    /// [`crate::transport::TransportStats`], the metric snapshot, and the
+    /// flight trace — cover both incarnations (see [`TransportStats::merged`]
+    /// semantics: counts accumulate, `peak_clients` is a max-merge).
+    ///
+    /// [`TransportStats::merged`]: crate::transport::TransportStats::merged
     pub reports: Vec<NodeReport>,
     /// Per-client statistics.
     pub clients: Vec<ClientOutcome>,
+    /// Metric snapshot of the fan-out fleet driver (empty when the plan ran
+    /// no fleet sessions): driver-side sweep latency under the
+    /// `edge.sweep_us` catalog name.
+    pub fleet_telemetry: Snapshot,
+    /// The fleet driver's flight trace (link reconnects), oldest first.
+    pub fleet_flight: Vec<FlightEvent>,
 }
 
 impl ClusterOutcome {
@@ -225,7 +251,7 @@ pub fn run_client(
                 }) if replica.index() < system.n
                     && verify_reply(keys, system.crypto, replica, &digest, &tag) =>
                 {
-                    let _ = session.on_reply(replica, digest);
+                    let _ = session.on_reply(at, replica, digest);
                 }
                 Ok(Frame::ClientAccept { digest, .. }) => session.on_accept(digest),
                 Ok(Frame::ClientReject { replica, digest }) => {
@@ -245,6 +271,8 @@ pub fn run_client(
         submitted: stats.submitted,
         completed: stats.completed,
         abandoned: stats.abandoned,
+        p50_latency_ms: stats.p50_latency_ms,
+        p99_latency_ms: stats.p99_latency_ms,
     }
 }
 
@@ -323,22 +351,31 @@ where
 
 /// Drives the optional kill-and-restart timeline, then waits out the run.
 /// `respawn` builds a fresh transport for the restarted replica.
+///
+/// Returns the killed node's final report, if the plan killed one. The
+/// crash loses *consensus* state by design — the replacement starts empty
+/// and catches up — but the first incarnation's delivery-boundary counters
+/// and telemetry describe load the cluster really absorbed, so [`finish`]
+/// folds them into the replacement's report instead of under-counting the
+/// run. (Discarding this report was the bug that made `peak_clients`
+/// report only the post-restart high-water mark.)
 fn run_timeline<R>(
     plan: &ClusterPlan,
     started: Instant,
     nodes: &mut [Option<NodeHandle>],
     mut respawn: R,
-) where
+) -> Option<NodeReport>
+where
     R: FnMut(ReplicaId) -> Box<dyn Transport>,
 {
     let deadline = started + plan.run_for;
+    let mut killed = None;
     if let Some(restart) = plan.restart {
         let kill_at = started + restart.kill_after;
         sleep_until(kill_at.min(deadline));
         let index = restart.replica.index();
         if let Some(handle) = nodes[index].take() {
-            // The killed node's report is discarded: a crash loses state.
-            let _ = handle.shutdown();
+            killed = handle.shutdown().ok();
         }
         sleep_until((kill_at + restart.down_for).min(deadline));
         let transport = respawn(restart.replica);
@@ -356,6 +393,7 @@ fn run_timeline<R>(
         nodes[index] = Some(node);
     }
     sleep_until(deadline);
+    killed
 }
 
 fn sleep_until(at: Instant) {
@@ -363,6 +401,51 @@ fn sleep_until(at: Instant) {
     if at > now {
         std::thread::sleep(at - now);
     }
+}
+
+/// Spawns the plan's periodic telemetry emitter, if it asks for one: every
+/// `telemetry_interval` until `deadline`, each node's live metric table
+/// (and the fleet driver's, when one runs) is printed to stderr. The
+/// bundles are cheap clones sharing the live registries, so the emitter
+/// reads what the hot paths record without touching the node threads.
+fn spawn_telemetry_emitter(
+    plan: &ClusterPlan,
+    nodes: &[Option<NodeHandle>],
+    fleet: Option<EdgeTelemetry>,
+    started: Instant,
+    deadline: Instant,
+) -> Option<std::thread::JoinHandle<()>> {
+    let interval = plan.telemetry_interval?;
+    let tracked: Vec<(usize, NodeTelemetry)> = nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(index, node)| node.as_ref().map(|n| (index, n.telemetry().clone())))
+        .collect();
+    std::thread::Builder::new()
+        .name("rcc-telemetry".to_string())
+        .spawn(move || loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep(interval.min(deadline - now));
+            let elapsed = started.elapsed().as_millis();
+            for (index, telemetry) in &tracked {
+                eprintln!(
+                    "telemetry @ {elapsed} ms — replica {index}:\n{}",
+                    telemetry.snapshot().to_table()
+                );
+            }
+            if let Some(fleet) = &fleet {
+                eprintln!(
+                    "telemetry @ {elapsed} ms — fleet:\n{}",
+                    fleet.snapshot().to_table()
+                );
+            }
+        })
+        // An emitter the host cannot spawn only costs the progress view;
+        // the run itself proceeds and still reports final snapshots.
+        .ok()
 }
 
 /// Newtype making `Box<dyn Transport>` itself a [`Transport`], so nodes can
@@ -419,12 +502,16 @@ fn run_in_process(plan: &ClusterPlan) -> ClusterOutcome {
     let clients = client_threads(plan, deadline, move |id| {
         Box::new(hub_for_clients.client(id))
     });
+    let emitter = spawn_telemetry_emitter(plan, &nodes, None, started, deadline);
     let hub_for_restart = hub.clone();
     let mangle = plan.mangle;
-    run_timeline(plan, started, &mut nodes, move |replica| {
+    let killed = run_timeline(plan, started, &mut nodes, move |replica| {
         maybe_mangled(hub_for_restart.transport(replica), mangle, replica)
     });
-    finish(nodes, clients)
+    if let Some(thread) = emitter {
+        let _ = thread.join();
+    }
+    finish(nodes, clients, killed)
 }
 
 fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
@@ -491,6 +578,7 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
     // The multiplexed fan-out fleet (if any) drives its sessions from a
     // handful of sweep threads — this is where the ≥ 1,000-connection
     // load against the readiness edge comes from.
+    let fleet_telemetry = EdgeTelemetry::new();
     let fleet = (plan.fleet_sessions > 0).then(|| {
         let mut fleet_plan = FleetPlan::new(
             plan.system.clone(),
@@ -502,14 +590,22 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
         // Offset fleet streams past the thread-per-client drivers so
         // stream ids (and thus reply routes) never collide.
         fleet_plan.first_stream = plan.clients as u64;
+        let telemetry = fleet_telemetry.clone();
         std::thread::Builder::new()
             .name("rcc-fleet".to_string())
-            .spawn(move || run_fleet(&fleet_plan))
+            .spawn(move || run_fleet_observed(&fleet_plan, &telemetry))
             // rcc-lint: allow(panic) — orchestration harness: a fleet the
             // host cannot spawn ends the scenario.
             .expect("spawn fleet driver")
     });
-    run_timeline(plan, started, &mut nodes, move |replica| {
+    let emitter = spawn_telemetry_emitter(
+        plan,
+        &nodes,
+        (plan.fleet_sessions > 0).then(|| fleet_telemetry.clone()),
+        started,
+        deadline,
+    );
+    let killed = run_timeline(plan, started, &mut nodes, move |replica| {
         // Re-bind the replica's fixed address. Closing leaves connections
         // in TIME_WAIT briefly, so retry with backoff.
         let addr = addrs[replica.index()];
@@ -541,7 +637,10 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
             replica,
         )
     });
-    let mut outcome = finish(nodes, clients);
+    if let Some(thread) = emitter {
+        let _ = thread.join();
+    }
+    let mut outcome = finish(nodes, clients, killed);
     if let Some(thread) = fleet {
         let stats = thread
             .join()
@@ -555,7 +654,11 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
                 submitted: s.submitted,
                 completed: s.completed,
                 abandoned: s.abandoned,
+                p50_latency_ms: s.p50_latency_ms,
+                p99_latency_ms: s.p99_latency_ms,
             }));
+        outcome.fleet_telemetry = fleet_telemetry.snapshot();
+        outcome.fleet_flight = fleet_telemetry.flight_events();
     }
     outcome
 }
@@ -563,6 +666,7 @@ fn run_tcp(plan: &ClusterPlan) -> ClusterOutcome {
 fn finish(
     nodes: Vec<Option<NodeHandle>>,
     clients: Vec<std::thread::JoinHandle<ClientOutcome>>,
+    killed: Option<NodeReport>,
 ) -> ClusterOutcome {
     let client_outcomes: Vec<ClientOutcome> = clients
         .into_iter()
@@ -570,7 +674,7 @@ fn finish(
         // client driver's panic instead of reporting a partial outcome.
         .map(|thread| thread.join().expect("client thread panicked"))
         .collect();
-    let reports: Vec<NodeReport> = nodes
+    let mut reports: Vec<NodeReport> = nodes
         .into_iter()
         .map(|handle| {
             // rcc-lint: allow(panic) — orchestration harness: every node is
@@ -582,8 +686,28 @@ fn finish(
             node.shutdown().expect("node thread panicked")
         })
         .collect();
+    // Fold the killed incarnation's observability into its replacement's
+    // report: delivery counters accumulate and peaks max-merge
+    // (`TransportStats::merged`), metric snapshots merge name-wise, and the
+    // pre-kill flight trace precedes the replacement's. Consensus state
+    // (digests, ledger, fingerprints) stays the replacement's alone — the
+    // crash really did lose it.
+    if let Some(killed) = killed {
+        if let Some(report) = reports
+            .iter_mut()
+            .find(|report| report.replica == killed.replica)
+        {
+            report.transport = killed.transport.merged(report.transport);
+            report.telemetry = killed.telemetry.merged(&report.telemetry);
+            let mut flight = killed.flight;
+            flight.append(&mut report.flight);
+            report.flight = flight;
+        }
+    }
     ClusterOutcome {
         reports,
         clients: client_outcomes,
+        fleet_telemetry: Snapshot::default(),
+        fleet_flight: Vec::new(),
     }
 }

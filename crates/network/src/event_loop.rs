@@ -61,8 +61,10 @@
 //! surfaced through [`crate::transport::TransportStats`].
 
 use crate::frame::{Frame, PeerKind, MAX_FRAME_BYTES};
+use crate::telemetry::EdgeTelemetry;
 use crate::transport::TransportStats;
 use rcc_common::{ClientId, Digest, ReplicaId};
+use rcc_telemetry::FlightEventKind;
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -251,6 +253,12 @@ impl NbConn {
         self.woffset >= self.wpending.len() && self.wqueue.is_empty()
     }
 
+    /// Frames currently waiting in the outbound queue (the edge telemetry's
+    /// per-connection occupancy gauge reads this during sweeps).
+    pub fn queued_frames(&self) -> usize {
+        self.wqueue.len()
+    }
+
     /// Reads whatever the socket has ready, up to `budget` bytes (the
     /// fairness bound keeping one firehose connection from starving its
     /// sweep siblings). Returns the bytes consumed; EOF or error marks
@@ -376,6 +384,7 @@ pub struct ClientEdge {
     active: Arc<AtomicUsize>,
     next: Arc<AtomicUsize>,
     threads: Vec<JoinHandle<()>>,
+    telemetry: EdgeTelemetry,
 }
 
 /// The acceptor's cheap cloneable view of a [`ClientEdge`]: registration
@@ -421,6 +430,9 @@ impl ClientEdge {
         let routes: Routes = Arc::new(Mutex::new(BTreeMap::new()));
         let stats = Arc::new(EdgeStats::default());
         let active = Arc::new(AtomicUsize::new(0));
+        // One bundle for the whole edge: clones share the registry and the
+        // flight ring, so all sweep threads record into the same cells.
+        let telemetry = EdgeTelemetry::new();
         let mut mailboxes = Vec::new();
         let mut threads = Vec::new();
         for index in 0..config.io_threads.max(1) {
@@ -435,6 +447,7 @@ impl ClientEdge {
                 active: Arc::clone(&active),
                 shutdown: Arc::clone(&shutdown),
                 on_replica: Arc::clone(&on_replica),
+                telemetry: telemetry.clone(),
             };
             let thread = std::thread::Builder::new()
                 .name(format!("rcc-edge-{}-{index}", me.0))
@@ -450,7 +463,16 @@ impl ClientEdge {
             active,
             next: Arc::new(AtomicUsize::new(0)),
             threads,
+            telemetry,
         })
+    }
+
+    /// The edge's telemetry bundle: sweep-latency histogram, per-connection
+    /// queue-occupancy gauge, and the admission flight recorder. Clones
+    /// share the underlying registry, so snapshots here observe the sweep
+    /// threads live.
+    pub fn telemetry(&self) -> &EdgeTelemetry {
+        &self.telemetry
     }
 
     /// A cloneable registration-only handle for the accept loop.
@@ -531,6 +553,7 @@ struct IoThread {
     active: Arc<AtomicUsize>,
     shutdown: Arc<AtomicBool>,
     on_replica: ReplicaHandoff,
+    telemetry: EdgeTelemetry,
 }
 
 impl IoThread {
@@ -633,7 +656,17 @@ impl IoThread {
         let mut progressed = false;
         let mut closed: Vec<u64> = Vec::new();
         let mut handoffs: Vec<u64> = Vec::new();
+        // Empty sweeps are not timed: an idle thread spinning over zero
+        // connections would drown the latency histogram's zero bucket.
+        let sweep_start = if conns.is_empty() {
+            None
+        } else {
+            Some(self.telemetry.now_nanos())
+        };
         for (&id, entry) in conns.iter_mut() {
+            self.telemetry
+                .conn_queue_peak
+                .set_max(entry.conn.queued_frames() as u64);
             progressed |= entry.conn.flush();
             if entry.conn.is_dead() || (entry.doomed && entry.conn.write_idle()) {
                 closed.push(id);
@@ -680,6 +713,11 @@ impl IoThread {
             if let Some(entry) = conns.remove(&id) {
                 self.retire(id, entry);
             }
+        }
+        if let Some(start) = sweep_start {
+            self.telemetry
+                .sweep_us
+                .record(self.telemetry.now_nanos().saturating_sub(start) / 1_000);
         }
         progressed
     }
@@ -773,6 +811,12 @@ impl IoThread {
     /// closes once the reject flushes.
     fn reject(&self, entry: &mut EdgeConn) {
         self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.event(
+            self.me.0,
+            FlightEventKind::AdmissionReject {
+                connections: self.active.load(Ordering::Relaxed) as u64,
+            },
+        );
         let reject = Frame::ClientReject {
             replica: self.me,
             digest: Digest::ZERO,

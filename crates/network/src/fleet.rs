@@ -21,9 +21,11 @@
 use crate::cluster::verify_reply;
 use crate::event_loop::{NbConn, DEFAULT_CONN_QUEUE};
 use crate::frame::{Frame, PeerKind};
+use crate::telemetry::EdgeTelemetry;
 use rcc_common::codec::Encode;
 use rcc_common::{ClientId, CryptoMode, Digest, InstanceId, ReplicaId, SystemConfig};
 use rcc_crypto::{AuthTag, ClientKeys, DeploymentKeys};
+use rcc_telemetry::FlightEventKind;
 use rcc_workload::{DriverSession, SessionConfig, SessionStats};
 use std::net::{SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -107,6 +109,10 @@ struct Link {
     conn: Option<NbConn>,
     next_dial_ms: u64,
     backoff_ms: u64,
+    /// Whether this link has ever carried a live connection — a successful
+    /// dial on a link that has is a *re*connect, which the fleet's flight
+    /// recorder logs as [`FlightEventKind::Reconnect`].
+    ever_connected: bool,
 }
 
 impl Link {
@@ -115,6 +121,7 @@ impl Link {
             conn: None,
             next_dial_ms: 0,
             backoff_ms: DIAL_BACKOFF_FLOOR_MS,
+            ever_connected: false,
         }
     }
 
@@ -142,6 +149,19 @@ struct FleetSession {
 /// that silently lost part of its fleet would report a throughput floor
 /// that nobody actually measured.
 pub fn run_fleet(plan: &FleetPlan) -> Vec<SessionStats> {
+    run_fleet_observed(plan, &EdgeTelemetry::new())
+}
+
+/// [`run_fleet`] with an external telemetry bundle: every driver thread
+/// records its sweep latency into `telemetry`'s registry and logs link
+/// reconnects (`FlightEventKind::Reconnect`, `source` = driver thread,
+/// `peer` = replica) into its flight recorder. The caller keeps the handle
+/// and scrapes/dumps after (or during) the run.
+///
+/// # Panics
+///
+/// Same harness semantics as [`run_fleet`].
+pub fn run_fleet_observed(plan: &FleetPlan, telemetry: &EdgeTelemetry) -> Vec<SessionStats> {
     let keys = DeploymentKeys::generate(&plan.system);
     let chunk = plan.sessions_per_thread.max(1);
     let started = Instant::now();
@@ -171,9 +191,20 @@ pub fn run_fleet(plan: &FleetPlan) -> Vec<SessionStats> {
                 .collect();
             let system = plan.system.clone();
             let addrs = plan.replica_addrs.clone();
+            let telemetry = telemetry.clone();
             std::thread::Builder::new()
                 .name(format!("rcc-fleet-{index}"))
-                .spawn(move || drive_chunk(system, addrs, sessions, started, deadline))
+                .spawn(move || {
+                    drive_chunk(
+                        system,
+                        addrs,
+                        sessions,
+                        started,
+                        deadline,
+                        index as u32,
+                        telemetry,
+                    )
+                })
                 // rcc-lint: allow(panic) — load-generation harness: a host
                 // that cannot spawn the driver threads cannot run the
                 // scenario.
@@ -197,15 +228,31 @@ fn drive_chunk(
     mut sessions: Vec<FleetSession>,
     started: Instant,
     deadline: Instant,
+    thread_index: u32,
+    telemetry: EdgeTelemetry,
 ) -> Vec<SessionStats> {
     while Instant::now() < deadline {
         let now_ms = started.elapsed().as_millis() as u64;
+        let sweep_start = telemetry.now_nanos();
         let mut progressed = false;
         let mut dials = 0usize;
         for entry in &mut sessions {
-            progressed |= sweep_session(&system, &addrs, entry, now_ms, &mut dials);
+            progressed |= sweep_session(
+                &system,
+                &addrs,
+                entry,
+                now_ms,
+                &mut dials,
+                thread_index,
+                &telemetry,
+            );
         }
-        if !progressed {
+        if progressed {
+            // Idle passes park below instead of polluting the low buckets.
+            telemetry
+                .sweep_us
+                .record(telemetry.now_nanos().saturating_sub(sweep_start) / 1_000);
+        } else {
             std::thread::sleep(IDLE_PARK);
         }
     }
@@ -219,6 +266,8 @@ fn sweep_session(
     entry: &mut FleetSession,
     now_ms: u64,
     dials: &mut usize,
+    thread_index: u32,
+    telemetry: &EdgeTelemetry,
 ) -> bool {
     let mut progressed = false;
     // Index-based: the body mutates `entry.links[replica]` *and* calls
@@ -234,8 +283,17 @@ fn sweep_session(
             *dials += 1;
             match dial(entry.session.stream(), addrs[replica]) {
                 Ok(conn) => {
+                    if entry.links[replica].ever_connected {
+                        telemetry.event(
+                            thread_index,
+                            FlightEventKind::Reconnect {
+                                peer: replica as u64,
+                            },
+                        );
+                    }
                     entry.links[replica].conn = Some(conn);
                     entry.links[replica].backoff_ms = DIAL_BACKOFF_FLOOR_MS;
+                    entry.links[replica].ever_connected = true;
                     progressed = true;
                 }
                 Err(_) => {
@@ -317,7 +375,7 @@ fn dispatch(
         }) if replica.index() < system.n
             && verify_reply(keys, system.crypto, replica, &digest, &tag) =>
         {
-            let _ = session.on_reply(replica, digest);
+            let _ = session.on_reply(now_ms, replica, digest);
         }
         Ok(Frame::ClientAccept { digest, .. }) => session.on_accept(digest),
         Ok(Frame::ClientReject { replica, digest }) => {

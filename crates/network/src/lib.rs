@@ -43,6 +43,7 @@ pub mod frame;
 pub mod mangle;
 pub mod node;
 pub mod tcp;
+pub mod telemetry;
 pub mod transport;
 
 pub use cluster::{run_local_cluster, ClusterOutcome, ClusterPlan, RestartPlan, TransportKind};
@@ -56,6 +57,7 @@ pub use node::{
     NodeHandle, NodeReport, DEFAULT_EXECUTION_WORKERS,
 };
 pub use tcp::{TcpClientChannel, TcpTransport};
+pub use telemetry::{EdgeTelemetry, NodeTelemetry, EDGE_FLIGHT_CAPACITY, NODE_FLIGHT_CAPACITY};
 pub use transport::{queue_capacity, ClientChannel, InProcessNetwork, Transport, TransportStats};
 
 /// Locks `mutex`, recovering the guard when a previous holder panicked.

@@ -278,6 +278,10 @@ impl<T: Transport> Transport for MangledTransport<T> {
     fn stats(&self) -> crate::transport::TransportStats {
         self.inner.stats()
     }
+
+    fn edge_telemetry(&self) -> Option<crate::telemetry::EdgeTelemetry> {
+        self.inner.edge_telemetry()
+    }
 }
 
 #[cfg(test)]

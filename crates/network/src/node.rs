@@ -40,6 +40,7 @@
 //! client accepts the outcome on `f + 1` matching replies.
 
 use crate::frame::Frame;
+use crate::telemetry::NodeTelemetry;
 use crate::transport::{Transport, TransportStats};
 use rcc_common::codec::{Decode, Encode};
 use rcc_common::{
@@ -50,6 +51,7 @@ use rcc_crypto::{Authenticator, DeploymentKeys, VerifyJob, VerifyPool, VerifySou
 use rcc_execution::ExecutionEngine;
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId};
 use rcc_protocols::pbft::{Pbft, PbftMessage};
+use rcc_telemetry::{FlightEvent, FlightEventKind, Snapshot};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError};
@@ -113,6 +115,15 @@ pub struct NodeReport {
     /// (previously silent), connections rejected at the admission cap, and
     /// the client-connection high-water mark.
     pub transport: TransportStats,
+    /// End-of-run snapshot of the node's metric registry (the
+    /// `node.pipeline.*` catalog in `docs/OBSERVABILITY.md`): per-burst
+    /// stage timings of the drain → verify → dispatch → execute pipeline
+    /// and the drained-burst high-water mark.
+    pub telemetry: Snapshot,
+    /// The node's flight-recorder trace (σ-lag suspicions and completed
+    /// view changes), oldest first, timestamped in wall nanoseconds since
+    /// the node started.
+    pub flight: Vec<FlightEvent>,
 }
 
 /// Why spawning or stopping a node failed.
@@ -147,6 +158,7 @@ impl std::error::Error for NodeError {
 pub struct NodeHandle {
     stop: SyncSender<()>,
     thread: JoinHandle<NodeReport>,
+    telemetry: NodeTelemetry,
 }
 
 impl NodeHandle {
@@ -155,6 +167,14 @@ impl NodeHandle {
     pub fn shutdown(self) -> Result<NodeReport, NodeError> {
         let _ = self.stop.send(());
         self.thread.join().map_err(|_| NodeError::Panicked)
+    }
+
+    /// A live handle onto the running node's telemetry: snapshots taken
+    /// here observe the mailbox thread's recording without stopping it
+    /// (clones share the registry). Used by the periodic snapshot emitter
+    /// in `bin/rcc-node.rs`.
+    pub fn telemetry(&self) -> &NodeTelemetry {
+        &self.telemetry
     }
 }
 
@@ -168,6 +188,10 @@ pub fn spawn_node(
     // The stop channel carries at most one message over its whole life
     // (shutdown consumes the handle), so depth 1 is exactly its traffic.
     let (stop_tx, stop_rx) = std::sync::mpsc::sync_channel(1);
+    // Created outside the thread so the handle can keep a live view of the
+    // registry while the mailbox thread records into it.
+    let telemetry = NodeTelemetry::new();
+    let thread_telemetry = telemetry.clone();
     let thread = std::thread::Builder::new()
         .name(format!("rcc-node-{}", config.replica.0))
         .spawn(move || {
@@ -191,6 +215,7 @@ pub fn spawn_node(
                 decode_failures: 0,
                 suspicions: 0,
                 view_changes: 0,
+                telemetry: thread_telemetry,
             };
             node.run(stop_rx)
         })
@@ -198,6 +223,7 @@ pub fn spawn_node(
     Ok(NodeHandle {
         stop: stop_tx,
         thread,
+        telemetry,
     })
 }
 
@@ -230,6 +256,9 @@ struct Node<T: Transport> {
     decode_failures: u64,
     suspicions: u64,
     view_changes: u64,
+    /// Pipeline stage timings, queue-depth high-water, and the consensus
+    /// flight recorder (shared with the spawn-side [`NodeHandle`]).
+    telemetry: NodeTelemetry,
 }
 
 impl<T: Transport> Node<T> {
@@ -260,6 +289,7 @@ impl<T: Transport> Node<T> {
                 self.execute_released();
                 continue;
             };
+            let drain_start = self.telemetry.now_nanos();
             let mut burst = vec![first];
             for _ in 0..DRAIN_BURST {
                 match self.transport.try_recv() {
@@ -267,6 +297,10 @@ impl<T: Transport> Node<T> {
                     None => break,
                 }
             }
+            self.telemetry.queue_depth.set_max(burst.len() as u64);
+            self.telemetry
+                .drain_us
+                .record(self.telemetry.now_nanos().saturating_sub(drain_start) / 1_000);
             self.process_burst(burst);
             self.execute_released();
         }
@@ -341,16 +375,24 @@ impl<T: Transport> Node<T> {
                 }
             }
         }
+        let verify_start = self.telemetry.now_nanos();
         let verdicts = self.verify.verify_batch(jobs);
         let mut verdict_of: BTreeMap<usize, bool> = BTreeMap::new();
         for (slot, (_, ok)) in job_slots.into_iter().zip(&verdicts) {
             verdict_of.insert(slot, *ok);
         }
+        let dispatch_start = self.telemetry.now_nanos();
+        self.telemetry
+            .verify_us
+            .record(dispatch_start.saturating_sub(verify_start) / 1_000);
         for (slot, frame) in frames.into_iter().enumerate() {
             if let Some(frame) = frame {
                 self.dispatch(frame, verdict_of.get(&slot).copied());
             }
         }
+        self.telemetry
+            .dispatch_us
+            .record(self.telemetry.now_nanos().saturating_sub(dispatch_start) / 1_000);
     }
 
     /// Handles one decoded frame whose authentication verdict (if the frame
@@ -441,8 +483,25 @@ impl<T: Transport> Node<T> {
                     self.timers.remove(&timer);
                 }
                 Action::Commit(slot) => self.reply(slot.digest, &slot.batch),
-                Action::SuspectPrimary { .. } => self.suspicions += 1,
-                Action::ViewChanged { .. } => self.view_changes += 1,
+                Action::SuspectPrimary { primary, .. } => {
+                    self.suspicions += 1;
+                    self.telemetry.event(
+                        self.config.replica.0,
+                        FlightEventKind::SigmaLagDetected {
+                            suspected: primary.0,
+                        },
+                    );
+                }
+                Action::ViewChanged { view, new_primary } => {
+                    self.view_changes += 1;
+                    self.telemetry.event(
+                        self.config.replica.0,
+                        FlightEventKind::ViewChangeCompleted {
+                            view,
+                            new_primary: new_primary.0,
+                        },
+                    );
+                }
             }
         }
     }
@@ -454,6 +513,7 @@ impl<T: Transport> Node<T> {
     /// is exactly what the restart-robust ledger comparison in
     /// [`verify_identical_ledgers`] accounts for.
     fn execute_released(&mut self) {
+        let execute_start = self.telemetry.now_nanos();
         let rounds: Vec<(Round, Vec<(BatchId, Batch)>)> = self
             .replica
             .execution_log()
@@ -470,6 +530,11 @@ impl<T: Transport> Node<T> {
                 )
             })
             .collect();
+        // Idle calls (no newly released rounds) would flood the histogram's
+        // zero bucket and drown the real execution timings.
+        if rounds.is_empty() {
+            return;
+        }
         for (round, ordered) in rounds {
             // Replies to clients travel via the §III-A digest protocol
             // (`Action::Commit` → `reply`); the engine's own reply records
@@ -479,6 +544,9 @@ impl<T: Transport> Node<T> {
                 .execute_round_parallel(round, &ordered, &self.pool);
             self.next_exec_round = round + 1;
         }
+        self.telemetry
+            .execute_us
+            .record(self.telemetry.now_nanos().saturating_sub(execute_start) / 1_000);
     }
 
     fn send(&mut self, to: ReplicaId, message: &RccMessage<PbftMessage>) {
@@ -523,6 +591,19 @@ impl<T: Transport> Node<T> {
     }
 
     fn report(&self) -> NodeReport {
+        // Fold the client edge's telemetry (TCP only) into the node's own:
+        // one snapshot per node covers both the mailbox pipeline and the
+        // readiness edge, and the flight trace interleaves consensus events
+        // with admission rejections by wall timestamp. The two clocks are
+        // anchored within the same spawn call, so the merge order is
+        // faithful to within that setup window.
+        let mut telemetry = self.telemetry.snapshot();
+        let mut flight = self.telemetry.flight_events();
+        if let Some(edge) = self.transport.edge_telemetry() {
+            telemetry = telemetry.merged(&edge.snapshot());
+            flight.extend(edge.flight_events());
+            flight.sort_by_key(|event| event.at_nanos);
+        }
         NodeReport {
             replica: self.config.replica,
             instances: self.config.system.instances,
@@ -545,6 +626,8 @@ impl<T: Transport> Node<T> {
             // Counter snapshots stay readable after `shutdown` joined the
             // I/O threads, so report order does not matter.
             transport: self.transport.stats(),
+            telemetry,
+            flight,
         }
     }
 }
@@ -637,6 +720,8 @@ mod tests {
             suspicions: 0,
             view_changes: 0,
             transport: TransportStats::default(),
+            telemetry: Snapshot::default(),
+            flight: Vec::new(),
         }
     }
 

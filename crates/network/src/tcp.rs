@@ -416,6 +416,10 @@ impl Transport for TcpTransport {
         stats.dropped_frames += self.peer_dropped.load(Ordering::Relaxed);
         stats
     }
+
+    fn edge_telemetry(&self) -> Option<crate::telemetry::EdgeTelemetry> {
+        Some(self.edge.telemetry().clone())
+    }
 }
 
 impl Drop for TcpTransport {

@@ -83,6 +83,14 @@ pub trait Transport: Send {
     fn stats(&self) -> TransportStats {
         TransportStats::default()
     }
+
+    /// The client-edge telemetry bundle, when this transport runs a
+    /// readiness-driven edge (TCP). The owning node folds the edge's sweep
+    /// metrics and admission flight events into its report; transports
+    /// without an edge report `None`.
+    fn edge_telemetry(&self) -> Option<crate::telemetry::EdgeTelemetry> {
+        None
+    }
 }
 
 /// A client's connection bundle: a way to submit frames to each replica and
@@ -321,6 +329,35 @@ mod tests {
             reborn.recv_timeout(Duration::from_millis(100)).as_deref(),
             Some(&b"delivered"[..])
         );
+    }
+
+    #[test]
+    fn transport_stats_merge_sums_counts_and_maxes_peaks() {
+        // Pins the per-field semantics `cluster::run_timeline` relies on
+        // when folding a killed node's report into its replacement's:
+        // monotone counts accumulate across the restart, while
+        // `peak_clients` is a high-water mark — two incarnations that each
+        // peaked at k clients peaked at k, not 2k.
+        let before = TransportStats {
+            dropped_frames: 3,
+            rejected_connections: 5,
+            accepted_connections: 70,
+            peak_clients: 40,
+        };
+        let after = TransportStats {
+            dropped_frames: 10,
+            rejected_connections: 1,
+            accepted_connections: 30,
+            peak_clients: 25,
+        };
+        let merged = before.merged(after);
+        assert_eq!(merged.dropped_frames, 13);
+        assert_eq!(merged.rejected_connections, 6);
+        assert_eq!(merged.accepted_connections, 100);
+        assert_eq!(merged.peak_clients, 40);
+        // Symmetric, and the identity is the all-zero default.
+        assert_eq!(after.merged(before), merged);
+        assert_eq!(before.merged(TransportStats::default()), before);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rcc_network::{
     run_local_cluster, verify_identical_ledgers, verify_identical_orders, ClusterPlan, RestartPlan,
     TransportKind,
 };
+use rcc_telemetry::FlightEventKind;
 use std::time::Duration;
 
 fn plan(transport: TransportKind, run_ms: u64) -> ClusterPlan {
@@ -32,6 +33,7 @@ fn plan(transport: TransportKind, run_ms: u64) -> ClusterPlan {
         io_threads: 2,
         max_clients: 4096,
         fleet_sessions: 0,
+        telemetry_interval: None,
     }
 }
 
@@ -59,6 +61,17 @@ fn assert_healthy(outcome: &rcc_network::ClusterOutcome) {
             "{} executed no ledger blocks — the execution stage never ran",
             report.replica
         );
+        // The staged pipeline's telemetry must have seen real bursts: an
+        // empty verify histogram on a node that released batches means the
+        // instrumentation came unwired (the CI grep gate checks the same
+        // invariant on the smoke artifact).
+        for stage in ["node.pipeline.drain_us", "node.pipeline.verify_us"] {
+            let hist = report
+                .telemetry
+                .histogram(stage)
+                .unwrap_or_else(|| panic!("{} registered no {stage}", report.replica));
+            assert!(hist.count > 0, "{} recorded no {stage}", report.replica);
+        }
     }
 }
 
@@ -107,12 +120,36 @@ fn tcp_cluster_deposes_a_killed_coordinator_and_recovers() {
     });
     let outcome = run_local_cluster(&plan);
     assert_healthy(&outcome);
-    // The surviving replicas must have replaced instance 1's coordinator.
+    // The surviving replicas must have replaced instance 1's coordinator,
+    // and their flight recorders must hold the recovery sequence — the
+    // σ-lag suspicion followed by the completed view change (the ISSUE's
+    // acceptance trace).
     for index in [0usize, 2, 3] {
+        let report = &outcome.reports[index];
         assert!(
-            outcome.reports[index].view_changes > 0,
+            report.view_changes > 0,
             "{} observed no view change",
-            outcome.reports[index].replica
+            report.replica
+        );
+        assert!(
+            report
+                .flight
+                .iter()
+                .any(|e| matches!(e.kind, FlightEventKind::SigmaLagDetected { .. })),
+            "{} flight-recorded no σ-lag suspicion",
+            report.replica
+        );
+        let suspicion = report
+            .flight
+            .iter()
+            .position(|e| matches!(e.kind, FlightEventKind::SigmaLagDetected { .. }))
+            .unwrap();
+        assert!(
+            report.flight[suspicion..]
+                .iter()
+                .any(|e| matches!(e.kind, FlightEventKind::ViewChangeCompleted { .. })),
+            "{} flight-recorded no view change after the suspicion",
+            report.replica
         );
     }
     // Progress resumed after the kill: strictly more rounds than the

@@ -44,6 +44,7 @@ pub mod cpu;
 pub mod fault;
 pub mod network;
 pub mod sim;
+pub mod telemetry;
 
 /// Deterministic randomness for the simulator: a re-export of
 /// [`rcc_common::rng`] (the workload crate shares the generator), kept so
@@ -70,6 +71,7 @@ pub use fault::{FaultEvent, FaultKind, FaultScript};
 pub use network::{LinkParams, NetworkModel};
 pub use rng::SplitMix64;
 pub use sim::{ClientModel, SimConfig, SimReport, Simulation};
+pub use telemetry::{SimTelemetry, SIM_FLIGHT_CAPACITY};
 pub use workload::WorkloadGenerator;
 
 use rcc_common::{Digest, Round};

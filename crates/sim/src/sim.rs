@@ -42,10 +42,12 @@ use crate::cpu::CpuModel;
 use crate::fault::{FaultEvent, FaultKind, FaultScript};
 use crate::network::NetworkModel;
 use crate::rng::SplitMix64;
+use crate::telemetry::SimTelemetry;
 use rcc_common::metrics::{LatencyHistogram, ReplicaCounters, ThroughputMeter};
-use rcc_common::{Digest, Duration, InstanceStatus, ReplicaId, SystemConfig, Time};
+use rcc_common::{Digest, Duration, InstanceStatus, ReplicaId, Round, SystemConfig, Time};
 use rcc_crypto::CryptoCostModel;
 use rcc_protocols::bca::{Action, ByzantineCommitAlgorithm, TimerId, WireMessage};
+use rcc_telemetry::{FlightEvent, FlightEventKind, Snapshot};
 use rcc_workload::{Client, ClientMode, InstanceAssignment, ReplyOutcome};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
@@ -197,6 +199,15 @@ pub struct SimReport {
     pub trace_fingerprint: u64,
     /// The configured virtual horizon.
     pub horizon: Duration,
+    /// End-of-run snapshot of the run's metric registry (the `sim.*`
+    /// catalog in `docs/OBSERVABILITY.md`). All values derive from virtual
+    /// time and seeded randomness, so two same-seed runs produce equal
+    /// snapshots — the determinism test asserts exactly that.
+    pub telemetry: Snapshot,
+    /// The flight recorder's retained structured events (view changes,
+    /// σ-lag detections, checkpoint stabilizations, client hand-offs),
+    /// oldest first, timestamped in virtual nanoseconds.
+    pub flight: Vec<FlightEvent>,
 }
 
 impl SimReport {
@@ -384,6 +395,15 @@ pub struct Simulation<P: ByzantineCommitAlgorithm> {
     /// Virtual time of the event currently being processed; new events are
     /// never scheduled before it.
     now: Time,
+    /// Pre-registered metric handles plus the flight recorder; its virtual
+    /// clock follows `now`.
+    telemetry: SimTelemetry,
+    /// Each replica's last observed stable checkpoint round, for edge-
+    /// detecting `checkpoint-stabilized` flight events.
+    last_stable: Vec<Round>,
+    /// Primaries suspected since the last completed view change; the first
+    /// suspicion of an empty set marks `view-change-entered`.
+    suspected_since_change: BTreeSet<u32>,
 }
 
 impl<P: ByzantineCommitAlgorithm> Simulation<P> {
@@ -478,6 +498,9 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             client_refresh_due: false,
             trace: 0x9E37_79B9_7F4A_7C15,
             now: Time::ZERO,
+            telemetry: SimTelemetry::new(),
+            last_stable: vec![0; n],
+            suspected_since_change: BTreeSet::new(),
             config,
         };
         for index in 0..sim.faults.len() {
@@ -518,6 +541,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             );
             self.note_event(&event);
             self.now = event.at;
+            self.telemetry.clock.advance_to(event.at.as_nanos());
             let touched = match event.kind {
                 EventKind::Deliver {
                     from,
@@ -564,6 +588,17 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             if let Some(node) = touched {
                 let retained = self.nodes[node.index()].bca.retained_log_entries();
                 self.peak_retained_log = self.peak_retained_log.max(retained);
+                self.telemetry.peak_retained_log.set_max(retained);
+                // Edge-detect §III-D checkpoint stabilization on the touched
+                // replica for the flight recorder.
+                let stable = self.nodes[node.index()].bca.stable_round();
+                if stable > self.last_stable[node.index()] {
+                    self.last_stable[node.index()] = stable;
+                    self.telemetry.event(
+                        node.0,
+                        FlightEventKind::CheckpointStabilized { round: stable },
+                    );
+                }
             }
             if self.client_refresh_due {
                 self.client_refresh_due = false;
@@ -589,6 +624,8 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
             peak_retained_log: self.peak_retained_log,
             trace_fingerprint: self.trace,
             horizon: self.config.horizon,
+            telemetry: self.telemetry.snapshot(),
+            flight: self.telemetry.flight_events(),
         };
         (report, self.nodes.into_iter().map(|n| n.bca).collect())
     }
@@ -641,6 +678,8 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         }
         self.messages_delivered += 1;
         self.bytes_delivered += bytes as u64;
+        self.telemetry.messages.inc();
+        self.telemetry.bytes.add(bytes as u64);
         let idx = to.index();
         self.nodes[idx].counters.messages_received += 1;
         self.nodes[idx].counters.bytes_received += bytes as u64;
@@ -757,6 +796,13 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         let observations = self.observe_instances();
         for handoff in self.assignment.update(&observations) {
             self.client_handoffs += 1;
+            self.telemetry.client_handoffs.inc();
+            self.telemetry.event(
+                handoff.client as u32,
+                FlightEventKind::ClientHandoff {
+                    client: handoff.client as u64,
+                },
+            );
             self.clients[handoff.client].client.abandon_inflight();
         }
         for (index, client) in self.clients.iter_mut().enumerate() {
@@ -977,12 +1023,40 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
                         slot.batch.effective_transactions() as u64;
                     self.record_commit(node, executed, slot.digest, &slot.batch);
                 }
-                Action::SuspectPrimary { .. } => {
+                Action::SuspectPrimary { primary, .. } => {
                     self.suspicions += 1;
+                    self.telemetry.suspicions.inc();
+                    self.telemetry.event(
+                        node.0,
+                        FlightEventKind::SigmaLagDetected {
+                            suspected: primary.0,
+                        },
+                    );
+                    // The first suspicion against a not-yet-suspected
+                    // coordinator marks the start of a view-change episode.
+                    if self.suspected_since_change.insert(primary.0)
+                        && self.suspected_since_change.len() == 1
+                    {
+                        self.telemetry.event(
+                            node.0,
+                            FlightEventKind::ViewChangeEntered {
+                                suspected: primary.0,
+                            },
+                        );
+                    }
                     self.client_refresh_due = true;
                 }
-                Action::ViewChanged { .. } => {
+                Action::ViewChanged { view, new_primary } => {
                     self.view_changes += 1;
+                    self.telemetry.view_changes.inc();
+                    self.suspected_since_change.clear();
+                    self.telemetry.event(
+                        node.0,
+                        FlightEventKind::ViewChangeCompleted {
+                            view,
+                            new_primary: new_primary.0,
+                        },
+                    );
                     self.client_refresh_due = true;
                 }
             }
@@ -1195,11 +1269,15 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         if completed_quorum {
             self.committed_transactions += transactions;
             self.committed_batches += 1;
+            self.telemetry.committed_txns.add(transactions);
+            self.telemetry.committed_batches.inc();
             self.throughput.record(t, transactions);
             if submitted >= self.config.measure_start && submitted < self.config.measure_end {
                 // Client-perceived latency: the quorum-completing *reply's*
                 // arrival at the client, not the replica-side release.
-                self.latency.record(reply_at.saturating_since(submitted));
+                let latency = reply_at.saturating_since(submitted);
+                self.latency.record(latency);
+                self.telemetry.latency_us.record(latency.as_nanos() / 1_000);
             }
         }
         if new_committer {
@@ -1325,6 +1403,7 @@ impl<P: ByzantineCommitAlgorithm> Simulation<P> {
         runtime: &mut AdversaryRuntime,
     ) {
         self.adversary_strikes += 1;
+        self.telemetry.adversary_strikes.inc();
         let idx = target.index();
         match attack {
             AdversaryAttack::Kill { down_for } => {

@@ -64,6 +64,59 @@ fn same_seed_same_config_is_bit_identical() {
 }
 
 #[test]
+fn same_seed_produces_identical_telemetry_snapshots_and_flight() {
+    // The registry snapshot and the flight-recorder trace are part of the
+    // determinism contract: both derive only from virtual time and seeded
+    // randomness, so two same-seed runs must agree bit for bit — including
+    // under a fault script that exercises view changes and hand-offs.
+    let faults = FaultScript::none().with(
+        Time::from_millis(300),
+        FaultKind::SilencePrimary {
+            replica: rcc_common::ReplicaId(1),
+        },
+    );
+    let mut config = wan_config(4, 4, 5).with_faults(faults.clone());
+    config.horizon = Duration::from_millis(1800);
+    config.measure_end = Time::ZERO + config.horizon;
+    let mut config_b = wan_config(4, 4, 5).with_faults(faults);
+    config_b.horizon = Duration::from_millis(1800);
+    config_b.measure_end = Time::ZERO + config_b.horizon;
+
+    let a = simulate_rcc_over_pbft(config);
+    let b = simulate_rcc_over_pbft(config_b);
+    assert!(
+        a.telemetry.counter("sim.committed_txns").unwrap_or(0) > 0,
+        "the run must commit transactions for the comparison to mean anything"
+    );
+    assert_eq!(a.telemetry, b.telemetry, "registry snapshots must be equal");
+    assert_eq!(a.flight, b.flight, "flight-recorder traces must be equal");
+    // The flight trace of a silenced coordinator must show the recovery
+    // sequence: a σ-lag detection followed by a completed view change.
+    assert!(a.flight.iter().any(|e| matches!(
+        e.kind,
+        rcc_telemetry::FlightEventKind::SigmaLagDetected { .. }
+    )));
+    assert!(a.flight.iter().any(|e| matches!(
+        e.kind,
+        rcc_telemetry::FlightEventKind::ViewChangeCompleted { .. }
+    )));
+    // Registry counters mirror the report's native counters.
+    assert_eq!(
+        a.telemetry.counter("sim.committed_txns"),
+        Some(a.committed_transactions)
+    );
+    assert_eq!(
+        a.telemetry.counter("sim.messages"),
+        Some(a.messages_delivered)
+    );
+    assert_eq!(a.telemetry.counter("sim.suspicions"), Some(a.suspicions));
+    assert_eq!(
+        a.telemetry.counter("sim.view_changes"),
+        Some(a.view_changes)
+    );
+}
+
+#[test]
 fn different_seeds_produce_different_traces() {
     let a = simulate_rcc_over_pbft(wan_config(4, 4, 1));
     let b = simulate_rcc_over_pbft(wan_config(4, 4, 2));

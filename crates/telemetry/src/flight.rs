@@ -1,0 +1,338 @@
+//! The flight recorder: a bounded ring buffer of structured, timestamped
+//! events around the failure-handling machinery (view changes, σ-lag
+//! detection, checkpoints, client hand-offs, admission rejects,
+//! reconnects).
+//!
+//! The recorder is *always on* and deliberately tiny: recording is one
+//! mutex-guarded ring append of a `Copy` event, and the ring evicts
+//! oldest-first under overflow (a flight recorder keeps the events closest
+//! to the incident, and the incident is always "now"). Dumps happen on
+//! divergence, floor violations, or `--dump-events` — the cases where the
+//! end-of-run aggregates say *that* something went wrong and the event
+//! sequence says *how*.
+
+use crate::snapshot::json_escape_into;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// What happened. Every variant is `Copy` and field-named so dumps are
+/// self-describing without any allocation on the record path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A replica's σ-lag detector fired against `suspected` (§III-C): the
+    /// first step of the recovery timeline.
+    SigmaLagDetected {
+        /// The replica suspected of stalling its instance.
+        suspected: u32,
+    },
+    /// View-change arbitration against `suspected` began (first suspicion
+    /// since the last completed change).
+    ViewChangeEntered {
+        /// The coordinator being voted out.
+        suspected: u32,
+    },
+    /// A view change completed: the instance runs under a new coordinator.
+    ViewChangeCompleted {
+        /// The new view number.
+        view: u64,
+        /// The replica now coordinating.
+        new_primary: u32,
+    },
+    /// A §III-D checkpoint reached its stability quorum; state below
+    /// `round` is pruned.
+    CheckpointStabilized {
+        /// One past the last round the stable checkpoint covers.
+        round: u64,
+    },
+    /// The §III-E assignment policy moved a client off its instance (drain
+    /// to a healthy neighbour or σ-spaced return home).
+    ClientHandoff {
+        /// The client (workload stream) that moved.
+        client: u64,
+    },
+    /// The client edge turned a connection away at its admission cap.
+    AdmissionReject {
+        /// Connected clients at the moment of the reject.
+        connections: u64,
+    },
+    /// A client/driver connection was re-established after a failure.
+    Reconnect {
+        /// The replica the connection was re-dialed to.
+        peer: u64,
+    },
+    /// A run finished below its configured liveness floor (values in the
+    /// gate's own unit, e.g. txn/s or completed batches).
+    FloorViolation {
+        /// The observed value.
+        observed: u64,
+        /// The configured floor it undershot.
+        floor: u64,
+    },
+    /// Replicas disagreed on the execution order or ledger — the safety
+    /// violation every layer treats as fatal.
+    Divergence {
+        /// The replica whose state disagreed with replica 0's.
+        replica: u32,
+    },
+}
+
+impl FlightEventKind {
+    /// The stable kebab-case name used in dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlightEventKind::SigmaLagDetected { .. } => "sigma-lag-detected",
+            FlightEventKind::ViewChangeEntered { .. } => "view-change-entered",
+            FlightEventKind::ViewChangeCompleted { .. } => "view-change-completed",
+            FlightEventKind::CheckpointStabilized { .. } => "checkpoint-stabilized",
+            FlightEventKind::ClientHandoff { .. } => "client-handoff",
+            FlightEventKind::AdmissionReject { .. } => "admission-reject",
+            FlightEventKind::Reconnect { .. } => "reconnect",
+            FlightEventKind::FloorViolation { .. } => "floor-violation",
+            FlightEventKind::Divergence { .. } => "divergence",
+        }
+    }
+
+    /// The variant's fields as `(name, value)` pairs, for rendering.
+    fn fields(self) -> [Option<(&'static str, u64)>; 2] {
+        match self {
+            FlightEventKind::SigmaLagDetected { suspected }
+            | FlightEventKind::ViewChangeEntered { suspected } => {
+                [Some(("suspected", suspected as u64)), None]
+            }
+            FlightEventKind::ViewChangeCompleted { view, new_primary } => [
+                Some(("view", view)),
+                Some(("new_primary", new_primary as u64)),
+            ],
+            FlightEventKind::CheckpointStabilized { round } => [Some(("round", round)), None],
+            FlightEventKind::ClientHandoff { client } => [Some(("client", client)), None],
+            FlightEventKind::AdmissionReject { connections } => {
+                [Some(("connections", connections)), None]
+            }
+            FlightEventKind::Reconnect { peer } => [Some(("peer", peer)), None],
+            FlightEventKind::FloorViolation { observed, floor } => {
+                [Some(("observed", observed)), Some(("floor", floor))]
+            }
+            FlightEventKind::Divergence { replica } => [Some(("replica", replica as u64)), None],
+        }
+    }
+}
+
+/// One recorded event: when (clock nanoseconds through the
+/// [`crate::TelemetryClock`] seam), where (a source id — replica, edge, or
+/// driver index), and what.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Nanoseconds since the recording layer's clock epoch.
+    pub at_nanos: u64,
+    /// The recording source (replica id for consensus events, edge/driver
+    /// index for connection events).
+    pub source: u32,
+    /// What happened.
+    pub kind: FlightEventKind,
+}
+
+struct Ring {
+    events: VecDeque<FlightEvent>,
+    dropped: u64,
+}
+
+/// A bounded, shareable ring of [`FlightEvent`]s. Clones share the ring.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Arc<Mutex<Ring>>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            capacity,
+            inner: Arc::new(Mutex::new(Ring {
+                events: VecDeque::with_capacity(capacity),
+                dropped: 0,
+            })),
+        }
+    }
+
+    /// The ring's capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event, evicting the oldest when the ring is full.
+    pub fn record(&self, at_nanos: u64, source: u32, kind: FlightEventKind) {
+        let mut ring = lock_unpoisoned(&self.inner);
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+            ring.dropped = ring.dropped.saturating_add(1);
+        }
+        ring.events.push_back(FlightEvent {
+            at_nanos,
+            source,
+            kind,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<FlightEvent> {
+        lock_unpoisoned(&self.inner)
+            .events
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Events evicted by overflow over the recorder's lifetime.
+    pub fn dropped(&self) -> u64 {
+        lock_unpoisoned(&self.inner).dropped
+    }
+
+    /// Number of currently retained events.
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.inner).events.len()
+    }
+
+    /// True when nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Locks `mutex`, recovering the guard when a previous holder panicked:
+/// the ring's invariants are a single bounded queue, which any interrupted
+/// append leaves structurally intact — and a flight recorder must keep
+/// working on the panic path, which is exactly when it is dumped.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Renders events as human-readable lines, one per event, oldest first:
+/// `[   1.234567s] source 2: view-change-completed view=1 new_primary=3`.
+pub fn dump_text(events: &[FlightEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        let secs = event.at_nanos / 1_000_000_000;
+        let micros = (event.at_nanos % 1_000_000_000) / 1_000;
+        let _ = write!(
+            out,
+            "[{secs:>4}.{micros:06}s] source {}: {}",
+            event.source,
+            event.kind.name()
+        );
+        for (name, value) in event.kind.fields().into_iter().flatten() {
+            let _ = write!(out, " {name}={value}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events as JSONL, one object per event, oldest first. When
+/// `label` is non-empty each object carries it as a `"run"` field.
+pub fn dump_jsonl(events: &[FlightEvent], label: &str) -> String {
+    let mut out = String::new();
+    for event in events {
+        out.push_str("{\"event\":\"");
+        out.push_str(event.kind.name());
+        out.push('"');
+        if !label.is_empty() {
+            out.push_str(",\"run\":\"");
+            json_escape_into(&mut out, label);
+            out.push('"');
+        }
+        let _ = write!(
+            out,
+            ",\"at_nanos\":{},\"source\":{}",
+            event.at_nanos, event.source
+        );
+        for (name, value) in event.kind.fields().into_iter().flatten() {
+            let _ = write!(out, ",\"{name}\":{value}");
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest_first() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            recorder.record(i, 0, FlightEventKind::ClientHandoff { client: i });
+        }
+        let events = recorder.events();
+        assert_eq!(events.len(), 3, "ring must stay at its capacity bound");
+        assert_eq!(recorder.dropped(), 2, "two oldest events were evicted");
+        let clients: Vec<u64> = events
+            .iter()
+            .map(|e| match e.kind {
+                FlightEventKind::ClientHandoff { client } => client,
+                other => panic!("unexpected kind {other:?}"),
+            })
+            .collect();
+        assert_eq!(clients, vec![2, 3, 4], "eviction is oldest-first");
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let recorder = FlightRecorder::new(8);
+        let alias = recorder.clone();
+        alias.record(1, 7, FlightEventKind::Reconnect { peer: 2 });
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(recorder.events()[0].source, 7);
+    }
+
+    #[test]
+    fn dumps_render_every_field() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record(
+            1_500_000,
+            2,
+            FlightEventKind::ViewChangeCompleted {
+                view: 1,
+                new_primary: 3,
+            },
+        );
+        recorder.record(
+            2_000_000,
+            0,
+            FlightEventKind::FloorViolation {
+                observed: 5,
+                floor: 10,
+            },
+        );
+        let text = dump_text(&recorder.events());
+        assert!(text.contains("view-change-completed view=1 new_primary=3"));
+        assert!(text.contains("floor-violation observed=5 floor=10"));
+        let jsonl = dump_jsonl(&recorder.events(), "smoke");
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"event\":\"view-change-completed\""));
+        assert!(jsonl.contains("\"run\":\"smoke\""));
+        assert!(jsonl.contains("\"new_primary\":3"));
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_at_least_one() {
+        let recorder = FlightRecorder::new(0);
+        recorder.record(0, 0, FlightEventKind::Divergence { replica: 1 });
+        recorder.record(1, 0, FlightEventKind::Divergence { replica: 2 });
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(recorder.dropped(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Point-in-time scrapes of a [`crate::Registry`] and their render formats.
+//!
+//! A [`Snapshot`] is plain data — name-sorted vectors of integers — so it is
+//! `PartialEq`-comparable across runs: the determinism tests assert that two
+//! same-seed simulations scrape *identical* snapshots. Three render formats
+//! cover the consumers: an aligned text table for humans, CSV for CI
+//! artifacts and gates, and JSONL for periodic appends (one self-contained
+//! object per line, so a file of interleaved scrapes stays parseable).
+
+use std::fmt::Write as _;
+
+/// The frozen state of one histogram: total count, total sum, and the
+/// non-empty buckets as `(upper_bound, count)` pairs in ascending order.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Non-empty buckets: `(inclusive upper bound, samples)` ascending.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The arithmetic mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The value at quantile `p` (clamped to `[0, 1]`), reported as the
+    /// upper bound of the bucket holding the rank-`⌈p·count⌉` sample.
+    /// Returns 0 when the histogram is empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(upper, count) in &self.buckets {
+            seen = seen.saturating_add(count);
+            if seen >= rank {
+                return upper;
+            }
+        }
+        self.buckets.last().map(|&(upper, _)| upper).unwrap_or(0)
+    }
+
+    /// Bucket-wise merge of two snapshots taken from histograms with the
+    /// same bucket layout (counts and sums add).
+    pub fn merged(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets: Vec<(u64, u64)> = Vec::with_capacity(self.buckets.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let a = self.buckets.get(i).copied();
+            let b = other.buckets.get(j).copied();
+            match (a, b) {
+                (Some((ua, ca)), Some((ub, cb))) => {
+                    if ua == ub {
+                        buckets.push((ua, ca.saturating_add(cb)));
+                        i += 1;
+                        j += 1;
+                    } else if ua < ub {
+                        buckets.push((ua, ca));
+                        i += 1;
+                    } else {
+                        buckets.push((ub, cb));
+                        j += 1;
+                    }
+                }
+                (Some(pair), None) => {
+                    buckets.push(pair);
+                    i += 1;
+                }
+                (None, Some(pair)) => {
+                    buckets.push(pair);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_add(other.count),
+            sum: self.sum.saturating_add(other.sum),
+            buckets,
+        }
+    }
+}
+
+/// A point-in-time scrape of every metric in a registry, name-sorted.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters as `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges as `(name, value)`.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms as `(name, frozen state)`.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Looks a counter up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Looks a gauge up by name.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// True when no metric holds any data.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges two snapshots from different registries (e.g. the per-replica
+    /// registries of a cluster): counters and histograms add, gauges take
+    /// the maximum — a gauge is a high-water mark, so summing one across
+    /// sources (or across a restart) would fabricate a level no single
+    /// source ever saw.
+    pub fn merged(&self, other: &Snapshot) -> Snapshot {
+        Snapshot {
+            counters: merge_values(&self.counters, &other.counters, u64::saturating_add),
+            gauges: merge_values(&self.gauges, &other.gauges, u64::max),
+            histograms: merge_named(&self.histograms, &other.histograms, |a, b| a.merged(b)),
+        }
+    }
+
+    /// Renders the snapshot as an aligned, human-readable text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let _ = writeln!(out, "{:width$}  {:>12}", "name", "value");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "{name:width$}  {value:>12}");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "{name:width$}  {value:>12}  (gauge)");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{name:width$}  {:>12}  mean {:.1}  p50 {}  p99 {}",
+                hist.count,
+                hist.mean(),
+                hist.percentile(0.50),
+                hist.percentile(0.99),
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as CSV with the fixed header
+    /// `kind,name,value,count,sum,p50,p99` (one row per metric; fields that
+    /// do not apply to a kind are left empty). Deterministic byte-for-byte
+    /// for a fixed snapshot.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("kind,name,value,count,sum,p50,p99\n");
+        for (name, value) in &self.counters {
+            let _ = writeln!(out, "counter,{name},{value},,,,");
+        }
+        for (name, value) in &self.gauges {
+            let _ = writeln!(out, "gauge,{name},{value},,,,");
+        }
+        for (name, hist) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "histogram,{name},,{},{},{},{}",
+                hist.count,
+                hist.sum,
+                hist.percentile(0.50),
+                hist.percentile(0.99),
+            );
+        }
+        out
+    }
+
+    /// Renders the snapshot as JSONL: one self-contained JSON object per
+    /// metric. When `label` is non-empty every object carries it as a
+    /// `"run"` field, so scrapes from different runs (or different times)
+    /// can share one append-only file.
+    pub fn to_jsonl(&self, label: &str) -> String {
+        let mut out = String::new();
+        let prefix = |out: &mut String, kind: &str, name: &str| {
+            out.push_str("{\"kind\":\"");
+            out.push_str(kind);
+            out.push_str("\",\"name\":\"");
+            json_escape_into(out, name);
+            out.push('"');
+            if !label.is_empty() {
+                out.push_str(",\"run\":\"");
+                json_escape_into(out, label);
+                out.push('"');
+            }
+        };
+        for (name, value) in &self.counters {
+            prefix(&mut out, "counter", name);
+            let _ = writeln!(out, ",\"value\":{value}}}");
+        }
+        for (name, value) in &self.gauges {
+            prefix(&mut out, "gauge", name);
+            let _ = writeln!(out, ",\"value\":{value}}}");
+        }
+        for (name, hist) in &self.histograms {
+            prefix(&mut out, "histogram", name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                hist.count,
+                hist.sum,
+                hist.percentile(0.50),
+                hist.percentile(0.99),
+            );
+            for (i, (upper, count)) in hist.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{upper},{count}]");
+            }
+            out.push_str("]}\n");
+        }
+        out
+    }
+}
+
+/// Merge-joins two name-sorted `(name, u64)` lists with `combine` on
+/// name collisions.
+fn merge_values(
+    a: &[(String, u64)],
+    b: &[(String, u64)],
+    combine: fn(u64, u64) -> u64,
+) -> Vec<(String, u64)> {
+    merge_named(a, b, |x: &u64, y: &u64| combine(*x, *y))
+}
+
+/// Merge-joins two name-sorted `(name, T)` lists with `combine` on name
+/// collisions; entries present on one side only are carried through.
+fn merge_named<T: Clone>(
+    a: &[(String, T)],
+    b: &[(String, T)],
+    combine: impl Fn(&T, &T) -> T,
+) -> Vec<(String, T)> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some((na, va)), Some((nb, vb))) => {
+                if na == nb {
+                    out.push((na.clone(), combine(va, vb)));
+                    i += 1;
+                    j += 1;
+                } else if na < nb {
+                    out.push((na.clone(), va.clone()));
+                    i += 1;
+                } else {
+                    out.push((nb.clone(), vb.clone()));
+                    j += 1;
+                }
+            }
+            (Some((na, va)), None) => {
+                out.push((na.clone(), va.clone()));
+                i += 1;
+            }
+            (None, Some((nb, vb))) => {
+                out.push((nb.clone(), vb.clone()));
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Appends `s` to `out` with the JSON string escapes required for the
+/// characters metric names and labels can realistically contain.
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(pairs: &[(u64, u64)]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: pairs.iter().map(|&(_, c)| c).sum(),
+            sum: pairs.iter().map(|&(u, c)| u * c).sum(),
+            buckets: pairs.to_vec(),
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_the_cumulative_distribution() {
+        let h = hist(&[(1, 50), (10, 40), (100, 10)]);
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(0.5), 1);
+        assert_eq!(h.percentile(0.9), 10);
+        assert_eq!(h.percentile(0.99), 100);
+        assert_eq!(h.percentile(1.0), 100);
+        assert_eq!(HistogramSnapshot::default().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merged_sums_counters_and_maxes_gauges() {
+        let a = Snapshot {
+            counters: vec![("a".into(), 1), ("b".into(), 2)],
+            gauges: vec![("peak".into(), 7)],
+            histograms: vec![("h".into(), hist(&[(1, 3)]))],
+        };
+        let b = Snapshot {
+            counters: vec![("b".into(), 5), ("c".into(), 1)],
+            gauges: vec![("peak".into(), 4)],
+            histograms: vec![("h".into(), hist(&[(1, 1), (10, 2)]))],
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.counter("a"), Some(1));
+        assert_eq!(m.counter("b"), Some(7));
+        assert_eq!(m.counter("c"), Some(1));
+        assert_eq!(m.gauge("peak"), Some(7), "gauges max-merge, never sum");
+        let h = m.histogram("h").expect("histogram present");
+        assert_eq!(h.count, 6);
+        assert_eq!(h.buckets, vec![(1, 4), (10, 2)]);
+    }
+
+    #[test]
+    fn renderers_cover_every_metric() {
+        let snap = Snapshot {
+            counters: vec![("sim.committed".into(), 42)],
+            gauges: vec![("sim.peak".into(), 9)],
+            histograms: vec![("lat_us".into(), hist(&[(8, 2), (16, 2)]))],
+        };
+        let table = snap.to_table();
+        assert!(table.contains("sim.committed"));
+        assert!(table.contains("p99 16"));
+        let csv = snap.to_csv();
+        assert!(csv.starts_with("kind,name,value,count,sum,p50,p99\n"));
+        assert!(csv.contains("counter,sim.committed,42,,,,"));
+        assert!(csv.contains("gauge,sim.peak,9,,,,"));
+        assert!(csv.contains("histogram,lat_us,,4,"));
+        let jsonl = snap.to_jsonl("run-1");
+        assert!(jsonl.contains("\"run\":\"run-1\""));
+        assert!(jsonl.contains("\"buckets\":[[8,2],[16,2]]"));
+        assert_eq!(jsonl.lines().count(), 3);
+    }
+
+    #[test]
+    fn snapshots_compare_exactly() {
+        let a = Snapshot {
+            counters: vec![("x".into(), 1)],
+            gauges: vec![],
+            histograms: vec![],
+        };
+        let mut b = a.clone();
+        assert_eq!(a, b);
+        b.counters[0].1 = 2;
+        assert_ne!(a, b);
+    }
+}

@@ -27,6 +27,7 @@
 
 use crate::client::{Client, ClientMode, ReplyOutcome};
 use rcc_common::{Batch, Digest, InstanceId, ReplicaId, SystemConfig, Time};
+use rcc_telemetry::LocalHistogram;
 
 /// Timing and failover knobs of a [`DriverSession`], in milliseconds of the
 /// caller's clock.
@@ -81,6 +82,12 @@ pub struct SessionStats {
     pub completed: u64,
     /// Batches abandoned (reply timeout, explicit reject, or failover).
     pub abandoned: u64,
+    /// Median submit-to-quorum latency over completed batches, in
+    /// milliseconds of the session clock. Zero when nothing completed.
+    pub p50_latency_ms: u64,
+    /// 99th-percentile submit-to-quorum latency, in milliseconds. With
+    /// fewer than 100 completions this is the slowest observed batch.
+    pub p99_latency_ms: u64,
 }
 
 /// In-flight bookkeeping: where a batch went, when, and whether the
@@ -114,6 +121,9 @@ pub struct DriverSession {
     next_home_probe_ms: u64,
     paused_until_ms: u64,
     abandoned: u64,
+    /// Submit-to-quorum latency of every completed batch, in session-clock
+    /// milliseconds. Log-scale buckets, so a long-lived session stays O(1).
+    latency_ms: LocalHistogram,
 }
 
 impl DriverSession {
@@ -146,6 +156,7 @@ impl DriverSession {
             next_home_probe_ms: 0,
             paused_until_ms: 0,
             abandoned: 0,
+            latency_ms: LocalHistogram::default(),
         }
     }
 
@@ -202,18 +213,29 @@ impl DriverSession {
         actions
     }
 
-    /// Records a *verified* reply from `from` reporting outcome `digest`.
-    /// The caller must have checked the frame's tag against the deployment
-    /// keys first. Returns what the reply contributed.
-    pub fn on_reply(&mut self, from: ReplicaId, digest: Digest) -> ReplyOutcome {
+    /// Records a *verified* reply from `from` reporting outcome `digest`,
+    /// received at `now_ms` of the session clock. The caller must have
+    /// checked the frame's tag against the deployment keys first. Returns
+    /// what the reply contributed. A completing reply records the batch's
+    /// submit-to-quorum latency.
+    pub fn on_reply(&mut self, now_ms: u64, from: ReplicaId, digest: Digest) -> ReplyOutcome {
         let outcome = self.client.on_reply(from, digest);
         if outcome == ReplyOutcome::Completed {
+            if let Some((_, entry)) = self.pending.iter().find(|(d, _)| *d == digest) {
+                self.latency_ms.record(now_ms.saturating_sub(entry.at_ms));
+            }
             self.pending.retain(|(d, _)| *d != digest);
             if self.active == self.home {
                 self.home_failures = 0;
             }
         }
         outcome
+    }
+
+    /// The submit-to-quorum latency distribution of this session's
+    /// completed batches, for merging into a shared registry histogram.
+    pub fn latency_histogram(&self) -> &LocalHistogram {
+        &self.latency_ms
     }
 
     /// Records a coordinator's acceptance ack for `digest`: the candidate is
@@ -291,6 +313,8 @@ impl DriverSession {
             submitted: self.client.submitted_batches() + self.abandoned,
             completed: self.client.completed_batches(),
             abandoned: self.abandoned,
+            p50_latency_ms: self.latency_ms.percentile(0.50),
+            p99_latency_ms: self.latency_ms.percentile(0.99),
         }
     }
 
@@ -385,10 +409,36 @@ mod tests {
         let mut s = session(1);
         let actions = s.poll(0);
         let digest = actions[0].digest;
-        assert_eq!(s.on_reply(ReplicaId(0), digest), ReplyOutcome::Pending);
-        assert_eq!(s.on_reply(ReplicaId(1), digest), ReplyOutcome::Completed);
+        assert_eq!(s.on_reply(3, ReplicaId(0), digest), ReplyOutcome::Pending);
+        assert_eq!(s.on_reply(7, ReplicaId(1), digest), ReplyOutcome::Completed);
         assert_eq!(s.stats().completed, 1);
-        assert_eq!(s.poll(1).len(), 1, "completed batch freed its slot");
+        assert_eq!(s.poll(8).len(), 1, "completed batch freed its slot");
+    }
+
+    #[test]
+    fn completed_batches_record_submit_to_quorum_latency() {
+        let mut s = session(1);
+        // First batch: submitted at 0, quorum at 7 → 7 ms.
+        let digest = s.poll(0)[0].digest;
+        s.on_reply(3, ReplicaId(0), digest);
+        s.on_reply(7, ReplicaId(1), digest);
+        // Second batch: submitted at 10, quorum at 15 → 5 ms.
+        let digest = s.poll(10)[0].digest;
+        s.on_reply(12, ReplicaId(0), digest);
+        s.on_reply(15, ReplicaId(1), digest);
+        let stats = s.stats();
+        assert_eq!(stats.p50_latency_ms, 5);
+        assert_eq!(stats.p99_latency_ms, 7);
+        assert_eq!(s.latency_histogram().count(), 2);
+    }
+
+    #[test]
+    fn sessions_without_completions_report_zero_latency() {
+        let s = session(1);
+        let stats = s.stats();
+        assert_eq!(stats.p50_latency_ms, 0);
+        assert_eq!(stats.p99_latency_ms, 0);
+        assert!(s.latency_histogram().is_empty());
     }
 
     #[test]

@@ -52,4 +52,5 @@ pub use rcc_network as network;
 pub use rcc_protocols as protocols;
 pub use rcc_sim as sim;
 pub use rcc_storage as storage;
+pub use rcc_telemetry as telemetry;
 pub use rcc_workload as workload;
